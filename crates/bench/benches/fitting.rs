@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the fitting algorithms at reduced scale.
+//!
+//! These track the relative cost of the pipeline stages (the "fitting cost"
+//! rows of Tables 1–2): S-OMP, the Algorithm-1 initializer, one EM
+//! iteration, and the structure-exploiting posterior solves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cbmf::{
+    BasisSpec, CandidateGrid, CbmfPrior, EmConfig, EmRefiner, MapPosterior, Somp, SompConfig,
+    SompInitializer, TunableProblem,
+};
+use cbmf_linalg::Matrix;
+use cbmf_stats::{normal, seeded_rng};
+
+/// K = 8 states, N = 12 samples/state, d = 120 variables: big enough to
+/// exercise the real code paths, small enough for statistics.
+fn medium_problem() -> TunableProblem {
+    let mut rng = seeded_rng(1_000);
+    let (k, n, d) = (8, 12, 120);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for state in 0..k {
+        let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+        let w = 1.0 + 0.05 * state as f64;
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                w * (2.0 * x[(i, 3)] - 1.0 * x[(i, 40)] + 0.5 * x[(i, 77)])
+                    + 0.1 * normal::sample(&mut rng)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid")
+}
+
+fn bench_somp(c: &mut Criterion) {
+    let problem = medium_problem();
+    c.bench_function("somp_fixed_theta_k8_n12_d120", |b| {
+        b.iter_batched(
+            || seeded_rng(1),
+            |mut rng| {
+                Somp::new(SompConfig {
+                    theta_candidates: vec![8],
+                    cv_folds: 3,
+                })
+                .fit(&problem, &mut rng)
+                .expect("fit")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_initializer(c: &mut Criterion) {
+    let problem = medium_problem();
+    let grid = CandidateGrid {
+        r0: vec![0.9],
+        sigma_rel: vec![0.1],
+        theta: vec![8],
+        cv_folds: 3,
+        off_support_level: 1e-5,
+    };
+    c.bench_function("cbmf_initializer_k8_n12_d120", |b| {
+        b.iter_batched(
+            || seeded_rng(2),
+            |mut rng| {
+                SompInitializer::new(grid.clone())
+                    .initialize(&problem, &mut rng)
+                    .expect("init")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_posterior(c: &mut Criterion) {
+    let problem = medium_problem();
+    let mut lambda = vec![1e-6; 120];
+    for m in [3usize, 40, 77] {
+        lambda[m] = 1.0;
+    }
+    let prior = CbmfPrior::with_toeplitz_r(lambda, 8, 0.9, 0.1).expect("prior");
+    c.bench_function("posterior_coefficients_k8_n12_d120", |b| {
+        b.iter(|| {
+            MapPosterior
+                .solve_coefficients(&problem, &prior)
+                .expect("solve")
+        })
+    });
+    c.bench_function("posterior_full_moments_k8_n12_d120", |b| {
+        b.iter(|| MapPosterior.solve_moments(&problem, &prior).expect("solve"))
+    });
+}
+
+fn bench_em_iteration(c: &mut Criterion) {
+    let problem = medium_problem();
+    let mut lambda = vec![1e-6; 120];
+    for m in [3usize, 40, 77] {
+        lambda[m] = 1.0;
+    }
+    let prior = CbmfPrior::with_toeplitz_r(lambda, 8, 0.9, 0.1).expect("prior");
+    c.bench_function("em_single_iteration_k8_n12_d120", |b| {
+        b.iter(|| {
+            EmRefiner::new(EmConfig {
+                max_iters: 1,
+                tol: 0.0,
+                ..EmConfig::default()
+            })
+            .refine(&problem, &prior)
+            .expect("refine")
+        })
+    });
+}
+
+criterion_group! {
+    name = fitting;
+    config = Criterion::default().sample_size(10);
+    targets = bench_somp, bench_initializer, bench_posterior, bench_em_iteration
+}
+criterion_main!(fitting);

@@ -1,0 +1,175 @@
+//! Ablations of the C-BMF design choices (DESIGN.md experiment ABL):
+//!
+//! 1. `full`          — the complete pipeline (learned R + EM).
+//! 2. `fixed_r`       — EM with R frozen at the initializer's R(r0): what
+//!                      does *learning* the magnitude correlation buy?
+//! 3. `identity_r`    — R forced to I throughout (template sharing only,
+//!                      S-OMP's assumption, inside the Bayesian solver).
+//! 4. `init_only`     — Algorithm-1 steps 1–17 without EM refinement.
+//! 5. `somp`          — the S-OMP baseline for reference, plus two
+//!                      related-work baselines: multi-task `group_lasso`
+//!                      ([20]-[21]) and `sequential_bmf` (classic BMF [18]
+//!                      chained along the knob axis).
+//! 6. `clustered`     — the §5 extension on a deliberately heterogeneous
+//!                      two-family synthetic (homogeneous circuits don't
+//!                      need it; this shows when it matters).
+//!
+//! Emits CSV.
+
+use cbmf::{
+    BasisSpec, BmfConfig, CandidateGrid, CbmfConfig, CbmfFit, ClusteredCbmf, EmConfig, GroupLasso,
+    GroupLassoConfig, PerStateModel, SequentialBmf, SompInitializer, TunableProblem,
+};
+use cbmf_bench::{cbmf_paper_config, problem_for_metric, run_somp};
+use cbmf_circuits::{Lna, MonteCarlo};
+use cbmf_linalg::Matrix;
+use cbmf_stats::{normal, seeded_rng};
+
+fn assemble(problem: &TunableProblem, support: Vec<usize>, coeffs: Matrix) -> PerStateModel {
+    let intercepts = (0..problem.num_states())
+        .map(|k| problem.intercept_for(k, &support, coeffs.row(k)))
+        .collect();
+    PerStateModel::new(
+        problem.basis_spec(),
+        problem.num_basis(),
+        support,
+        coeffs,
+        intercepts,
+    )
+    .expect("consistent shapes")
+}
+
+fn main() {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(20_160_609);
+    let test_ds = MonteCarlo::new(50).collect(&lna, &mut rng).unwrap();
+    let train_ds = MonteCarlo::new(15).collect(&lna, &mut rng).unwrap();
+    let metric = 0; // NF
+    let test = problem_for_metric(&test_ds, metric);
+    let train = problem_for_metric(&train_ds, metric);
+
+    println!("variant,error_pct,support_size");
+
+    // 1. Full pipeline.
+    let full = CbmfFit::new(cbmf_paper_config())
+        .fit(&train, &mut rng)
+        .unwrap();
+    println!(
+        "full,{:.4},{}",
+        100.0 * full.model().modeling_error(&test).unwrap(),
+        full.model().support().len()
+    );
+
+    // 2. R frozen at R(r0).
+    let mut cfg = cbmf_paper_config();
+    cfg.em.learn_r = false;
+    let fixed = CbmfFit::new(cfg).fit(&train, &mut rng).unwrap();
+    println!(
+        "fixed_r,{:.4},{}",
+        100.0 * fixed.model().modeling_error(&test).unwrap(),
+        fixed.model().support().len()
+    );
+
+    // 3. Identity R throughout (r0 = 0 in the grid, R not learned).
+    let cfg = CbmfConfig {
+        grid: CandidateGrid {
+            r0: vec![0.0],
+            ..cbmf_paper_config().grid
+        },
+        em: EmConfig {
+            learn_r: false,
+            ..cbmf_paper_config().em
+        },
+    };
+    let ident = CbmfFit::new(cfg).fit(&train, &mut rng).unwrap();
+    println!(
+        "identity_r,{:.4},{}",
+        100.0 * ident.model().modeling_error(&test).unwrap(),
+        ident.model().support().len()
+    );
+
+    // 4. Initializer only (Algorithm 1 steps 1–17, no EM).
+    let init = SompInitializer::new(cbmf_paper_config().grid)
+        .initialize(&train, &mut rng)
+        .unwrap();
+    let support_len = init.support.len();
+    let init_model = assemble(&train, init.support, init.coeffs);
+    println!(
+        "init_only,{:.4},{}",
+        100.0 * init_model.modeling_error(&test).unwrap(),
+        support_len
+    );
+
+    // 5. S-OMP reference.
+    let somp = run_somp(&train, &test, &mut rng);
+    println!("somp,{:.4},{}", somp.error_pct, somp.model.support().len());
+
+    // 5b. Multi-task group lasso (related work [20]-[21]): template sharing
+    // through a convex penalty, still no magnitude correlation.
+    let glasso = GroupLasso::new(GroupLassoConfig::default())
+        .fit(&train, &mut rng)
+        .unwrap();
+    println!(
+        "group_lasso,{:.4},{}",
+        100.0 * glasso.modeling_error(&test).unwrap(),
+        glasso.support().len()
+    );
+
+    // 5c. Classic BMF [18] applied sequentially along the knob chain:
+    // one-directional correlation exploitation.
+    let bmf = SequentialBmf::new(BmfConfig::default())
+        .fit(&train, &mut rng)
+        .unwrap();
+    println!(
+        "sequential_bmf,{:.4},{}",
+        100.0 * bmf.modeling_error(&test).unwrap(),
+        bmf.support().len()
+    );
+
+    // 6. Clustering extension on a heterogeneous two-family synthetic.
+    let (c_train, c_test) = two_family(14, 60);
+    let clustered = ClusteredCbmf::new(2, CbmfConfig::small_problem())
+        .embed_theta(4)
+        .fit(&c_train, &mut rng)
+        .unwrap();
+    let unclustered = ClusteredCbmf::new(1, CbmfConfig::small_problem())
+        .embed_theta(4)
+        .fit(&c_train, &mut rng)
+        .unwrap();
+    println!(
+        "clustered_2family,{:.4},2",
+        100.0 * clustered.modeling_error(&c_test).unwrap()
+    );
+    println!(
+        "unclustered_2family,{:.4},1",
+        100.0 * unclustered.modeling_error(&c_test).unwrap()
+    );
+}
+
+/// Two families of states with disjoint templates (see the paper's §5).
+fn two_family(n_train: usize, n_test: usize) -> (TunableProblem, TunableProblem) {
+    let mut rng = seeded_rng(9_090);
+    let mut gen = |n: usize| {
+        let d = 20;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..8 {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+            let w = 1.0 + 0.05 * (state % 4) as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let sig = if state < 4 {
+                        2.0 * x[(i, 0)] - 1.0 * x[(i, 2)]
+                    } else {
+                        1.5 * x[(i, 5)] + 0.9 * x[(i, 7)]
+                    };
+                    w * sig + 0.05 * normal::sample(&mut rng)
+                })
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+    };
+    (gen(n_train), gen(n_test))
+}

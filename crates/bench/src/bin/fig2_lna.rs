@@ -1,0 +1,11 @@
+//! Regenerates Figure 2(b)-(d): LNA modeling error vs number of training
+//! samples, for NF / VG / IIP3, S-OMP vs C-BMF. Emits CSV.
+
+use cbmf_bench::figure_sweep;
+use cbmf_circuits::Lna;
+
+fn main() {
+    // 10..=35 samples per state, i.e. 320..=1120 total over 32 states —
+    // the x-axis range of the paper's figure.
+    figure_sweep(&Lna::new(), &[10, 15, 20, 25, 30, 35], 20_160_605);
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3(b)-(d): mixer modeling error vs number of training
+//! samples, for NF / VG / I1dBCP, S-OMP vs C-BMF. Emits CSV.
+
+use cbmf_bench::figure_sweep;
+use cbmf_circuits::Mixer;
+
+fn main() {
+    figure_sweep(&Mixer::new(), &[10, 15, 20, 25, 30, 35], 20_160_606);
+}

@@ -1,0 +1,39 @@
+//! Extension experiment: does the quadratic (Hermite) dictionary help on
+//! the mildly nonlinear circuit metrics? The paper models everything as
+//! linear functions; the C-BMF formulation is dictionary-agnostic, so this
+//! is a free extension (`BasisSpec::LinearSquares`, M = 2d).
+//!
+//! Emits CSV: metric, linear error %, quadratic error %.
+
+use cbmf::{BasisSpec, CbmfFit, TunableProblem};
+use cbmf_bench::cbmf_paper_config;
+use cbmf_circuits::{Lna, MonteCarlo, Testbench};
+use cbmf_stats::seeded_rng;
+
+fn problem(ds: &cbmf_circuits::TunableDataset, metric: usize, basis: BasisSpec) -> TunableProblem {
+    let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+    let ys: Vec<_> = ds.states.iter().map(|s| s.metric(metric)).collect();
+    TunableProblem::from_samples(&xs, &ys, basis).expect("valid dataset")
+}
+
+fn main() {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(20_160_610);
+    let test_ds = MonteCarlo::new(50).collect(&lna, &mut rng).unwrap();
+    let train_ds = MonteCarlo::new(15).collect(&lna, &mut rng).unwrap();
+
+    println!("metric,linear_err_pct,quadratic_err_pct");
+    for (m, name) in lna.metric_names().iter().enumerate() {
+        let mut row = format!("{name}");
+        for basis in [BasisSpec::Linear, BasisSpec::LinearSquares] {
+            let train = problem(&train_ds, m, basis);
+            let test = problem(&test_ds, m, basis);
+            let fit = CbmfFit::new(cbmf_paper_config())
+                .fit(&train, &mut rng)
+                .unwrap();
+            let err = 100.0 * fit.model().modeling_error(&test).unwrap();
+            row.push_str(&format!(",{err:.4}"));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table 1: LNA modeling error and cost, S-OMP at 1120 total
+//! samples (35/state) vs C-BMF at 480 (15/state). Emits CSV.
+
+use cbmf_bench::table_comparison;
+use cbmf_circuits::Lna;
+
+fn main() {
+    table_comparison(&Lna::new(), 35, 15, 20_160_607);
+}

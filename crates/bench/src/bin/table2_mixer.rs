@@ -1,0 +1,9 @@
+//! Regenerates Table 2: mixer modeling error and cost, S-OMP at 1120 total
+//! samples (35/state) vs C-BMF at 480 (15/state). Emits CSV.
+
+use cbmf_bench::table_comparison;
+use cbmf_circuits::Mixer;
+
+fn main() {
+    table_comparison(&Mixer::new(), 35, 15, 20_160_608);
+}

@@ -1,0 +1,353 @@
+//! Downstream applications of fitted performance models — the uses the
+//! paper's introduction motivates: "yield estimation \[12\]-\[13\], corner
+//! extraction \[14\], design optimization \[15\]".
+
+use rand::Rng;
+
+use crate::error::CbmfError;
+use crate::model::PerStateModel;
+use crate::BasisSpec;
+
+/// Which direction of a metric is "bad" for corner extraction and specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorstDirection {
+    /// The metric fails high (e.g. noise figure): worst case maximizes it.
+    High,
+    /// The metric fails low (e.g. gain): worst case minimizes it.
+    Low,
+}
+
+/// The worst-case process corner of a *linear* per-state model at a k·σ
+/// radius: for `y = a + αᵀx` with `x ~ N(0, I)`, the extremum of `y` on
+/// `‖x‖ = r` is at `x* = ±r·α/‖α‖` — one analytical step instead of a
+/// Monte Carlo tail search (the paper's ref. \[14\] use case).
+///
+/// Returns `(corner, predicted_value)`.
+///
+/// # Errors
+///
+/// * [`CbmfError::InvalidInput`] if the model's dictionary is not linear
+///   (the closed form only holds for linear models), `state` is out of
+///   range, or `radius` is not positive/finite.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::{applications, BasisSpec, PerStateModel, WorstDirection};
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// // y = 1 + 3·x0 − 4·x1 over 2 variables; worst-high at radius 1 is
+/// // along +α/‖α‖ = (0.6, −0.8): y = 1 + 5.
+/// let model = PerStateModel::new(
+///     BasisSpec::Linear, 2, vec![0, 1],
+///     Matrix::from_rows(&[&[3.0, -4.0]])?, vec![1.0],
+/// )?;
+/// let (corner, value) =
+///     applications::worst_case_corner(&model, 0, 1.0, WorstDirection::High)?;
+/// assert!((value - 6.0).abs() < 1e-12);
+/// assert!((corner[0] - 0.6).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn worst_case_corner(
+    model: &PerStateModel,
+    state: usize,
+    radius: f64,
+    direction: WorstDirection,
+) -> Result<(Vec<f64>, f64), CbmfError> {
+    if model.basis_spec() != BasisSpec::Linear {
+        return Err(CbmfError::InvalidInput {
+            what: "analytical corner extraction requires a linear dictionary".to_string(),
+        });
+    }
+    if state >= model.num_states() {
+        return Err(CbmfError::InvalidInput {
+            what: format!("state {state} out of range ({})", model.num_states()),
+        });
+    }
+    if !(radius.is_finite() && radius > 0.0) {
+        return Err(CbmfError::InvalidInput {
+            what: format!("radius must be positive and finite, got {radius}"),
+        });
+    }
+    let d = model.num_variables();
+    let mut alpha = vec![0.0; d];
+    for (c, &m) in model.coefficients().row(state).iter().zip(model.support()) {
+        alpha[m] = *c;
+    }
+    let norm = alpha.iter().map(|a| a * a).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        // Constant model: every point on the sphere is equally "worst".
+        let corner = vec![0.0; d];
+        let value = model.predict(state, &corner)?;
+        return Ok((corner, value));
+    }
+    let sign = match direction {
+        WorstDirection::High => 1.0,
+        WorstDirection::Low => -1.0,
+    };
+    let corner: Vec<f64> = alpha.iter().map(|a| sign * radius * a / norm).collect();
+    let value = model.predict(state, &corner)?;
+    Ok((corner, value))
+}
+
+/// One pass/fail specification over a metric.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    /// Index into the model list handed to [`YieldEstimator`].
+    pub metric: usize,
+    /// Pass threshold.
+    pub limit: f64,
+    /// Which side of the limit passes: `High` means the metric must stay
+    /// *below* the limit (fails high), `Low` means it must stay above.
+    pub fails: WorstDirection,
+}
+
+impl Spec {
+    /// Whether a metric value passes this spec.
+    pub fn passes(&self, value: f64) -> bool {
+        match self.fails {
+            WorstDirection::High => value <= self.limit,
+            WorstDirection::Low => value >= self.limit,
+        }
+    }
+}
+
+/// Per-state and adaptive yield estimates from one model-space Monte Carlo.
+#[derive(Debug, Clone)]
+pub struct YieldReport {
+    /// Fraction of dies passing all specs at each fixed knob state.
+    pub fixed_state_yield: Vec<f64>,
+    /// Fraction of dies for which *some* state passes all specs — the
+    /// yield post-silicon tuning achieves (the point of tunable circuits).
+    pub adaptive_yield: f64,
+    /// Number of Monte Carlo dies evaluated.
+    pub dies: usize,
+}
+
+impl YieldReport {
+    /// The knob state with the highest fixed yield.
+    pub fn best_fixed_state(&self) -> usize {
+        self.fixed_state_yield
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite yields"))
+            .map(|(s, _)| s)
+            .expect("at least one state")
+    }
+}
+
+/// Model-space parametric-yield estimator over a set of fitted metric
+/// models sharing the same states and variation space (the paper's
+/// refs. \[12\]–\[13\] use case, made cheap by the performance models).
+///
+/// # Examples
+///
+/// See `examples/yield_estimation.rs` for the full LNA flow.
+#[derive(Debug)]
+pub struct YieldEstimator<'m> {
+    models: &'m [PerStateModel],
+    specs: Vec<Spec>,
+}
+
+impl<'m> YieldEstimator<'m> {
+    /// Creates an estimator over `models` (one per metric) and `specs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if the model list is empty, the
+    /// models disagree on state count or variable dimension, or a spec
+    /// references a missing metric.
+    pub fn new(models: &'m [PerStateModel], specs: Vec<Spec>) -> Result<Self, CbmfError> {
+        let first = models.first().ok_or_else(|| CbmfError::InvalidInput {
+            what: "need at least one metric model".to_string(),
+        })?;
+        for (i, m) in models.iter().enumerate() {
+            if m.num_states() != first.num_states() || m.num_variables() != first.num_variables() {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("model {i} disagrees on states/variables"),
+                });
+            }
+        }
+        for s in &specs {
+            if s.metric >= models.len() {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("spec references metric {} of {}", s.metric, models.len()),
+                });
+            }
+        }
+        Ok(YieldEstimator { models, specs })
+    }
+
+    /// Runs a `dies`-sample model-space Monte Carlo over `x ~ N(0, I)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures (cannot occur for validated models).
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        dies: usize,
+        rng: &mut R,
+    ) -> Result<YieldReport, CbmfError> {
+        let k = self.models[0].num_states();
+        let d = self.models[0].num_variables();
+        let mut fixed = vec![0usize; k];
+        let mut adaptive = 0usize;
+        for _ in 0..dies {
+            let x = cbmf_stats::normal::sample_vec(rng, d);
+            let mut any = false;
+            for state in 0..k {
+                let pass = self.specs.iter().try_fold(true, |acc, spec| {
+                    if !acc {
+                        return Ok::<bool, CbmfError>(false);
+                    }
+                    let v = self.models[spec.metric].predict(state, &x)?;
+                    Ok(acc && spec.passes(v))
+                })?;
+                if pass {
+                    fixed[state] += 1;
+                    any = true;
+                }
+            }
+            if any {
+                adaptive += 1;
+            }
+        }
+        Ok(YieldReport {
+            fixed_state_yield: fixed.iter().map(|&p| p as f64 / dies as f64).collect(),
+            adaptive_yield: adaptive as f64 / dies as f64,
+            dies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_linalg::Matrix;
+    use cbmf_stats::seeded_rng;
+
+    fn linear_model(coeffs: Vec<Vec<f64>>, intercepts: Vec<f64>, d: usize) -> PerStateModel {
+        let refs: Vec<&[f64]> = coeffs.iter().map(|r| r.as_slice()).collect();
+        PerStateModel::new(
+            BasisSpec::Linear,
+            d,
+            (0..d).collect(),
+            Matrix::from_rows(&refs).expect("rows"),
+            intercepts,
+        )
+        .expect("valid model")
+    }
+
+    #[test]
+    fn corner_matches_closed_form() {
+        let m = linear_model(vec![vec![3.0, -4.0, 0.0]], vec![2.0], 3);
+        let (corner, value) = worst_case_corner(&m, 0, 2.0, WorstDirection::High).expect("corner");
+        // α/‖α‖ = (0.6, −0.8, 0); radius 2 ⇒ (1.2, −1.6, 0); y = 2 + 10.
+        assert!((corner[0] - 1.2).abs() < 1e-12);
+        assert!((corner[1] + 1.6).abs() < 1e-12);
+        assert_eq!(corner[2], 0.0);
+        assert!((value - 12.0).abs() < 1e-12);
+        let (_, low) = worst_case_corner(&m, 0, 2.0, WorstDirection::Low).expect("corner");
+        assert!((low + 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corner_beats_random_search() {
+        // No random point at the same radius exceeds the analytical corner.
+        let m = linear_model(vec![vec![1.0, 2.0, -0.5, 0.3]], vec![0.0], 4);
+        let (_, best) = worst_case_corner(&m, 0, 3.0, WorstDirection::High).expect("corner");
+        let mut rng = seeded_rng(140);
+        for _ in 0..200 {
+            let mut x = cbmf_stats::normal::sample_vec(&mut rng, 4);
+            let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            for v in &mut x {
+                *v *= 3.0 / norm;
+            }
+            let y = m.predict(0, &x).expect("predict");
+            assert!(y <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn corner_validation() {
+        let m = linear_model(vec![vec![1.0, 0.0]], vec![0.0], 2);
+        assert!(worst_case_corner(&m, 1, 1.0, WorstDirection::High).is_err());
+        assert!(worst_case_corner(&m, 0, 0.0, WorstDirection::High).is_err());
+        assert!(worst_case_corner(&m, 0, f64::NAN, WorstDirection::High).is_err());
+    }
+
+    #[test]
+    fn constant_model_corner_is_origin() {
+        let m = PerStateModel::new(BasisSpec::Linear, 3, vec![], Matrix::zeros(1, 0), vec![5.0])
+            .expect("model");
+        let (corner, value) = worst_case_corner(&m, 0, 2.0, WorstDirection::High).expect("corner");
+        assert_eq!(corner, vec![0.0; 3]);
+        assert_eq!(value, 5.0);
+    }
+
+    #[test]
+    fn yield_estimator_matches_gaussian_tail() {
+        // One state, one metric y = x0: spec y ≤ 1 passes with Φ(1) ≈ 0.841.
+        let m = linear_model(vec![vec![1.0, 0.0]], vec![0.0], 2);
+        let models = [m];
+        let est = YieldEstimator::new(
+            &models,
+            vec![Spec {
+                metric: 0,
+                limit: 1.0,
+                fails: WorstDirection::High,
+            }],
+        )
+        .expect("estimator");
+        let mut rng = seeded_rng(141);
+        let report = est.estimate(20_000, &mut rng).expect("estimate");
+        assert!((report.fixed_state_yield[0] - 0.8413).abs() < 0.01);
+        assert_eq!(report.adaptive_yield, report.fixed_state_yield[0]);
+        assert_eq!(report.best_fixed_state(), 0);
+    }
+
+    #[test]
+    fn adaptive_yield_dominates_every_fixed_state() {
+        // Two states with opposite sensitivities: tuning rescues dies.
+        let m = linear_model(vec![vec![1.0], vec![-1.0]], vec![0.0, 0.0], 1);
+        let models = [m];
+        let est = YieldEstimator::new(
+            &models,
+            vec![Spec {
+                metric: 0,
+                limit: 0.0,
+                fails: WorstDirection::High,
+            }],
+        )
+        .expect("estimator");
+        let mut rng = seeded_rng(142);
+        let report = est.estimate(10_000, &mut rng).expect("estimate");
+        // Each fixed state passes ~half the dies; tuning passes ~all.
+        for &y in &report.fixed_state_yield {
+            assert!((y - 0.5).abs() < 0.03, "fixed yield {y}");
+            assert!(report.adaptive_yield > y + 0.3);
+        }
+        assert!(report.adaptive_yield > 0.99);
+    }
+
+    #[test]
+    fn estimator_validation() {
+        let m = linear_model(vec![vec![1.0]], vec![0.0], 1);
+        let m2 = linear_model(vec![vec![1.0], vec![2.0]], vec![0.0, 0.0], 1);
+        assert!(YieldEstimator::new(&[], vec![]).is_err());
+        let models = [m.clone(), m2];
+        assert!(YieldEstimator::new(&models, vec![]).is_err());
+        let models_ok = [m];
+        assert!(YieldEstimator::new(
+            &models_ok,
+            vec![Spec {
+                metric: 1,
+                limit: 0.0,
+                fails: WorstDirection::High
+            }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,123 @@
+use cbmf_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The basis-function dictionary `{b_m(x)}` of the performance model
+/// (paper eq. 1).
+///
+/// The paper's experiments model each metric "as linear functions of all
+/// random variables", so [`BasisSpec::Linear`] is the default;
+/// [`BasisSpec::LinearSquares`] appends per-variable quadratic terms for
+/// the mildly nonlinear metrics (an extension the formulation supports
+/// unchanged, since everything downstream only sees the basis matrix).
+///
+/// Constant offsets are *not* part of the dictionary: [`crate::TunableProblem`]
+/// centers each state's response and stores the per-state intercept, which
+/// keeps the prior zero-mean assumption (eq. 8) honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum BasisSpec {
+    /// `b_m(x) = x_m`, M = d.
+    Linear,
+    /// `b_m(x) = x_m` for m < d, then `b_{d+m}(x) = (x_m² − 1)/√2`, M = 2d.
+    ///
+    /// The Hermite-style centering keeps every column zero-mean with unit
+    /// variance under `x ~ N(0, I)`, so quadratic columns are on the same
+    /// scale as linear ones and the shared sparsity prior stays calibrated.
+    LinearSquares,
+}
+
+impl BasisSpec {
+    /// Number of basis functions for `d` input variables.
+    pub fn num_basis(&self, d: usize) -> usize {
+        match self {
+            BasisSpec::Linear => d,
+            BasisSpec::LinearSquares => 2 * d,
+        }
+    }
+
+    /// Evaluates the dictionary at one point, appending into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.num_basis(x.len())`.
+    pub fn eval_into(&self, x: &[f64], out: &mut [f64]) {
+        let d = x.len();
+        assert_eq!(out.len(), self.num_basis(d), "basis output length");
+        out[..d].copy_from_slice(x);
+        if let BasisSpec::LinearSquares = self {
+            for (o, xi) in out[d..].iter_mut().zip(x) {
+                *o = (xi * xi - 1.0) / std::f64::consts::SQRT_2;
+            }
+        }
+    }
+
+    /// Evaluates the dictionary at one point into a new vector.
+    pub fn eval(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_basis(x.len())];
+        self.eval_into(x, &mut out);
+        out
+    }
+
+    /// Builds the basis matrix `B` (paper eq. 3) from sample rows `x`.
+    pub fn design_matrix(&self, x: &Matrix) -> Matrix {
+        let (n, d) = x.shape();
+        let m = self.num_basis(d);
+        let mut b = Matrix::zeros(n, m);
+        for i in 0..n {
+            self.eval_into(x.row(i), b.row_mut(i));
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_stats::{describe, normal, seeded_rng};
+
+    #[test]
+    fn linear_basis_is_identity_map() {
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(BasisSpec::Linear.eval(&x), vec![1.0, -2.0, 3.0]);
+        assert_eq!(BasisSpec::Linear.num_basis(3), 3);
+    }
+
+    #[test]
+    fn squares_are_centered_hermite() {
+        let x = [2.0];
+        let b = BasisSpec::LinearSquares.eval(&x);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], 2.0);
+        assert!((b[1] - 3.0 / std::f64::consts::SQRT_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn squares_have_zero_mean_unit_variance_under_gaussian() {
+        let mut rng = seeded_rng(1);
+        let n = 100_000;
+        let vals: Vec<f64> = (0..n)
+            .map(|_| {
+                let x = normal::sample(&mut rng);
+                BasisSpec::LinearSquares.eval(&[x])[1]
+            })
+            .collect();
+        assert!(describe::mean(&vals).abs() < 0.02);
+        assert!((describe::variance(&vals) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn design_matrix_rows_match_pointwise_eval() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[-1.0, 0.5]]).unwrap();
+        let b = BasisSpec::LinearSquares.design_matrix(&x);
+        assert_eq!(b.shape(), (2, 4));
+        let row0 = BasisSpec::LinearSquares.eval(x.row(0));
+        assert_eq!(b.row(0), row0.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "basis output length")]
+    fn eval_into_checks_length() {
+        let mut out = [0.0; 3];
+        BasisSpec::LinearSquares.eval_into(&[1.0, 2.0], &mut out);
+    }
+}

@@ -1,0 +1,335 @@
+use cbmf_linalg::{Cholesky, Matrix};
+use rand::Rng;
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::model::PerStateModel;
+use crate::ols::dictionary_dim;
+use crate::omp::{Omp, OmpConfig};
+
+/// Configuration for classic Bayesian Model Fusion (the paper's ref. \[18\],
+/// Wang et al., DAC 2013) applied sequentially across knob states.
+#[derive(Debug, Clone)]
+pub struct BmfConfig {
+    /// Prior variance of each coefficient relative to its squared prior
+    /// mean: `λ_m = variance_scale · α_prior,m²` (plus the floor).
+    pub variance_scale: f64,
+    /// Variance floor relative to the largest squared prior coefficient —
+    /// lets coefficients that were zero in the prior model enter.
+    pub variance_floor_rel: f64,
+    /// Observation-noise level σ0 relative to the per-state response std.
+    pub sigma_rel: f64,
+    /// OMP settings used to build the anchor state's model from its own
+    /// samples.
+    pub anchor: OmpConfig,
+}
+
+impl Default for BmfConfig {
+    fn default() -> Self {
+        BmfConfig {
+            variance_scale: 0.25,
+            variance_floor_rel: 1e-4,
+            sigma_rel: 0.1,
+            anchor: OmpConfig::default(),
+        }
+    }
+}
+
+/// Classic Bayesian Model Fusion \[18\], adapted to tunable circuits by
+/// *sequential* fusion along the knob axis.
+///
+/// The original BMF reuses an early-stage (e.g. schematic-level) model as
+/// the prior for a late-stage fit. A tunable circuit offers a natural
+/// early-stage surrogate: the *neighboring knob state*. `SequentialBmf`
+/// fits state 0 from its own samples (per-state OMP), then for each
+/// subsequent state uses the previous state's coefficients as the prior
+/// mean with magnitude-proportional variances:
+///
+/// ```text
+/// α_k,m ~ N(α_{k−1,m},  variance_scale·α_{k−1,m}² + floor)
+/// ```
+///
+/// and solves the MAP estimate in observation space (an `N×N` solve per
+/// state, so the full 1264-basis dictionary is no problem).
+///
+/// This is the one-directional, chain-structured exploitation of the same
+/// cross-state correlation that C-BMF encodes jointly through R — which is
+/// exactly what makes it a worthwhile comparison point in the ablation
+/// bench: fusion helps over independent fitting, and the joint prior helps
+/// over the chain.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use cbmf::{BasisSpec, BmfConfig, SequentialBmf, TunableProblem};
+/// # use cbmf_linalg::Matrix;
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// # let x = Matrix::zeros(8, 4);
+/// # let problem = TunableProblem::from_samples(&[x], &[vec![0.0; 8]], BasisSpec::Linear)?;
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let model = SequentialBmf::new(BmfConfig::default()).fit(&problem, &mut rng)?;
+/// println!("fused {} states", model.num_states());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SequentialBmf {
+    config: BmfConfig,
+}
+
+impl SequentialBmf {
+    /// Creates the fitter with the given configuration.
+    pub fn new(config: BmfConfig) -> Self {
+        SequentialBmf { config }
+    }
+
+    /// Fits the anchor state with OMP, then fuses each subsequent state
+    /// from its predecessor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates anchor-fit and linear-algebra failures.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+    ) -> Result<PerStateModel, CbmfError> {
+        let k = problem.num_states();
+        let m = problem.num_basis();
+
+        // Anchor: state 0 alone, via per-state OMP with CV.
+        let anchor_problem = single_state_problem(problem, 0)?;
+        let anchor = Omp::new(self.config.anchor.clone()).fit(&anchor_problem, rng)?;
+        let mut dense_prev = vec![0.0; m];
+        for (c, &mi) in anchor.coefficients().row(0).iter().zip(anchor.support()) {
+            dense_prev[mi] = *c;
+        }
+
+        let mut dense_all = Matrix::zeros(k, m);
+        dense_all.row_mut(0).copy_from_slice(&dense_prev);
+
+        // Chain fusion.
+        for state in 1..k {
+            let st = &problem.states()[state];
+            let sigma0 = (self.config.sigma_rel * cbmf_stats::describe::std_dev(&st.y)).max(1e-9);
+            let fused = self.fuse_one(st, &dense_prev, sigma0)?;
+            dense_all.row_mut(state).copy_from_slice(&fused);
+            dense_prev = fused;
+        }
+
+        // Sparse support: coefficients that matter anywhere.
+        let mut maxes = vec![0.0_f64; m];
+        for state in 0..k {
+            for (mx, c) in maxes.iter_mut().zip(dense_all.row(state)) {
+                *mx = mx.max(c.abs());
+            }
+        }
+        let global_max = maxes.iter().cloned().fold(0.0_f64, f64::max).max(1e-300);
+        let support: Vec<usize> = (0..m).filter(|&mi| maxes[mi] > 1e-6 * global_max).collect();
+        let coeffs = dense_all.select_cols(&support);
+        let intercepts = (0..k)
+            .map(|ki| problem.intercept_for(ki, &support, coeffs.row(ki)))
+            .collect();
+        PerStateModel::new(
+            problem.basis_spec(),
+            dictionary_dim(problem),
+            support,
+            coeffs,
+            intercepts,
+        )
+    }
+
+    /// One fusion step: MAP estimate of a state's coefficients under the
+    /// `N(α_prior, Λ)` prior, solved in observation space:
+    ///
+    /// `α = α_prior + Λ·Bᵀ·(σ0²·I + B·Λ·Bᵀ)⁻¹·(y − B·α_prior)`.
+    fn fuse_one(
+        &self,
+        st: &crate::dataset::StateData,
+        prior_mean: &[f64],
+        sigma0: f64,
+    ) -> Result<Vec<f64>, CbmfError> {
+        let n = st.len();
+        let max_sq = prior_mean
+            .iter()
+            .map(|a| a * a)
+            .fold(0.0_f64, f64::max)
+            .max(1e-300);
+        let lambda: Vec<f64> = prior_mean
+            .iter()
+            .map(|a| self.config.variance_scale * a * a + self.config.variance_floor_rel * max_sq)
+            .collect();
+
+        // G = B·Λ (n × m) scaled columns; C = σ0²I + G·Bᵀ (n × n).
+        let mut c = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = 0.0;
+                let bi = st.basis.row(i);
+                let bj = st.basis.row(j);
+                for ((l, a), b) in lambda.iter().zip(bi).zip(bj) {
+                    acc += l * a * b;
+                }
+                c[(i, j)] = acc;
+                c[(j, i)] = acc;
+            }
+        }
+        c.add_diag_mut(sigma0 * sigma0);
+        let chol = Cholesky::new_with_jitter(&c, 1e-10, 8)?;
+
+        // Residual of the prior model on this state's samples.
+        let prior_fit = st.basis.matvec(prior_mean)?;
+        let resid: Vec<f64> = st.y.iter().zip(&prior_fit).map(|(y, f)| y - f).collect();
+        let z = chol.solve_vec(&resid)?;
+
+        // α = α_prior + Λ·Bᵀ·z.
+        let btz = st.basis.t_matvec(&z)?;
+        Ok(prior_mean
+            .iter()
+            .zip(lambda.iter().zip(&btz))
+            .map(|(a, (l, b))| a + l * b)
+            .collect())
+    }
+}
+
+/// Extracts a one-state problem (used for the anchor fit).
+fn single_state_problem(
+    problem: &TunableProblem,
+    state: usize,
+) -> Result<TunableProblem, CbmfError> {
+    let d = dictionary_dim(problem);
+    let n = problem.states()[state].len();
+    let x = problem.raw_basis(state).block(0, n, 0, d);
+    TunableProblem::from_samples(&[x], &[problem.raw_y(state)], problem.basis_spec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng, SeededRng};
+
+    /// Anchor state gets many samples; later states only a few — the
+    /// regime sequential fusion targets.
+    fn staircase_problem(
+        k: usize,
+        n_anchor: usize,
+        n_rest: usize,
+        d: usize,
+        noise: f64,
+        rng: &mut SeededRng,
+    ) -> TunableProblem {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..k {
+            let n = if state == 0 { n_anchor } else { n_rest };
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
+            let w = 1.0 + 0.05 * state as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| w * (2.0 * x[(i, 1)] - 1.0 * x[(i, 5)]) + noise * normal::sample(rng))
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid")
+    }
+
+    #[test]
+    fn fusion_beats_independent_omp_on_starved_states() {
+        let mut rng = seeded_rng(130);
+        let train = staircase_problem(6, 30, 5, 12, 0.1, &mut rng);
+        let test = staircase_problem(6, 50, 50, 12, 0.0, &mut rng);
+
+        let bmf = SequentialBmf::new(BmfConfig {
+            anchor: OmpConfig {
+                theta_candidates: vec![2],
+                cv_folds: 3,
+            },
+            ..BmfConfig::default()
+        })
+        .fit(&train, &mut rng)
+        .expect("bmf fit");
+        let omp = Omp::new(OmpConfig {
+            theta_candidates: vec![2],
+            cv_folds: 3,
+        })
+        .fit(&train, &mut rng)
+        .expect("omp fit");
+
+        let e_bmf = bmf.modeling_error(&test).expect("eval");
+        let e_omp = omp.modeling_error(&test).expect("eval");
+        assert!(
+            e_bmf < e_omp,
+            "fusion ({e_bmf:.4}) must beat independent OMP ({e_omp:.4})"
+        );
+    }
+
+    #[test]
+    fn fused_coefficients_track_the_state_drift() {
+        let mut rng = seeded_rng(131);
+        let train = staircase_problem(5, 40, 12, 8, 0.05, &mut rng);
+        let bmf = SequentialBmf::new(BmfConfig::default())
+            .fit(&train, &mut rng)
+            .expect("bmf fit");
+        // The dominant coefficient (basis 1, weight 2·w_k) must increase
+        // across states.
+        let pos = bmf.support().iter().position(|&s| s == 1).expect("basis 1");
+        let c0 = bmf.coefficients()[(0, pos)];
+        let c4 = bmf.coefficients()[(4, pos)];
+        assert!(c4 > c0, "drifting magnitude must be tracked: {c0} -> {c4}");
+    }
+
+    #[test]
+    fn zero_prior_coefficients_can_still_enter_through_the_floor() {
+        // A basis absent from the anchor state but present later must be
+        // recoverable thanks to the variance floor.
+        let mut rng = seeded_rng(132);
+        let d = 6;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..2usize {
+            let n = if state == 0 { 30 } else { 25 };
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let extra = if state == 1 { 1.5 * x[(i, 3)] } else { 0.0 };
+                    2.0 * x[(i, 0)] + extra + 0.05 * normal::sample(&mut rng)
+                })
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        let train = TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid");
+        let bmf = SequentialBmf::new(BmfConfig {
+            variance_floor_rel: 0.05,
+            anchor: OmpConfig {
+                theta_candidates: vec![1],
+                cv_folds: 3,
+            },
+            ..BmfConfig::default()
+        })
+        .fit(&train, &mut rng)
+        .expect("bmf fit");
+        let pos3 = bmf.support().iter().position(|&s| s == 3);
+        let c3 = pos3.map_or(0.0, |p| bmf.coefficients()[(1, p)]);
+        assert!(c3 > 0.5, "late-appearing basis must be picked up: {c3}");
+    }
+
+    #[test]
+    fn single_state_reduces_to_the_anchor() {
+        let mut rng = seeded_rng(133);
+        let train = staircase_problem(1, 25, 5, 8, 0.05, &mut rng);
+        let bmf = SequentialBmf::new(BmfConfig {
+            anchor: OmpConfig {
+                theta_candidates: vec![2],
+                cv_folds: 3,
+            },
+            ..BmfConfig::default()
+        })
+        .fit(&train, &mut rng)
+        .expect("bmf fit");
+        assert_eq!(bmf.num_states(), 1);
+        assert!(bmf.support().contains(&1));
+        assert!(bmf.support().contains(&5));
+    }
+}

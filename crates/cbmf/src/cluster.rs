@@ -1,0 +1,338 @@
+use cbmf_linalg::Matrix;
+use cbmf_stats::KMeans;
+use rand::Rng;
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::fit::{CbmfConfig, CbmfFit};
+use crate::model::PerStateModel;
+use crate::somp::{Somp, SompConfig};
+
+/// State-clustered C-BMF — the extension sketched in the paper's
+/// conclusion: *"If the states are mutually different, [the unified
+/// correlation] assumption will no longer hold. In this case, a clustering
+/// algorithm is needed to group similar states into clusters before
+/// applying the proposed C-BMF algorithm."*
+///
+/// States are embedded by a cheap S-OMP pre-fit (their coefficient vectors
+/// on a small shared support, normalized), clustered with k-means, and a
+/// separate C-BMF model is fitted per cluster. Prediction dispatches each
+/// state to its cluster's model.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use cbmf::{CbmfConfig, ClusteredCbmf, BasisSpec, TunableProblem};
+/// # use cbmf_linalg::Matrix;
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// # let x = Matrix::zeros(8, 4);
+/// # let problem = TunableProblem::from_samples(&[x], &[vec![0.0; 8]], BasisSpec::Linear)?;
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let fitter = ClusteredCbmf::new(2, CbmfConfig::small_problem());
+/// let model = fitter.fit(&problem, &mut rng)?;
+/// println!("clusters: {:?}", model.assignment());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusteredCbmf {
+    num_clusters: usize,
+    config: CbmfConfig,
+    /// Support size of the embedding pre-fit.
+    embed_theta: usize,
+}
+
+impl ClusteredCbmf {
+    /// Creates a fitter targeting `num_clusters` clusters.
+    pub fn new(num_clusters: usize, config: CbmfConfig) -> Self {
+        ClusteredCbmf {
+            num_clusters,
+            config,
+            embed_theta: 8,
+        }
+    }
+
+    /// Sets the embedding pre-fit's support size.
+    pub fn embed_theta(mut self, theta: usize) -> Self {
+        self.embed_theta = theta.max(1);
+        self
+    }
+
+    /// Clusters the states, then fits one C-BMF model per cluster.
+    ///
+    /// # Errors
+    ///
+    /// * [`CbmfError::InvalidInput`] if `num_clusters` is 0 or exceeds the
+    ///   state count.
+    /// * Propagated fitting failures.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+    ) -> Result<ClusteredModel, CbmfError> {
+        let k = problem.num_states();
+        if self.num_clusters == 0 || self.num_clusters > k {
+            return Err(CbmfError::InvalidInput {
+                what: format!("cannot form {} clusters from {k} states", self.num_clusters),
+            });
+        }
+        // 1. Embed states by their S-OMP coefficient signatures.
+        let pre = Somp::new(SompConfig {
+            theta_candidates: vec![self.embed_theta],
+            cv_folds: 2,
+        })
+        .fit(problem, rng)?;
+        let signatures = normalize_rows(pre.coefficients());
+
+        // 2. Cluster.
+        let assignment = if self.num_clusters == 1 {
+            vec![0; k]
+        } else {
+            KMeans::new(self.num_clusters)
+                .restarts(6)
+                .fit(&signatures, rng)?
+                .labels()
+                .to_vec()
+        };
+
+        // 3. Fit C-BMF per cluster on the member states.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.num_clusters];
+        for (state, &c) in assignment.iter().enumerate() {
+            members[c].push(state);
+        }
+        let mut models = Vec::with_capacity(self.num_clusters);
+        for cluster_states in &members {
+            if cluster_states.is_empty() {
+                models.push(None);
+                continue;
+            }
+            let sub = problem_for_states(problem, cluster_states)?;
+            let out = CbmfFit::new(self.config.clone()).fit(&sub, rng)?;
+            models.push(Some(out.into_model()));
+        }
+        Ok(ClusteredModel {
+            assignment,
+            members,
+            models,
+        })
+    }
+}
+
+/// Rebuilds a problem containing only the listed states (raw responses are
+/// restored so intercepts stay correct).
+fn problem_for_states(
+    problem: &TunableProblem,
+    states: &[usize],
+) -> Result<TunableProblem, CbmfError> {
+    let mut xs = Vec::with_capacity(states.len());
+    let mut ys = Vec::with_capacity(states.len());
+    for &s in states {
+        // The stored basis matrix for a Linear dictionary *is* the sample
+        // matrix; for LinearSquares the left half is. Recover x from it.
+        let n = problem.states()[s].len();
+        let d = crate::ols::dictionary_dim(problem);
+        xs.push(problem.raw_basis(s).block(0, n, 0, d));
+        ys.push(problem.raw_y(s));
+    }
+    TunableProblem::from_samples(&xs, &ys, problem.basis_spec())
+}
+
+fn normalize_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        let norm = cbmf_linalg::vecops::norm2(out.row(i)).max(1e-300);
+        for v in out.row_mut(i) {
+            *v /= norm;
+        }
+    }
+    out
+}
+
+/// A per-cluster collection of C-BMF models with state dispatch.
+#[derive(Debug, Clone)]
+pub struct ClusteredModel {
+    /// `assignment[state]` is the cluster index.
+    assignment: Vec<usize>,
+    /// `members[cluster]` lists the states of that cluster, ascending.
+    members: Vec<Vec<usize>>,
+    /// One model per cluster (`None` only for empty clusters).
+    models: Vec<Option<PerStateModel>>,
+}
+
+impl ClusteredModel {
+    /// Cluster index of each state.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The fitted model of one cluster, if the cluster is non-empty.
+    pub fn cluster_model(&self, cluster: usize) -> Option<&PerStateModel> {
+        self.models.get(cluster).and_then(|m| m.as_ref())
+    }
+
+    /// Predicts the metric for global state `state` at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `state` is out of range;
+    /// propagates the cluster model's input validation.
+    pub fn predict(&self, state: usize, x: &[f64]) -> Result<f64, CbmfError> {
+        let cluster = *self
+            .assignment
+            .get(state)
+            .ok_or_else(|| CbmfError::InvalidInput {
+                what: format!("state {state} out of range ({})", self.assignment.len()),
+            })?;
+        let local = self.members[cluster]
+            .iter()
+            .position(|&s| s == state)
+            .expect("assignment and members are consistent");
+        let model = self.models[cluster]
+            .as_ref()
+            .expect("non-empty cluster has a model");
+        model.predict(local, x)
+    }
+
+    /// Mean per-state relative RMS error over a test problem covering the
+    /// same global states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] on state-count mismatch.
+    pub fn modeling_error(&self, test: &TunableProblem) -> Result<f64, CbmfError> {
+        if test.num_states() != self.assignment.len() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "test has {} states, model has {}",
+                    test.num_states(),
+                    self.assignment.len()
+                ),
+            });
+        }
+        let mut per_state = Vec::with_capacity(self.assignment.len());
+        for state in 0..self.assignment.len() {
+            let truth = test.raw_y(state);
+            let d = crate::ols::dictionary_dim(test);
+            let raw = test.raw_basis(state);
+            let mut pred = Vec::with_capacity(raw.rows());
+            for i in 0..raw.rows() {
+                let x = &raw.row(i)[..d];
+                pred.push(self.predict(state, x)?);
+            }
+            per_state.push((pred, truth));
+        }
+        Ok(cbmf_stats::metrics::mean_state_relative_rms(&per_state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng};
+
+    /// Two *families* of states with different templates: states 0..3 use
+    /// {0, 2}, states 4..7 use {5, 7} — the situation the paper's
+    /// conclusion warns about.
+    fn two_family_problem(n: usize, seed: u64) -> TunableProblem {
+        let mut rng = seeded_rng(seed);
+        let d = 10;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..8 {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+            let w = 1.0 + 0.05 * (state % 4) as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    let sig = if state < 4 {
+                        2.0 * x[(i, 0)] - 1.0 * x[(i, 2)]
+                    } else {
+                        1.5 * x[(i, 5)] + 0.9 * x[(i, 7)]
+                    };
+                    w * sig + 0.05 * normal::sample(&mut rng)
+                })
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+    }
+
+    #[test]
+    fn clustering_separates_the_two_families() {
+        let problem = two_family_problem(16, 80);
+        let mut rng = seeded_rng(1);
+        let model = ClusteredCbmf::new(2, CbmfConfig::small_problem())
+            .embed_theta(4)
+            .fit(&problem, &mut rng)
+            .unwrap();
+        let a = model.assignment();
+        for s in 1..4 {
+            assert_eq!(a[s], a[0], "family A must cluster together: {a:?}");
+        }
+        for s in 5..8 {
+            assert_eq!(a[s], a[4], "family B must cluster together: {a:?}");
+        }
+        assert_ne!(a[0], a[4], "families must separate: {a:?}");
+    }
+
+    #[test]
+    fn clustered_fit_beats_single_cluster_on_heterogeneous_states() {
+        let train = two_family_problem(10, 81);
+        let test = two_family_problem(40, 82);
+        let mut rng = seeded_rng(2);
+        let clustered = ClusteredCbmf::new(2, CbmfConfig::small_problem())
+            .embed_theta(4)
+            .fit(&train, &mut rng)
+            .unwrap();
+        let single = ClusteredCbmf::new(1, CbmfConfig::small_problem())
+            .embed_theta(4)
+            .fit(&train, &mut rng)
+            .unwrap();
+        let e2 = clustered.modeling_error(&test).unwrap();
+        let e1 = single.modeling_error(&test).unwrap();
+        assert!(
+            e2 < e1,
+            "clustering must help on two-family states: {e2:.4} vs {e1:.4}"
+        );
+    }
+
+    #[test]
+    fn prediction_dispatches_to_the_right_cluster() {
+        let train = two_family_problem(14, 83);
+        let mut rng = seeded_rng(3);
+        let model = ClusteredCbmf::new(2, CbmfConfig::small_problem())
+            .embed_theta(4)
+            .fit(&train, &mut rng)
+            .unwrap();
+        // State 0's truth: 2·x0 − 1·x2; state 4's: 1.5·x5 + 0.9·x7.
+        let mut x = vec![0.0; 10];
+        x[0] = 1.0;
+        let p0 = model.predict(0, &x).unwrap();
+        let p4 = model.predict(4, &x).unwrap();
+        assert!((p0 - 2.0).abs() < 0.5, "state 0 respond to x0: {p0}");
+        assert!(p4.abs() < 0.5, "state 4 must not respond to x0: {p4}");
+    }
+
+    #[test]
+    fn validation_of_cluster_counts_and_states() {
+        let train = two_family_problem(8, 84);
+        let mut rng = seeded_rng(4);
+        assert!(ClusteredCbmf::new(0, CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .is_err());
+        assert!(ClusteredCbmf::new(9, CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .is_err());
+        let model = ClusteredCbmf::new(2, CbmfConfig::small_problem())
+            .embed_theta(4)
+            .fit(&train, &mut rng)
+            .unwrap();
+        assert!(model.predict(8, &[0.0; 10]).is_err());
+    }
+}

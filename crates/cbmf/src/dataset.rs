@@ -1,0 +1,353 @@
+use cbmf_linalg::Matrix;
+use cbmf_stats::describe;
+
+use crate::basis::BasisSpec;
+use crate::error::CbmfError;
+
+/// Per-state training data: the basis matrix `B_k` (paper eq. 3) and the
+/// centered response `y_k` (eq. 5) plus the removed means.
+///
+/// Both the response *and every basis column* are centered at their
+/// training means, so the per-state intercept absorbs all constant terms
+/// exactly and the zero-mean Gaussian prior (eq. 8) applies cleanly.
+/// [`TunableProblem::intercept_for`] folds the means back at
+/// model-assembly time.
+#[derive(Debug, Clone)]
+pub struct StateData {
+    /// Column-centered basis matrix, `N_k × M`.
+    pub basis: Matrix,
+    /// Centered response values, length `N_k`.
+    pub y: Vec<f64>,
+    /// Mean removed from the raw response.
+    pub y_mean: f64,
+    /// Mean removed from each basis column, length `M`.
+    pub basis_means: Vec<f64>,
+}
+
+impl StateData {
+    /// Number of samples in this state.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True if the state holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+}
+
+/// A complete K-state performance-modeling problem (one metric of one
+/// tunable circuit), ready for any of the fitting algorithms.
+///
+/// Responses are centered per state at construction; fitted models add the
+/// intercept back at prediction time. The same basis dictionary is shared
+/// by all states, as the paper assumes below eq. 1.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::{BasisSpec, TunableProblem};
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// let x0 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+/// let y0 = vec![2.0, 3.0, 5.0];
+/// let problem = TunableProblem::from_samples(&[x0], &[y0], BasisSpec::Linear)?;
+/// assert_eq!(problem.num_states(), 1);
+/// assert_eq!(problem.num_basis(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TunableProblem {
+    states: Vec<StateData>,
+    basis_spec: BasisSpec,
+    num_basis: usize,
+}
+
+impl TunableProblem {
+    /// Builds the problem from raw per-state samples: `xs[k]` holds the
+    /// variation vectors of state `k` as rows, `ys[k]` the corresponding
+    /// metric values.
+    ///
+    /// # Errors
+    ///
+    /// * [`CbmfError::InvalidInput`] if the state lists are empty or
+    ///   mismatched, a state has no samples, rows/values disagree in count,
+    ///   the variable dimension differs across states, or values are not
+    ///   finite.
+    pub fn from_samples(
+        xs: &[Matrix],
+        ys: &[Vec<f64>],
+        basis_spec: BasisSpec,
+    ) -> Result<Self, CbmfError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "need matching non-empty state lists, got {} x-blocks and {} y-blocks",
+                    xs.len(),
+                    ys.len()
+                ),
+            });
+        }
+        let d = xs[0].cols();
+        let mut states = Vec::with_capacity(xs.len());
+        for (k, (x, y)) in xs.iter().zip(ys).enumerate() {
+            if x.rows() == 0 {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("state {k} has no samples"),
+                });
+            }
+            if x.rows() != y.len() {
+                return Err(CbmfError::InvalidInput {
+                    what: format!(
+                        "state {k}: {} sample rows but {} responses",
+                        x.rows(),
+                        y.len()
+                    ),
+                });
+            }
+            if x.cols() != d {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("state {k}: dimension {} != {d}", x.cols()),
+                });
+            }
+            if !x.is_finite() || y.iter().any(|v| !v.is_finite()) {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("state {k}: non-finite sample values"),
+                });
+            }
+            let y_mean = describe::mean(y);
+            let centered: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+            let (basis, basis_means) = center_columns(basis_spec.design_matrix(x));
+            states.push(StateData {
+                basis,
+                y: centered,
+                y_mean,
+                basis_means,
+            });
+        }
+        Ok(TunableProblem {
+            states,
+            basis_spec,
+            num_basis: basis_spec.num_basis(d),
+        })
+    }
+
+    /// Number of states K.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of basis functions M.
+    pub fn num_basis(&self) -> usize {
+        self.num_basis
+    }
+
+    /// The basis dictionary shared by all states.
+    pub fn basis_spec(&self) -> BasisSpec {
+        self.basis_spec
+    }
+
+    /// Per-state data, indexed by state.
+    pub fn states(&self) -> &[StateData] {
+        &self.states
+    }
+
+    /// Total sample count `Σ_k N_k`.
+    pub fn total_samples(&self) -> usize {
+        self.states.iter().map(StateData::len).sum()
+    }
+
+    /// Builds the sub-problem containing only the listed sample indices of
+    /// each state (the cross-validation split of Algorithm 1 step 4).
+    ///
+    /// Intercepts are *recomputed* on the subset, as a real training split
+    /// would do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `keep.len()` differs from the
+    /// state count, any state keeps zero samples, or an index is out of
+    /// range.
+    pub fn subset(&self, keep: &[Vec<usize>]) -> Result<TunableProblem, CbmfError> {
+        if keep.len() != self.states.len() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "subset needs {} index lists, got {}",
+                    self.states.len(),
+                    keep.len()
+                ),
+            });
+        }
+        let mut states = Vec::with_capacity(self.states.len());
+        for (k, (st, idx)) in self.states.iter().zip(keep).enumerate() {
+            if idx.is_empty() {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("state {k}: subset keeps zero samples"),
+                });
+            }
+            let mut raw_basis = Matrix::zeros(idx.len(), self.num_basis);
+            let mut raw_y = Vec::with_capacity(idx.len());
+            for (row, &i) in idx.iter().enumerate() {
+                if i >= st.len() {
+                    return Err(CbmfError::InvalidInput {
+                        what: format!("state {k}: sample index {i} out of range"),
+                    });
+                }
+                // Restore raw values, then re-center on the subset.
+                for (dst, (b, bm)) in raw_basis
+                    .row_mut(row)
+                    .iter_mut()
+                    .zip(st.basis.row(i).iter().zip(&st.basis_means))
+                {
+                    *dst = b + bm;
+                }
+                raw_y.push(st.y[i] + st.y_mean);
+            }
+            let y_mean = describe::mean(&raw_y);
+            let y = raw_y.iter().map(|v| v - y_mean).collect();
+            let (basis, basis_means) = center_columns(raw_basis);
+            states.push(StateData {
+                basis,
+                y,
+                y_mean,
+                basis_means,
+            });
+        }
+        Ok(TunableProblem {
+            states,
+            basis_spec: self.basis_spec,
+            num_basis: self.num_basis,
+        })
+    }
+
+    /// Per-state column of raw (uncentered) responses, for evaluation code.
+    pub fn raw_y(&self, state: usize) -> Vec<f64> {
+        let st = &self.states[state];
+        st.y.iter().map(|v| v + st.y_mean).collect()
+    }
+
+    /// The raw (uncentered) basis matrix of one state.
+    pub fn raw_basis(&self, state: usize) -> Matrix {
+        let st = &self.states[state];
+        let mut raw = st.basis.clone();
+        for i in 0..raw.rows() {
+            for (v, bm) in raw.row_mut(i).iter_mut().zip(&st.basis_means) {
+                *v += bm;
+            }
+        }
+        raw
+    }
+
+    /// The intercept a fitted model needs so that predictions on *raw*
+    /// basis values reproduce the centered fit:
+    /// `intercept = ȳ − Σ_j c_j · b̄_{m_j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range, `support` and `coeffs` differ in
+    /// length, or a support index exceeds the dictionary.
+    pub fn intercept_for(&self, state: usize, support: &[usize], coeffs: &[f64]) -> f64 {
+        let st = &self.states[state];
+        assert_eq!(support.len(), coeffs.len(), "support/coefficient length");
+        let mut intercept = st.y_mean;
+        for (&m, c) in support.iter().zip(coeffs) {
+            intercept -= c * st.basis_means[m];
+        }
+        intercept
+    }
+}
+
+/// Centers each column of `m` at its mean; returns the centered matrix and
+/// the removed means.
+fn center_columns(mut m: Matrix) -> (Matrix, Vec<f64>) {
+    let (rows, cols) = m.shape();
+    let mut means = vec![0.0; cols];
+    for i in 0..rows {
+        for (s, v) in means.iter_mut().zip(m.row(i)) {
+            *s += v;
+        }
+    }
+    for s in &mut means {
+        *s /= rows as f64;
+    }
+    for i in 0..rows {
+        for (v, mu) in m.row_mut(i).iter_mut().zip(&means) {
+            *v -= mu;
+        }
+    }
+    (m, means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_problem() -> TunableProblem {
+        let x0 = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0], &[1.0, 1.0], &[2.0, 0.0]]).unwrap();
+        let y0 = vec![10.0, 20.0, 30.0, 40.0];
+        let x1 = Matrix::from_rows(&[&[0.5, 0.5], &[1.5, -0.5], &[0.0, 0.0], &[1.0, 2.0]]).unwrap();
+        let y1 = vec![1.0, 2.0, 3.0, 4.0];
+        TunableProblem::from_samples(&[x0, x1], &[y0, y1], BasisSpec::Linear).unwrap()
+    }
+
+    #[test]
+    fn centering_removes_state_means() {
+        let p = toy_problem();
+        assert_eq!(p.num_states(), 2);
+        assert_eq!(p.total_samples(), 8);
+        let s0 = &p.states()[0];
+        assert!((s0.y_mean - 25.0).abs() < 1e-12);
+        assert!(s0.y.iter().sum::<f64>().abs() < 1e-12);
+        assert_eq!(p.raw_y(0), vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn subset_recomputes_intercepts() {
+        let p = toy_problem();
+        let sub = p.subset(&[vec![0, 1], vec![2, 3]]).unwrap();
+        assert_eq!(sub.states()[0].len(), 2);
+        assert!((sub.states()[0].y_mean - 15.0).abs() < 1e-12);
+        assert!((sub.states()[1].y_mean - 3.5).abs() < 1e-12);
+        // Raw basis rows are carried over intact (centering differs because
+        // the subset has its own column means).
+        assert_eq!(sub.raw_basis(1).row(1), p.raw_basis(1).row(3));
+    }
+
+    #[test]
+    fn subset_validation() {
+        let p = toy_problem();
+        assert!(p.subset(&[vec![0]]).is_err()); // wrong state count
+        assert!(p.subset(&[vec![0], vec![]]).is_err()); // empty state
+        assert!(p.subset(&[vec![0], vec![9]]).is_err()); // out of range
+    }
+
+    #[test]
+    fn construction_validation() {
+        let x = Matrix::zeros(2, 2);
+        assert!(TunableProblem::from_samples(&[], &[], BasisSpec::Linear).is_err());
+        assert!(
+            TunableProblem::from_samples(&[x.clone()], &[vec![1.0]], BasisSpec::Linear).is_err()
+        );
+        let bad_y = vec![f64::NAN, 0.0];
+        assert!(TunableProblem::from_samples(&[x.clone()], &[bad_y], BasisSpec::Linear).is_err());
+        let x3 = Matrix::zeros(2, 3);
+        assert!(TunableProblem::from_samples(
+            &[x, x3],
+            &[vec![0.0; 2], vec![0.0; 2]],
+            BasisSpec::Linear
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn quadratic_basis_widens_dictionary() {
+        let x0 = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[2.0, 0.0]]).unwrap();
+        let p =
+            TunableProblem::from_samples(&[x0], &[vec![1.0, 2.0, 3.0]], BasisSpec::LinearSquares)
+                .unwrap();
+        assert_eq!(p.num_basis(), 4);
+        assert_eq!(p.states()[0].basis.cols(), 4);
+    }
+}

@@ -1,0 +1,382 @@
+use cbmf_linalg::{project_pd_relative, Cholesky, Matrix};
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::posterior::{MapPosterior, PosteriorMoments};
+use crate::prior::CbmfPrior;
+
+/// Configuration of the EM hyper-parameter refinement (paper §3.3,
+/// Algorithm 1 steps 18–20).
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative tolerance on the negative log marginal likelihood (eq. 25)
+    /// between consecutive iterations.
+    pub tol: f64,
+    /// Relative eigenvalue floor applied when projecting the re-estimated R
+    /// back onto the PD cone.
+    pub r_pd_floor: f64,
+    /// Absolute floor for σ0.
+    pub sigma_floor: f64,
+    /// Whether the M-step re-estimates R (eq. 30). Disabling this freezes
+    /// the cross-state correlation at its initial value — the
+    /// "template-only" ablation that isolates what learning the coefficient-
+    /// magnitude correlation buys.
+    pub learn_r: bool,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        EmConfig {
+            max_iters: 30,
+            tol: 1e-4,
+            r_pd_floor: 1e-8,
+            sigma_floor: 1e-9,
+            learn_r: true,
+        }
+    }
+}
+
+/// Result of an EM refinement run.
+#[derive(Debug, Clone)]
+pub struct EmOutcome {
+    /// The refined prior (final hyper-parameters Ω).
+    pub prior: CbmfPrior,
+    /// MAP coefficients under the final prior (paper step 20 / eq. 22),
+    /// `K × M`.
+    pub coeffs: Matrix,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Negative log marginal likelihood after each iteration.
+    pub nlml_trace: Vec<f64>,
+    /// Whether the tolerance was met before `max_iters`.
+    pub converged: bool,
+}
+
+/// The EM loop that refines Ω = {λ_1..λ_M, R, σ0} (paper eqs. 26–31).
+///
+/// Each iteration runs the expectation step — the full MAP posterior
+/// moments of [`MapPosterior::solve_moments`] — followed by the closed-form
+/// maximization updates:
+///
+/// * `λ_m ← Tr(R⁻¹·(Σp^m + μp^m·μp^mᵀ)) / K` (eq. 29),
+/// * `R ← (1/M)·Σ_m (Σp^m + μp^m·μp^mᵀ) / λ_m` (eq. 30),
+/// * `σ0² ← (‖y − D·μp‖² + Tr(D·Σp·Dᵀ)) / (N·K)` (eq. 31).
+///
+/// Robustness beyond the paper's pseudocode: the scale ambiguity between λ
+/// and R (only their product enters the prior) is fixed by renormalizing R
+/// to unit mean diagonal each iteration, R is eigen-projected back to the
+/// PD cone, and λ/σ0 are floored. Bases whose λ has collapsed are skipped
+/// by the posterior automatically, so iterations speed up as the model
+/// sparsifies.
+#[derive(Debug, Clone, Default)]
+pub struct EmRefiner {
+    config: EmConfig,
+}
+
+impl EmRefiner {
+    /// Creates a refiner with the given configuration.
+    pub fn new(config: EmConfig) -> Self {
+        EmRefiner { config }
+    }
+
+    /// Runs EM from `init` and returns the refined hyper-parameters plus
+    /// final coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates posterior failures ([`CbmfError::Linalg`]) and shape
+    /// mismatches ([`CbmfError::InvalidInput`]).
+    pub fn refine(
+        &self,
+        problem: &TunableProblem,
+        init: &CbmfPrior,
+    ) -> Result<EmOutcome, CbmfError> {
+        let k = problem.num_states();
+        let mut prior = init.clone();
+        let mut nlml_trace = Vec::with_capacity(self.config.max_iters);
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for _ in 0..self.config.max_iters {
+            iterations += 1;
+            // E-step (eqs. 19–21 via the observation-space identities).
+            let moments = MapPosterior.solve_moments(problem, &prior)?;
+            nlml_trace.push(moments.neg_log_marginal);
+            if nlml_trace.len() >= 2 {
+                let prev = nlml_trace[nlml_trace.len() - 2];
+                let cur = moments.neg_log_marginal;
+                if (prev - cur).abs() <= self.config.tol * prev.abs().max(1.0) {
+                    converged = true;
+                }
+            }
+
+            // M-step.
+            prior = self.m_step(&prior, &moments, k)?;
+            if converged {
+                break;
+            }
+        }
+
+        let coeffs = MapPosterior.solve_coefficients(problem, &prior)?;
+        Ok(EmOutcome {
+            prior,
+            coeffs,
+            iterations,
+            nlml_trace,
+            converged,
+        })
+    }
+
+    fn m_step(
+        &self,
+        prior: &CbmfPrior,
+        moments: &PosteriorMoments,
+        k: usize,
+    ) -> Result<CbmfPrior, CbmfError> {
+        let m = prior.num_basis();
+        let r_chol = Cholesky::new_with_jitter(prior.r(), 1e-10, 8)?;
+
+        // λ update (eq. 29) for the active bases; pruned bases stay floored.
+        let mut lambda_new = vec![CbmfPrior::LAMBDA_FLOOR; m];
+        let mut second_moments: Vec<Option<Matrix>> = vec![None; m];
+        for mi in 0..m {
+            let Some(sigma) = &moments.sigma_blocks[mi] else {
+                continue;
+            };
+            // S_m = Σp^m + μ_m μ_mᵀ.
+            let mu = moments.mean_blocks.row(mi);
+            let mut s = sigma.clone();
+            for a in 0..k {
+                for b in 0..k {
+                    s[(a, b)] += mu[a] * mu[b];
+                }
+            }
+            // Tr(R⁻¹ S) = Σ_cols eᵢᵀ R⁻¹ S eᵢ — solve column-wise.
+            let rinv_s = r_chol.solve_mat(&s)?;
+            let lam = rinv_s.trace() / k as f64;
+            // Degenerate data (e.g. exactly noise-free responses) can push
+            // the updates outside the representable range; hold the old
+            // value rather than poisoning the prior.
+            lambda_new[mi] = if lam.is_finite() {
+                lam.max(CbmfPrior::LAMBDA_FLOOR)
+            } else {
+                prior.lambda()[mi]
+            };
+            second_moments[mi] = Some(s);
+        }
+
+        // R update (eq. 30) over the active bases with the *new* λ.
+        let r_new = if self.config.learn_r {
+            let mut r_new = Matrix::zeros(k, k);
+            let mut active_count = 0usize;
+            for (mi, s) in second_moments.iter().enumerate() {
+                let Some(s) = s else { continue };
+                r_new += &s.scaled(1.0 / lambda_new[mi]);
+                active_count += 1;
+            }
+            let mut r_new = if active_count == 0 {
+                prior.r().clone()
+            } else {
+                r_new.scale_mut(1.0 / active_count as f64);
+                r_new
+            };
+            // Fix the λ·R scale ambiguity: unit mean diagonal on R.
+            let diag_mean = (r_new.trace() / k as f64).max(1e-300);
+            r_new.scale_mut(1.0 / diag_mean);
+            for l in &mut lambda_new {
+                if *l > CbmfPrior::LAMBDA_FLOOR {
+                    *l *= diag_mean;
+                }
+            }
+            if r_new.is_finite() {
+                project_pd_relative(&r_new.symmetrized(), self.config.r_pd_floor)?
+            } else {
+                prior.r().clone()
+            }
+        } else {
+            prior.r().clone()
+        };
+
+        // σ0 update (eq. 31).
+        let nk = moments.total_samples as f64;
+        let sigma_sq = ((moments.resid_norm_sq + moments.resid_trace) / nk).max(0.0);
+        let sigma0 = if sigma_sq.is_finite() {
+            sigma_sq.sqrt().max(self.config.sigma_floor)
+        } else {
+            prior.sigma0()
+        };
+
+        CbmfPrior::new(lambda_new, r_new, sigma0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng};
+
+    /// K correlated states with shared sparse template {0, 3} and smoothly
+    /// varying magnitudes; returns (problem, clean test problem).
+    fn correlated_problem(
+        k: usize,
+        n: usize,
+        d: usize,
+        noise: f64,
+        seed: u64,
+    ) -> (TunableProblem, TunableProblem) {
+        let mut rng = seeded_rng(seed);
+        let gen = |n: usize, noise: f64, rng: &mut cbmf_stats::SeededRng| {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for state in 0..k {
+                let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
+                let w = 1.0 + 0.06 * state as f64;
+                let y: Vec<f64> = (0..n)
+                    .map(|i| w * (1.5 * x[(i, 0)] - 0.9 * x[(i, 3)]) + noise * normal::sample(rng))
+                    .collect();
+                xs.push(x);
+                ys.push(y);
+            }
+            TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+        };
+        let train = gen(n, noise, &mut rng);
+        let test = gen(50, 0.0, &mut rng);
+        (train, test)
+    }
+
+    fn init_prior(m: usize, k: usize, support: &[usize]) -> CbmfPrior {
+        let mut lambda = vec![1e-5; m];
+        for &s in support {
+            lambda[s] = 1.0;
+        }
+        CbmfPrior::with_toeplitz_r(lambda, k, 0.9, 0.3).unwrap()
+    }
+
+    #[test]
+    fn marginal_likelihood_is_monotone_nonincreasing() {
+        let (train, _) = correlated_problem(4, 12, 8, 0.1, 50);
+        let prior = init_prior(8, 4, &[0, 3, 5]);
+        let out = EmRefiner::new(EmConfig {
+            max_iters: 10,
+            tol: 0.0, // run all iterations
+            ..EmConfig::default()
+        })
+        .refine(&train, &prior)
+        .unwrap();
+        for w in out.nlml_trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-6 * w[0].abs().max(1.0),
+                "EM must not increase the objective: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn em_improves_over_initializer_on_test_data() {
+        let (train, test) = correlated_problem(4, 10, 12, 0.2, 51);
+        // Initializer deliberately over-selects (true support plus junk).
+        let prior = init_prior(12, 4, &[0, 1, 3, 6, 9]);
+        let init_coeffs = MapPosterior.solve_coefficients(&train, &prior).unwrap();
+        let out = EmRefiner::new(EmConfig::default())
+            .refine(&train, &prior)
+            .unwrap();
+
+        let eval = |coeffs: &Matrix| {
+            let support: Vec<usize> = (0..12).collect();
+            let intercepts: Vec<f64> = (0..4)
+                .map(|k| train.intercept_for(k, &support, coeffs.row(k)))
+                .collect();
+            let model = crate::PerStateModel::new(
+                BasisSpec::Linear,
+                12,
+                support,
+                coeffs.clone(),
+                intercepts,
+            )
+            .unwrap();
+            model.modeling_error(&test).unwrap()
+        };
+        let err_init = eval(&init_coeffs);
+        let err_em = eval(&out.coeffs);
+        assert!(
+            err_em <= err_init * 1.05,
+            "EM must not hurt: init {err_init:.4}, em {err_em:.4}"
+        );
+    }
+
+    #[test]
+    fn em_prunes_junk_bases() {
+        let (train, _) = correlated_problem(4, 14, 10, 0.05, 52);
+        let prior = init_prior(10, 4, &[0, 3, 7]); // 7 is junk
+        let out = EmRefiner::new(EmConfig::default())
+            .refine(&train, &prior)
+            .unwrap();
+        let l = out.prior.lambda();
+        assert!(
+            l[0] > 100.0 * l[7],
+            "true basis λ must dominate junk: {l:?}"
+        );
+        assert!(
+            l[3] > 100.0 * l[7],
+            "true basis λ must dominate junk: {l:?}"
+        );
+    }
+
+    #[test]
+    fn em_learns_cross_state_correlation() {
+        // Coefficients vary smoothly across states => learned R must have
+        // strong positive adjacent-state correlation.
+        let (train, _) = correlated_problem(6, 12, 6, 0.05, 53);
+        let prior = init_prior(6, 6, &[0, 3]);
+        let out = EmRefiner::new(EmConfig::default())
+            .refine(&train, &prior)
+            .unwrap();
+        let r = out.prior.r();
+        let corr01 = r[(0, 1)] / (r[(0, 0)] * r[(1, 1)]).sqrt();
+        assert!(corr01 > 0.8, "adjacent-state correlation {corr01}");
+    }
+
+    #[test]
+    fn em_estimates_noise_scale() {
+        let (train, _) = correlated_problem(4, 25, 6, 0.3, 54);
+        let prior = init_prior(6, 4, &[0, 3]);
+        let out = EmRefiner::new(EmConfig::default())
+            .refine(&train, &prior)
+            .unwrap();
+        let s = out.prior.sigma0();
+        assert!(s > 0.15 && s < 0.6, "σ0 estimate {s} should be near 0.3");
+    }
+
+    #[test]
+    fn converges_and_reports_it() {
+        let (train, _) = correlated_problem(3, 15, 5, 0.1, 55);
+        let prior = init_prior(5, 3, &[0, 3]);
+        let out = EmRefiner::new(EmConfig {
+            max_iters: 100,
+            tol: 1e-4,
+            ..EmConfig::default()
+        })
+        .refine(&train, &prior)
+        .unwrap();
+        assert!(out.converged, "should converge within 100 iterations");
+        assert!(out.iterations < 100);
+        assert_eq!(out.nlml_trace.len(), out.iterations);
+    }
+
+    #[test]
+    fn all_pruned_prior_still_runs() {
+        let (train, _) = correlated_problem(2, 8, 4, 0.1, 56);
+        let lambda = vec![CbmfPrior::LAMBDA_FLOOR; 4];
+        let prior = CbmfPrior::with_toeplitz_r(lambda, 2, 0.5, 0.2).unwrap();
+        let out = EmRefiner::new(EmConfig::default())
+            .refine(&train, &prior)
+            .unwrap();
+        // Nothing active: coefficients are ~0, R carried through.
+        assert!(out.coeffs.max_abs() < 1e-6);
+    }
+}

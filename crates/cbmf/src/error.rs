@@ -1,0 +1,99 @@
+use std::fmt;
+
+use cbmf_linalg::LinalgError;
+use cbmf_stats::StatsError;
+
+/// Error type for the C-BMF modeling pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CbmfError {
+    /// Inputs violated a precondition (mismatched state counts, empty data,
+    /// out-of-range hyper-parameters, ...).
+    InvalidInput {
+        /// Human-readable description of the violated precondition.
+        what: String,
+    },
+    /// A linear-algebra failure that survived the built-in jitter retries.
+    Linalg(LinalgError),
+    /// A statistics-layer failure (cross-validation setup, clustering, ...).
+    Stats(StatsError),
+    /// The problem is too small for the requested operation (e.g. fewer
+    /// samples than cross-validation folds).
+    TooFewSamples {
+        /// Samples available.
+        have: usize,
+        /// Samples required.
+        need: usize,
+        /// What required them.
+        r#for: &'static str,
+    },
+}
+
+impl fmt::Display for CbmfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CbmfError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            CbmfError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CbmfError::Stats(e) => write!(f, "statistics failure: {e}"),
+            CbmfError::TooFewSamples { have, need, r#for } => {
+                write!(f, "too few samples for {}: have {have}, need {need}", r#for)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CbmfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CbmfError::Linalg(e) => Some(e),
+            CbmfError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CbmfError {
+    fn from(e: LinalgError) -> Self {
+        CbmfError::Linalg(e)
+    }
+}
+
+impl From<StatsError> for CbmfError {
+    fn from(e: StatsError) -> Self {
+        CbmfError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CbmfError::InvalidInput {
+            what: "zero states".to_string(),
+        };
+        assert_eq!(e.to_string(), "invalid input: zero states");
+
+        let e = CbmfError::TooFewSamples {
+            have: 3,
+            need: 4,
+            r#for: "cross-validation",
+        };
+        assert!(e.to_string().contains("cross-validation"));
+
+        use std::error::Error;
+        let e = CbmfError::from(LinalgError::Singular { pivot: 1 });
+        assert!(e.source().is_some());
+        let e = CbmfError::from(StatsError::InvalidInput {
+            what: "x".to_string(),
+        });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CbmfError>();
+    }
+}

@@ -1,0 +1,256 @@
+use std::time::Instant;
+
+use rand::Rng;
+
+use crate::dataset::TunableProblem;
+use crate::em::{EmConfig, EmOutcome, EmRefiner};
+use crate::error::CbmfError;
+use crate::init::{CandidateGrid, InitOutcome, SompInitializer};
+use crate::model::PerStateModel;
+use crate::ols::dictionary_dim;
+
+/// End-to-end configuration of the C-BMF pipeline (Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct CbmfConfig {
+    /// Candidate grid of the modified-S-OMP initializer (steps 1–17).
+    pub grid: CandidateGrid,
+    /// EM refinement settings (steps 18–20).
+    pub em: EmConfig,
+}
+
+impl CbmfConfig {
+    /// Settings sized for small problems and tests: reduced grid, fewer EM
+    /// iterations.
+    pub fn small_problem() -> Self {
+        CbmfConfig {
+            grid: CandidateGrid::small(),
+            em: EmConfig {
+                max_iters: 15,
+                ..EmConfig::default()
+            },
+        }
+    }
+}
+
+/// Everything a fit run produced: the model plus the diagnostics the
+/// benchmark harness reports (hyper-parameters, iteration counts, wall-clock
+/// fitting cost — the "fitting cost (sec.)" rows of Tables 1–2).
+#[derive(Debug, Clone)]
+pub struct FitOutcome {
+    model: PerStateModel,
+    init: InitOutcome,
+    em: EmOutcome,
+    fitting_seconds: f64,
+}
+
+impl FitOutcome {
+    /// The fitted per-state model.
+    pub fn model(&self) -> &PerStateModel {
+        &self.model
+    }
+
+    /// Consumes the outcome, returning just the model.
+    pub fn into_model(self) -> PerStateModel {
+        self.model
+    }
+
+    /// The initializer's result (winning candidate, support, prior).
+    pub fn init(&self) -> &InitOutcome {
+        &self.init
+    }
+
+    /// The EM refinement result (final hyper-parameters, traces).
+    pub fn em(&self) -> &EmOutcome {
+        &self.em
+    }
+
+    /// Wall-clock fitting time in seconds (model fitting only — simulation
+    /// cost is accounted separately by the circuit substrate).
+    pub fn fitting_seconds(&self) -> f64 {
+        self.fitting_seconds
+    }
+}
+
+/// The complete C-BMF fitter: modified-S-OMP initialization followed by EM
+/// refinement, producing a sparse correlated per-state model.
+///
+/// # Examples
+///
+/// See the crate-level quickstart; the signature mirrors the baselines:
+///
+/// ```no_run
+/// # use cbmf::{CbmfConfig, CbmfFit, BasisSpec, TunableProblem};
+/// # use cbmf_linalg::Matrix;
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// # let x = Matrix::zeros(8, 4);
+/// # let y = vec![0.0; 8];
+/// # let problem = TunableProblem::from_samples(&[x], &[y], BasisSpec::Linear)?;
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let outcome = CbmfFit::new(CbmfConfig::default()).fit(&problem, &mut rng)?;
+/// println!("selected {} bases in {:.2} s",
+///          outcome.model().support().len(), outcome.fitting_seconds());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CbmfFit {
+    config: CbmfConfig,
+}
+
+impl CbmfFit {
+    /// Relative λ threshold that defines the final reported support.
+    const SUPPORT_THRESHOLD: f64 = 1e-3;
+
+    /// Creates a fitter with the given configuration.
+    pub fn new(config: CbmfConfig) -> Self {
+        CbmfFit { config }
+    }
+
+    /// Runs the full Algorithm 1 on a problem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates initializer and EM failures; see [`SompInitializer`] and
+    /// [`EmRefiner`].
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+    ) -> Result<FitOutcome, CbmfError> {
+        let t0 = Instant::now();
+        let init = SompInitializer::new(self.config.grid.clone()).initialize(problem, rng)?;
+        let em = EmRefiner::new(self.config.em.clone()).refine(problem, &init.prior)?;
+
+        // Final support: bases whose refined λ survived, plus any basis the
+        // EM coefficients still use materially.
+        let support = em.prior.active_basis(Self::SUPPORT_THRESHOLD);
+        let coeffs = em.coeffs.select_cols(&support);
+        let intercepts = (0..problem.num_states())
+            .map(|k| problem.intercept_for(k, &support, coeffs.row(k)))
+            .collect();
+        let model = PerStateModel::new(
+            problem.basis_spec(),
+            dictionary_dim(problem),
+            support,
+            coeffs,
+            intercepts,
+        )?;
+        Ok(FitOutcome {
+            model,
+            init,
+            em,
+            fitting_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSpec;
+    use crate::{Somp, SompConfig};
+    use cbmf_linalg::Matrix;
+    use cbmf_stats::{normal, seeded_rng};
+
+    /// The canonical tunable-circuit synthetic: K states, shared sparse
+    /// template, smooth magnitude drift across states, plus noise.
+    fn tunable_synthetic(k: usize, n: usize, d: usize, noise: f64, seed: u64) -> TunableProblem {
+        let mut rng = seeded_rng(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..k {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+            let w = 1.0 + 0.05 * state as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| {
+                    10.0 + w * (2.0 * x[(i, 1)] - 1.2 * x[(i, 4)] + 0.6 * x[(i, 9)])
+                        + noise * normal::sample(&mut rng)
+                })
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_recovers_support_and_predicts() {
+        let train = tunable_synthetic(4, 14, 15, 0.1, 70);
+        let test = tunable_synthetic(4, 60, 15, 0.0, 71);
+        let mut rng = seeded_rng(1);
+        let out = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .unwrap();
+        let model = out.model();
+        for b in [1usize, 4, 9] {
+            assert!(
+                model.support().contains(&b),
+                "missing {b}: {:?}",
+                model.support()
+            );
+        }
+        let err = model.modeling_error(&test).unwrap();
+        assert!(err < 0.05, "error {err}");
+        assert!(out.fitting_seconds() > 0.0);
+    }
+
+    #[test]
+    fn beats_somp_in_the_low_sample_regime() {
+        // The paper's headline: same accuracy from fewer samples. Check the
+        // contrapositive at equal (small) sample count: lower error.
+        let d = 25;
+        let train = tunable_synthetic(6, 8, d, 0.25, 72);
+        let test = tunable_synthetic(6, 60, d, 0.0, 73);
+        let mut rng = seeded_rng(2);
+        let cbmf = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .unwrap();
+        let somp = Somp::new(SompConfig {
+            theta_candidates: vec![2, 4, 8],
+            cv_folds: 3,
+        })
+        .fit(&train, &mut rng)
+        .unwrap();
+        let e_cbmf = cbmf.model().modeling_error(&test).unwrap();
+        let e_somp = somp.modeling_error(&test).unwrap();
+        assert!(
+            e_cbmf < e_somp,
+            "C-BMF ({e_cbmf:.4}) must beat S-OMP ({e_somp:.4}) with few samples"
+        );
+    }
+
+    #[test]
+    fn outcome_exposes_diagnostics() {
+        let train = tunable_synthetic(3, 12, 12, 0.1, 74);
+        let mut rng = seeded_rng(3);
+        let out = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .unwrap();
+        assert!(out.init().support.len() <= out.init().theta);
+        assert!(!out.em().nlml_trace.is_empty());
+        assert!(out.em().iterations >= 1);
+        let model = out.clone().into_model();
+        assert_eq!(model.num_states(), 3);
+    }
+
+    #[test]
+    fn error_decreases_with_more_samples() {
+        let d = 20;
+        let test = tunable_synthetic(4, 60, d, 0.0, 76);
+        let mut errs = Vec::new();
+        for (seed, n) in [(77u64, 6usize), (77, 24)] {
+            let train = tunable_synthetic(4, n, d, 0.3, seed);
+            let mut rng = seeded_rng(4);
+            let out = CbmfFit::new(CbmfConfig::small_problem())
+                .fit(&train, &mut rng)
+                .unwrap();
+            errs.push(out.model().modeling_error(&test).unwrap());
+        }
+        assert!(
+            errs[1] < errs[0],
+            "more samples must help: {:.4} -> {:.4}",
+            errs[0],
+            errs[1]
+        );
+    }
+}

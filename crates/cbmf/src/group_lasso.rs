@@ -1,0 +1,357 @@
+use cbmf_linalg::Matrix;
+use rand::Rng;
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::model::PerStateModel;
+use crate::ols::dictionary_dim;
+use crate::omp::{build_folds, split_problem};
+
+/// Configuration for the multi-task group-lasso baseline.
+#[derive(Debug, Clone)]
+pub struct GroupLassoConfig {
+    /// Regularization candidates, as fractions of λ_max (the smallest value
+    /// that zeroes every group). Cross-validated.
+    pub lambda_rel: Vec<f64>,
+    /// Cross-validation folds.
+    pub cv_folds: usize,
+    /// Maximum block-coordinate-descent sweeps.
+    pub max_sweeps: usize,
+    /// Convergence tolerance on the maximum coefficient change per sweep,
+    /// relative to the largest coefficient magnitude.
+    pub tol: f64,
+}
+
+impl Default for GroupLassoConfig {
+    fn default() -> Self {
+        GroupLassoConfig {
+            lambda_rel: vec![0.05, 0.1, 0.2, 0.4],
+            cv_folds: 4,
+            max_sweeps: 200,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Multi-task group lasso — the convex-relaxation relative of S-OMP from
+/// the paper's related work (refs. \[20\]–\[21\]): one ℓ2 group per basis
+/// function spanning all K states,
+///
+/// ```text
+/// min_α  Σ_k ½‖y_k − B_k·α_k‖²  +  λ·Σ_m ‖(α_{1,m} … α_{K,m})‖₂ ,
+/// ```
+///
+/// solved by block coordinate descent on internally unit-normalized
+/// columns. Like S-OMP it shares the model *template* across states; like
+/// S-OMP it says nothing about coefficient magnitudes — which is what the
+/// ablation benches use it to demonstrate.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::{BasisSpec, GroupLasso, GroupLassoConfig, TunableProblem};
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// let mut rng = cbmf_stats::seeded_rng(6);
+/// let x = Matrix::from_fn(30, 10, |_, _| cbmf_stats::normal::sample(&mut rng));
+/// let y: Vec<f64> = (0..30).map(|i| 2.0 * x[(i, 4)]).collect();
+/// let problem = TunableProblem::from_samples(&[x], &[y], BasisSpec::Linear)?;
+/// let model = GroupLasso::new(GroupLassoConfig::default()).fit(&problem, &mut rng)?;
+/// assert!(model.support().contains(&4));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GroupLasso {
+    config: GroupLassoConfig,
+}
+
+impl GroupLasso {
+    /// Creates the fitter with the given configuration.
+    pub fn new(config: GroupLassoConfig) -> Self {
+        GroupLasso { config }
+    }
+
+    /// Fits the model, cross-validating the regularization strength.
+    ///
+    /// # Errors
+    ///
+    /// * [`CbmfError::InvalidInput`] if no λ candidates are given.
+    /// * [`CbmfError::TooFewSamples`] if a state cannot support the folds.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+    ) -> Result<PerStateModel, CbmfError> {
+        if self.config.lambda_rel.is_empty() {
+            return Err(CbmfError::InvalidInput {
+                what: "no regularization candidates".to_string(),
+            });
+        }
+        let lambda_rel = if self.config.lambda_rel.len() == 1 {
+            self.config.lambda_rel[0]
+        } else {
+            let folds = build_folds(problem, self.config.cv_folds, rng)?;
+            let mut best = (f64::INFINITY, self.config.lambda_rel[0]);
+            for &lr in &self.config.lambda_rel {
+                let mut err_sum = 0.0;
+                for c in 0..self.config.cv_folds {
+                    let (train, test) = split_problem(problem, &folds, c)?;
+                    let model = self.fit_with_lambda(&train, lr)?;
+                    err_sum += model.modeling_error(&test)?;
+                }
+                let err = err_sum / self.config.cv_folds as f64;
+                if err < best.0 {
+                    best = (err, lr);
+                }
+            }
+            best.1
+        };
+        self.fit_with_lambda(problem, lambda_rel)
+    }
+
+    fn fit_with_lambda(
+        &self,
+        problem: &TunableProblem,
+        lambda_rel: f64,
+    ) -> Result<PerStateModel, CbmfError> {
+        let k = problem.num_states();
+        let m = problem.num_basis();
+
+        // Unit-normalize columns per state; remember the scales.
+        let mut scales: Vec<Vec<f64>> = Vec::with_capacity(k);
+        let mut bases: Vec<Matrix> = Vec::with_capacity(k);
+        for st in problem.states() {
+            let mut b = st.basis.clone();
+            let mut sc = vec![0.0; m];
+            for i in 0..b.rows() {
+                for (s, v) in sc.iter_mut().zip(b.row(i)) {
+                    *s += v * v;
+                }
+            }
+            for s in &mut sc {
+                *s = s.sqrt().max(1e-300);
+            }
+            for i in 0..b.rows() {
+                for (v, s) in b.row_mut(i).iter_mut().zip(&sc) {
+                    *v /= s;
+                }
+            }
+            scales.push(sc);
+            bases.push(b);
+        }
+
+        // λ_max: smallest λ for which all groups are zero.
+        let mut lambda_max = 0.0_f64;
+        {
+            let mut group_norm_sq = vec![0.0_f64; m];
+            for (b, st) in bases.iter().zip(problem.states()) {
+                let z = b.t_matvec(&st.y)?;
+                for (g, zi) in group_norm_sq.iter_mut().zip(&z) {
+                    *g += zi * zi;
+                }
+            }
+            for g in group_norm_sq {
+                lambda_max = lambda_max.max(g.sqrt());
+            }
+        }
+        let lambda = lambda_rel * lambda_max;
+
+        // Block coordinate descent. Residuals start at y (α = 0).
+        let mut alpha = Matrix::zeros(k, m);
+        let mut residuals: Vec<Vec<f64>> = problem.states().iter().map(|s| s.y.clone()).collect();
+        // Cache columns for cheap per-group access.
+        let columns: Vec<Vec<Vec<f64>>> = bases
+            .iter()
+            .map(|b| (0..m).map(|j| b.col(j)).collect())
+            .collect();
+        for _sweep in 0..self.config.max_sweeps {
+            let mut max_change = 0.0_f64;
+            let mut max_coef = 0.0_f64;
+            for g in 0..m {
+                // z_k = b_kgᵀ r_k + α_kg (unit-norm columns ⇒ Hessian 1).
+                let mut z = vec![0.0; k];
+                let mut z_norm_sq = 0.0;
+                for ki in 0..k {
+                    let col = &columns[ki][g];
+                    let dot: f64 = col.iter().zip(&residuals[ki]).map(|(a, b)| a * b).sum();
+                    let zi = dot + alpha[(ki, g)];
+                    z[ki] = zi;
+                    z_norm_sq += zi * zi;
+                }
+                let z_norm = z_norm_sq.sqrt();
+                let shrink = if z_norm <= lambda {
+                    0.0
+                } else {
+                    1.0 - lambda / z_norm
+                };
+                for ki in 0..k {
+                    let new = shrink * z[ki];
+                    let delta = new - alpha[(ki, g)];
+                    if delta != 0.0 {
+                        // r_k -= delta · b_kg
+                        let col = &columns[ki][g];
+                        for (r, c) in residuals[ki].iter_mut().zip(col) {
+                            *r -= delta * c;
+                        }
+                        alpha[(ki, g)] = new;
+                    }
+                    max_change = max_change.max(delta.abs());
+                    max_coef = max_coef.max(new.abs());
+                }
+            }
+            if max_change <= self.config.tol * max_coef.max(1e-12) {
+                break;
+            }
+        }
+
+        // Extract the support and de-normalize the coefficients.
+        let support: Vec<usize> = (0..m)
+            .filter(|&g| (0..k).any(|ki| alpha[(ki, g)] != 0.0))
+            .collect();
+        let mut coeffs = Matrix::zeros(k, support.len());
+        for (j, &g) in support.iter().enumerate() {
+            for ki in 0..k {
+                coeffs[(ki, j)] = alpha[(ki, g)] / scales[ki][g];
+            }
+        }
+        let intercepts = (0..k)
+            .map(|ki| problem.intercept_for(ki, &support, coeffs.row(ki)))
+            .collect();
+        PerStateModel::new(
+            problem.basis_spec(),
+            dictionary_dim(problem),
+            support,
+            coeffs,
+            intercepts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng, SeededRng};
+
+    fn shared_template(
+        k: usize,
+        n: usize,
+        d: usize,
+        noise: f64,
+        rng: &mut SeededRng,
+    ) -> TunableProblem {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..k {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
+            let w = 1.0 + 0.05 * state as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| w * (2.0 * x[(i, 1)] - 1.2 * x[(i, 6)]) + noise * normal::sample(rng))
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid")
+    }
+
+    #[test]
+    fn recovers_shared_support() {
+        let mut rng = seeded_rng(120);
+        let problem = shared_template(4, 25, 15, 0.05, &mut rng);
+        let model = GroupLasso::new(GroupLassoConfig {
+            lambda_rel: vec![0.1],
+            ..GroupLassoConfig::default()
+        })
+        .fit(&problem, &mut rng)
+        .expect("fit");
+        assert!(model.support().contains(&1), "{:?}", model.support());
+        assert!(model.support().contains(&6), "{:?}", model.support());
+    }
+
+    #[test]
+    fn heavy_regularization_zeroes_everything() {
+        let mut rng = seeded_rng(121);
+        let problem = shared_template(3, 15, 10, 0.1, &mut rng);
+        let model = GroupLasso::new(GroupLassoConfig {
+            lambda_rel: vec![1.0], // exactly λ_max
+            ..GroupLassoConfig::default()
+        })
+        .fit(&problem, &mut rng)
+        .expect("fit");
+        assert!(model.support().is_empty(), "{:?}", model.support());
+    }
+
+    #[test]
+    fn lighter_regularization_fits_better_in_sample() {
+        let mut rng = seeded_rng(122);
+        let problem = shared_template(3, 30, 10, 0.05, &mut rng);
+        let heavy = GroupLasso::new(GroupLassoConfig {
+            lambda_rel: vec![0.6],
+            ..GroupLassoConfig::default()
+        })
+        .fit(&problem, &mut rng)
+        .expect("fit");
+        let light = GroupLasso::new(GroupLassoConfig {
+            lambda_rel: vec![0.02],
+            ..GroupLassoConfig::default()
+        })
+        .fit(&problem, &mut rng)
+        .expect("fit");
+        let e_heavy = heavy.modeling_error(&problem).expect("eval");
+        let e_light = light.modeling_error(&problem).expect("eval");
+        assert!(e_light < e_heavy, "{e_light} !< {e_heavy}");
+    }
+
+    #[test]
+    fn cross_validation_picks_reasonable_lambda() {
+        let mut rng = seeded_rng(123);
+        let train = shared_template(4, 15, 20, 0.2, &mut rng);
+        let test = shared_template(4, 60, 20, 0.0, &mut rng);
+        let model = GroupLasso::new(GroupLassoConfig::default())
+            .fit(&train, &mut rng)
+            .expect("fit");
+        let err = model.modeling_error(&test).expect("eval");
+        assert!(err < 0.2, "cv-selected lasso should be usable: {err}");
+        assert!(model.support().contains(&1));
+    }
+
+    #[test]
+    fn groups_are_selected_jointly_across_states() {
+        // A basis relevant to only one state still enters as a whole group,
+        // but bases irrelevant everywhere stay out.
+        let mut rng = seeded_rng(124);
+        let problem = shared_template(4, 20, 12, 0.05, &mut rng);
+        let model = GroupLasso::new(GroupLassoConfig {
+            lambda_rel: vec![0.15],
+            ..GroupLassoConfig::default()
+        })
+        .fit(&problem, &mut rng)
+        .expect("fit");
+        // Support shared: every selected group has a nonzero coefficient in
+        // at least one state and the dominant bases in all states.
+        let pos1 = model
+            .support()
+            .iter()
+            .position(|&s| s == 1)
+            .expect("basis 1");
+        for ki in 0..4 {
+            assert!(model.coefficients()[(ki, pos1)].abs() > 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let mut rng = seeded_rng(125);
+        let problem = shared_template(2, 10, 8, 0.1, &mut rng);
+        assert!(matches!(
+            GroupLasso::new(GroupLassoConfig {
+                lambda_rel: vec![],
+                ..GroupLassoConfig::default()
+            })
+            .fit(&problem, &mut rng),
+            Err(CbmfError::InvalidInput { .. })
+        ));
+    }
+}

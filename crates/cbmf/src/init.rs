@@ -1,0 +1,462 @@
+use cbmf_linalg::Matrix;
+use cbmf_stats::describe;
+use rand::Rng;
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::model::PerStateModel;
+use crate::ols::dictionary_dim;
+use cbmf_linalg::{Cholesky, SymEigen};
+
+use crate::omp::{build_folds, column_norms, split_problem};
+use crate::prior::{toeplitz_r, CbmfPrior};
+
+/// Candidate hyper-parameter grid for the Algorithm-1 initializer
+/// (the paper's set {(r0⁽q⁾, σ0⁽q⁾, θ⁽q⁾)}).
+#[derive(Debug, Clone)]
+pub struct CandidateGrid {
+    /// Candidate correlation-decay rates for R(r0) (eq. 32), each in [0,1).
+    pub r0: Vec<f64>,
+    /// Candidate noise levels, as fractions of the mean per-state response
+    /// standard deviation.
+    pub sigma_rel: Vec<f64>,
+    /// Candidate numbers of selected basis functions θ.
+    pub theta: Vec<usize>,
+    /// Cross-validation folds C (Algorithm 1 step 1).
+    pub cv_folds: usize,
+    /// λ level of the *non-selected* bases in the EM starting prior,
+    /// relative to the mean on-support level (the paper's step 17 uses
+    /// 1e-5). Larger values let the EM absorb a dense tail of individually
+    /// weak regressors — useful when mismatch variables carry real signal.
+    pub off_support_level: f64,
+}
+
+impl Default for CandidateGrid {
+    fn default() -> Self {
+        CandidateGrid {
+            r0: vec![0.3, 0.7, 0.95],
+            sigma_rel: vec![0.05, 0.2],
+            theta: vec![8, 16, 32],
+            cv_folds: 4,
+            off_support_level: 1e-5,
+        }
+    }
+}
+
+impl CandidateGrid {
+    /// A reduced grid for small problems and tests.
+    pub fn small() -> Self {
+        CandidateGrid {
+            r0: vec![0.5, 0.9],
+            sigma_rel: vec![0.1],
+            theta: vec![2, 4, 8],
+            cv_folds: 3,
+            off_support_level: 1e-5,
+        }
+    }
+}
+
+/// The initializer's output: the chosen hyper-parameters, the selected
+/// support, initial coefficients, and the full-dictionary prior to hand to
+/// EM (Algorithm 1 step 17).
+#[derive(Debug, Clone)]
+pub struct InitOutcome {
+    /// Full-M prior: λ_m = 1 on the support, 1e-5 elsewhere; R = R(r0); σ0.
+    pub prior: CbmfPrior,
+    /// Selected basis indices (ascending).
+    pub support: Vec<usize>,
+    /// Initial coefficients on the support, `K × |support|`.
+    pub coeffs: Matrix,
+    /// Winning decay rate r0.
+    pub r0: f64,
+    /// Winning absolute noise level σ0.
+    pub sigma0: f64,
+    /// Winning sparsity level θ.
+    pub theta: usize,
+    /// Cross-validation error of the winning candidate.
+    pub cv_error: f64,
+}
+
+/// The modified S-OMP initializer of Algorithm 1 (steps 1–17).
+///
+/// For every candidate `(r0, σ0, θ)` and every cross-validation fold it
+/// runs the greedy joint basis selection of S-OMP (eq. 33) but — unlike
+/// S-OMP — solves the coefficients at each greedy step from the
+/// *correlated* Bayesian posterior (eqs. 20–22) with the parameterized
+/// `R(r0)` of eq. 32 restricted to the current support. The candidate with
+/// the lowest cross-validated error wins, the selection is re-run on the
+/// full training set, and the hyper-parameters are packaged as the EM
+/// starting point (λ = 1 on the support, 1e-5 off it — step 17).
+#[derive(Debug, Clone, Default)]
+pub struct SompInitializer {
+    grid: CandidateGrid,
+}
+
+impl SompInitializer {
+    /// Creates an initializer over the given candidate grid.
+    pub fn new(grid: CandidateGrid) -> Self {
+        SompInitializer { grid }
+    }
+
+    /// Runs Algorithm 1 steps 1–17.
+    ///
+    /// # Errors
+    ///
+    /// * [`CbmfError::InvalidInput`] if the grid is empty.
+    /// * [`CbmfError::TooFewSamples`] if a state cannot support the folds.
+    /// * Propagated numerical failures.
+    pub fn initialize<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+    ) -> Result<InitOutcome, CbmfError> {
+        if self.grid.r0.is_empty() || self.grid.sigma_rel.is_empty() || self.grid.theta.is_empty() {
+            return Err(CbmfError::InvalidInput {
+                what: "empty candidate grid".to_string(),
+            });
+        }
+        let k = problem.num_states();
+        // Base scale for the σ0 candidates: mean per-state response std.
+        let sigma_base = problem
+            .states()
+            .iter()
+            .map(|st| describe::std_dev(&st.y))
+            .sum::<f64>()
+            / k as f64;
+        let sigma_base = sigma_base.max(1e-12);
+
+        let folds = build_folds(problem, self.grid.cv_folds, rng)?;
+        let mut best: Option<(f64, f64, f64, usize)> = None; // (err, r0, σ0, θ)
+        for &r0 in &self.grid.r0 {
+            for &srel in &self.grid.sigma_rel {
+                let sigma0 = srel * sigma_base;
+                for &theta in &self.grid.theta {
+                    let mut err_sum = 0.0;
+                    for c in 0..self.grid.cv_folds {
+                        let (train, test) = split_problem(problem, &folds, c)?;
+                        let (support, coeffs) = select_with_bayes(&train, theta, r0, sigma0)?;
+                        let model = assemble_model(&train, support, coeffs)?;
+                        err_sum += model.modeling_error(&test)?;
+                    }
+                    let err = err_sum / self.grid.cv_folds as f64;
+                    if best.is_none_or(|(e, ..)| err < e) {
+                        best = Some((err, r0, sigma0, theta));
+                    }
+                }
+            }
+        }
+        let (cv_error, r0, sigma0, theta) = best.expect("grid verified non-empty");
+
+        // Steps 16–17: re-select on the full training set with the winner,
+        // then build the EM starting prior. The paper initializes λ_m = 1
+        // on the support and 1e-5 off it; λ has units of coefficient
+        // variance, so we make those levels scale-aware: each selected
+        // basis starts at the empirical second moment of its initial
+        // coefficients under R (the EM fixed point with zero posterior
+        // covariance), and off-support bases start 1e-5 relative to the
+        // mean on-support level.
+        let (support, coeffs) = select_with_bayes(problem, theta, r0, sigma0)?;
+        let m = problem.num_basis();
+        let r = toeplitz_r(k, r0)?;
+        let r_chol = Cholesky::new_with_jitter(&r, 1e-10, 8)?;
+        let mut on_levels = Vec::with_capacity(support.len());
+        for j in 0..support.len() {
+            let alpha = coeffs.col(j);
+            let rinv_a = r_chol.solve_vec(&alpha)?;
+            let level = alpha.iter().zip(&rinv_a).map(|(a, b)| a * b).sum::<f64>() / k as f64;
+            on_levels.push(level.max(CbmfPrior::LAMBDA_FLOOR));
+        }
+        let mean_on = (on_levels.iter().sum::<f64>() / on_levels.len().max(1) as f64).max(1e-300);
+        let mut lambda = vec![self.grid.off_support_level * mean_on; m];
+        for (j, &s) in support.iter().enumerate() {
+            lambda[s] = on_levels[j];
+        }
+        let prior = CbmfPrior::new(lambda, r, sigma0)?;
+        Ok(InitOutcome {
+            prior,
+            support,
+            coeffs,
+            r0,
+            sigma0,
+            theta,
+            cv_error,
+        })
+    }
+}
+
+/// Greedy eq.-33 selection with the correlated Bayesian coefficient solve
+/// (Algorithm 1 steps 5–11): at every step the coefficients over the
+/// current support come from the MAP posterior under R(r0) with λ = 1 on
+/// the selected bases.
+///
+/// Implementation note: adding one basis `m` to the active set perturbs the
+/// observation-space covariance by `λ·R ∘ (b_m·b_mᵀ)`, which decomposes
+/// over the eigenpairs `(w_j, u_j)` of R into at most K rank-one terms
+/// `(√(λ·w_j)·u_j ⊙ b_m)·(…)ᵀ`. The Cholesky factor of C is therefore
+/// maintained by K rank-one updates per greedy step (`O(θ·K·(NK)²)`)
+/// instead of refactored from scratch (`O(θ·(NK)³)`).
+fn select_with_bayes(
+    problem: &TunableProblem,
+    theta: usize,
+    r0: f64,
+    sigma0: f64,
+) -> Result<(Vec<usize>, Matrix), CbmfError> {
+    let k = problem.num_states();
+    let m = problem.num_basis();
+    let r = toeplitz_r(k, r0)?;
+    let cap = theta.max(1).min(m);
+
+    let mut solver = IncrementalBayes::new(problem, &r, sigma0)?;
+    let norms: Vec<Vec<f64>> = problem.states().iter().map(column_norms).collect();
+    let mut residuals: Vec<Vec<f64>> = problem.states().iter().map(|s| s.y.clone()).collect();
+    let mut support: Vec<usize> = Vec::with_capacity(cap);
+    let mut coeffs = Matrix::zeros(k, 0);
+    for _ in 0..cap {
+        // ξ summed over states (eq. 33), per-state normalized.
+        let mut score = vec![0.0_f64; m];
+        for (st, (res, nrm)) in problem.states().iter().zip(residuals.iter().zip(&norms)) {
+            let corr = st.basis.t_matvec(res)?;
+            for ((sj, cj), nj) in score.iter_mut().zip(&corr).zip(nrm) {
+                *sj += (cj / nj).abs();
+            }
+        }
+        let mut best = (0.0_f64, usize::MAX);
+        for (j, &s) in score.iter().enumerate() {
+            if support.contains(&j) {
+                continue;
+            }
+            if s > best.0 {
+                best = (s, j);
+            }
+        }
+        if best.1 == usize::MAX || best.0 == 0.0 {
+            break;
+        }
+        support.push(best.1);
+        solver.add_basis(best.1, 1.0)?;
+        coeffs = solver.coefficients(&support, 1.0)?;
+        // Residual update (eq. 34).
+        for (ki, st) in problem.states().iter().enumerate() {
+            let fitted = st.basis.select_cols(&support).matvec(coeffs.row(ki))?;
+            for (rres, (yv, fv)) in residuals[ki].iter_mut().zip(st.y.iter().zip(&fitted)) {
+                *rres = yv - fv;
+            }
+        }
+    }
+    // Sort support ascending and permute coefficient columns along.
+    let mut order: Vec<usize> = (0..support.len()).collect();
+    order.sort_by_key(|&i| support[i]);
+    let sorted_support: Vec<usize> = order.iter().map(|&i| support[i]).collect();
+    let sorted_coeffs = coeffs.select_cols(&order);
+    Ok((sorted_support, sorted_coeffs))
+}
+
+/// Incrementally factored observation-space system for the greedy loop.
+struct IncrementalBayes<'a> {
+    problem: &'a TunableProblem,
+    r: &'a Matrix,
+    /// Eigenpairs of R with non-negligible eigenvalues.
+    r_modes: Vec<(f64, Vec<f64>)>,
+    chol: Cholesky,
+    offsets: Vec<usize>,
+    y: Vec<f64>,
+}
+
+impl<'a> IncrementalBayes<'a> {
+    fn new(problem: &'a TunableProblem, r: &'a Matrix, sigma0: f64) -> Result<Self, CbmfError> {
+        let counts: Vec<usize> = problem.states().iter().map(|s| s.len()).collect();
+        let mut offsets = Vec::with_capacity(counts.len());
+        let mut total = 0;
+        for &n in &counts {
+            offsets.push(total);
+            total += n;
+        }
+        let eig = SymEigen::new(r)?;
+        let wmax = eig
+            .eigenvalues()
+            .iter()
+            .fold(0.0_f64, |a, w| a.max(w.abs()))
+            .max(1e-300);
+        let mut r_modes = Vec::new();
+        for (j, &w) in eig.eigenvalues().iter().enumerate() {
+            if w > 1e-12 * wmax {
+                r_modes.push((w, eig.eigenvectors().col(j)));
+            }
+        }
+        let chol = Cholesky::new(&Matrix::from_diag(&vec![sigma0 * sigma0; total]))?;
+        let y: Vec<f64> = problem.states().iter().flat_map(|s| s.y.clone()).collect();
+        Ok(IncrementalBayes {
+            problem,
+            r,
+            r_modes,
+            chol,
+            offsets,
+            y,
+        })
+    }
+
+    /// Folds basis `m` with prior variance `lambda` into the factored C.
+    fn add_basis(&mut self, m: usize, lambda: f64) -> Result<(), CbmfError> {
+        let total = self.y.len();
+        let mut v = vec![0.0; total];
+        for (w, u) in &self.r_modes.clone() {
+            let scale = (lambda * w).sqrt();
+            for (ki, st) in self.problem.states().iter().enumerate() {
+                let off = self.offsets[ki];
+                for n in 0..st.len() {
+                    v[off + n] = scale * u[ki] * st.basis[(n, m)];
+                }
+            }
+            self.chol.rank_one_update(&v)?;
+        }
+        Ok(())
+    }
+
+    /// MAP coefficients on `support` (eq. 22), all bases at variance
+    /// `lambda`.
+    fn coefficients(&self, support: &[usize], lambda: f64) -> Result<Matrix, CbmfError> {
+        let k = self.problem.num_states();
+        let z = self.chol.solve_vec(&self.y)?;
+        let mut coeffs = Matrix::zeros(k, support.len());
+        for (j, &m) in support.iter().enumerate() {
+            // g[k] = b_{m,k}ᵀ z_k
+            let mut g = vec![0.0; k];
+            for (ki, st) in self.problem.states().iter().enumerate() {
+                let off = self.offsets[ki];
+                let mut acc = 0.0;
+                for n in 0..st.len() {
+                    acc += st.basis[(n, m)] * z[off + n];
+                }
+                g[ki] = acc;
+            }
+            for ki in 0..k {
+                let mut acc = 0.0;
+                for (kj, gv) in g.iter().enumerate() {
+                    acc += self.r[(ki, kj)] * gv;
+                }
+                coeffs[(ki, j)] = lambda * acc;
+            }
+        }
+        Ok(coeffs)
+    }
+}
+
+/// Wraps a (support, coefficients) pair as a predictable model.
+fn assemble_model(
+    problem: &TunableProblem,
+    support: Vec<usize>,
+    coeffs: Matrix,
+) -> Result<PerStateModel, CbmfError> {
+    let intercepts = (0..problem.num_states())
+        .map(|k| problem.intercept_for(k, &support, coeffs.row(k)))
+        .collect();
+    PerStateModel::new(
+        problem.basis_spec(),
+        dictionary_dim(problem),
+        support,
+        coeffs,
+        intercepts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng};
+
+    fn correlated_problem(k: usize, n: usize, d: usize, seed: u64) -> TunableProblem {
+        let mut rng = seeded_rng(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..k {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+            let w = 1.0 + 0.05 * state as f64;
+            let y: Vec<f64> = (0..n)
+                .map(|i| w * (2.0 * x[(i, 2)] - 1.0 * x[(i, 5)]) + 0.1 * normal::sample(&mut rng))
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+    }
+
+    #[test]
+    fn finds_true_support_and_builds_step17_prior() {
+        let problem = correlated_problem(4, 16, 12, 60);
+        let mut rng = seeded_rng(1);
+        let out = SompInitializer::new(CandidateGrid::small())
+            .initialize(&problem, &mut rng)
+            .unwrap();
+        assert!(out.support.contains(&2), "support {:?}", out.support);
+        assert!(out.support.contains(&5), "support {:?}", out.support);
+        // Step-17 prior (scale-aware): on-support λ at the coefficients'
+        // empirical level, off-support λ exactly 1e-5 of the mean on level.
+        let on: Vec<f64> = out.support.iter().map(|&m| out.prior.lambda()[m]).collect();
+        let mean_on = on.iter().sum::<f64>() / on.len() as f64;
+        for (m, &l) in out.prior.lambda().iter().enumerate() {
+            if out.support.contains(&m) {
+                assert!(l > 100.0 * 1e-5 * mean_on, "on-support λ {l}");
+            } else {
+                assert!((l - 1e-5 * mean_on).abs() < 1e-9 * mean_on, "off λ {l}");
+            }
+        }
+        assert_eq!(out.coeffs.shape(), (4, out.support.len()));
+        assert!(out.cv_error.is_finite() && out.cv_error >= 0.0);
+        assert!(out.theta >= out.support.len());
+    }
+
+    #[test]
+    fn winning_r0_comes_from_the_grid() {
+        let problem = correlated_problem(3, 12, 8, 61);
+        let mut rng = seeded_rng(2);
+        let grid = CandidateGrid::small();
+        let out = SompInitializer::new(grid.clone())
+            .initialize(&problem, &mut rng)
+            .unwrap();
+        assert!(grid.r0.contains(&out.r0));
+        assert!(grid.theta.contains(&out.theta));
+        assert!(out.sigma0 > 0.0);
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let problem = correlated_problem(2, 8, 8, 62);
+        let mut rng = seeded_rng(3);
+        let grid = CandidateGrid {
+            r0: vec![],
+            ..CandidateGrid::small()
+        };
+        assert!(matches!(
+            SompInitializer::new(grid).initialize(&problem, &mut rng),
+            Err(CbmfError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn correlated_solve_differs_from_plain_somp() {
+        // Same selection rule, different coefficient solve: with strong
+        // regularization (big σ0) the Bayesian coefficients must be shrunk
+        // relative to the least-squares S-OMP ones.
+        let problem = correlated_problem(3, 10, 8, 63);
+        let (_, coeffs_bayes) = select_with_bayes(&problem, 2, 0.9, 5.0).unwrap();
+        let (_, coeffs_light) = select_with_bayes(&problem, 2, 0.9, 1e-4).unwrap();
+        assert!(
+            coeffs_bayes.max_abs() < coeffs_light.max_abs(),
+            "large σ0 must shrink coefficients"
+        );
+    }
+
+    #[test]
+    fn initializer_model_predicts_reasonably() {
+        let problem = correlated_problem(4, 20, 10, 64);
+        let test = correlated_problem(4, 50, 10, 65);
+        let mut rng = seeded_rng(4);
+        let out = SompInitializer::new(CandidateGrid::small())
+            .initialize(&problem, &mut rng)
+            .unwrap();
+        let model = assemble_model(&problem, out.support, out.coeffs).unwrap();
+        let err = model.modeling_error(&test).unwrap();
+        assert!(err < 0.25, "initializer alone should be decent: {err}");
+    }
+}

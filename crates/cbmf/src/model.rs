@@ -1,0 +1,320 @@
+use cbmf_linalg::Matrix;
+use cbmf_stats::metrics;
+use serde::{Deserialize, Serialize};
+
+use crate::basis::BasisSpec;
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+
+/// A fitted K-state performance model: the output of every algorithm in
+/// this crate (least squares, OMP, S-OMP, C-BMF).
+///
+/// Coefficients are stored sparsely: only the selected basis functions
+/// (`support`) carry a `K × |support|` coefficient block, plus one intercept
+/// per state (the training-set mean removed by [`TunableProblem`]).
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::{BasisSpec, PerStateModel};
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// // One state, model y = 3 + 2·x_1 over 4 variables.
+/// let coeffs = Matrix::from_rows(&[&[2.0]])?;
+/// let model = PerStateModel::new(BasisSpec::Linear, 4, vec![1], coeffs, vec![3.0])?;
+/// let y = model.predict(0, &[0.0, 5.0, 0.0, 0.0])?;
+/// assert!((y - 13.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerStateModel {
+    basis_spec: BasisSpec,
+    /// Input-variable dimension d (not the dictionary size M).
+    num_variables: usize,
+    /// Selected basis indices, ascending.
+    support: Vec<usize>,
+    /// `K × |support|` coefficients.
+    coeffs: Matrix,
+    /// Per-state intercepts.
+    intercepts: Vec<f64>,
+}
+
+impl PerStateModel {
+    /// Assembles a model from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if shapes disagree, the support
+    /// is unsorted/duplicated, or an index exceeds the dictionary size.
+    pub fn new(
+        basis_spec: BasisSpec,
+        num_variables: usize,
+        support: Vec<usize>,
+        coeffs: Matrix,
+        intercepts: Vec<f64>,
+    ) -> Result<Self, CbmfError> {
+        let m = basis_spec.num_basis(num_variables);
+        if support.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CbmfError::InvalidInput {
+                what: "support must be strictly ascending".to_string(),
+            });
+        }
+        if let Some(&last) = support.last() {
+            if last >= m {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("support index {last} exceeds dictionary size {m}"),
+                });
+            }
+        }
+        if coeffs.cols() != support.len() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "coefficient block has {} columns for {} support indices",
+                    coeffs.cols(),
+                    support.len()
+                ),
+            });
+        }
+        if coeffs.rows() != intercepts.len() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "{} coefficient rows but {} intercepts",
+                    coeffs.rows(),
+                    intercepts.len()
+                ),
+            });
+        }
+        Ok(PerStateModel {
+            basis_spec,
+            num_variables,
+            support,
+            coeffs,
+            intercepts,
+        })
+    }
+
+    /// Number of states K.
+    pub fn num_states(&self) -> usize {
+        self.intercepts.len()
+    }
+
+    /// Input-variable dimension d.
+    pub fn num_variables(&self) -> usize {
+        self.num_variables
+    }
+
+    /// The basis dictionary this model evaluates.
+    pub fn basis_spec(&self) -> BasisSpec {
+        self.basis_spec
+    }
+
+    /// Selected basis indices (ascending).
+    pub fn support(&self) -> &[usize] {
+        &self.support
+    }
+
+    /// The `K × |support|` coefficient block.
+    pub fn coefficients(&self) -> &Matrix {
+        &self.coeffs
+    }
+
+    /// Per-state intercepts.
+    pub fn intercepts(&self) -> &[f64] {
+        &self.intercepts
+    }
+
+    /// Predicts the metric for knob state `state` at variation vector `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `state` is out of range or
+    /// `x` has the wrong dimension.
+    pub fn predict(&self, state: usize, x: &[f64]) -> Result<f64, CbmfError> {
+        if state >= self.num_states() {
+            return Err(CbmfError::InvalidInput {
+                what: format!("state {state} out of range ({})", self.num_states()),
+            });
+        }
+        if x.len() != self.num_variables {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "input has dimension {}, model expects {}",
+                    x.len(),
+                    self.num_variables
+                ),
+            });
+        }
+        let b = self.basis_spec.eval(x);
+        let row = self.coeffs.row(state);
+        let mut y = self.intercepts[state];
+        for (c, &m) in row.iter().zip(&self.support) {
+            y += c * b[m];
+        }
+        Ok(y)
+    }
+
+    /// Predicts from an already-evaluated basis row (length M), as stored in
+    /// a [`TunableProblem`]; used by the evaluation helpers to avoid
+    /// re-evaluating the dictionary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range or `basis_row` is shorter than the
+    /// largest support index.
+    pub fn predict_from_basis(&self, state: usize, basis_row: &[f64]) -> f64 {
+        let row = self.coeffs.row(state);
+        let mut y = self.intercepts[state];
+        for (c, &m) in row.iter().zip(&self.support) {
+            y += c * basis_row[m];
+        }
+        y
+    }
+
+    /// The paper's "modeling error": mean over states of the per-state
+    /// relative RMS error on a testing problem, as a fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if the problem's state count or
+    /// dictionary disagrees with the model.
+    pub fn modeling_error(&self, test: &TunableProblem) -> Result<f64, CbmfError> {
+        if test.num_states() != self.num_states() {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "test has {} states, model has {}",
+                    test.num_states(),
+                    self.num_states()
+                ),
+            });
+        }
+        if test.num_basis() != self.basis_spec.num_basis(self.num_variables) {
+            return Err(CbmfError::InvalidInput {
+                what: "test dictionary size differs from the model's".to_string(),
+            });
+        }
+        let mut per_state = Vec::with_capacity(self.num_states());
+        for k in 0..self.num_states() {
+            let st = &test.states()[k];
+            let truth = test.raw_y(k);
+            // Reconstruct raw basis values: the problem stores its columns
+            // centered at the *test* means, which the model must not see.
+            let pred: Vec<f64> = (0..st.len())
+                .map(|i| {
+                    let row = st.basis.row(i);
+                    let mut y = self.intercepts[k];
+                    for (c, &m) in self.coeffs.row(k).iter().zip(&self.support) {
+                        y += c * (row[m] + st.basis_means[m]);
+                    }
+                    y
+                })
+                .collect();
+            per_state.push((pred, truth));
+        }
+        Ok(metrics::mean_state_relative_rms(&per_state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_2_states() -> PerStateModel {
+        // State 0: y = 1 + 2·x0 − 1·x2; state 1: y = −1 + 3·x0 + 0.5·x2.
+        let coeffs = Matrix::from_rows(&[&[2.0, -1.0], &[3.0, 0.5]]).unwrap();
+        PerStateModel::new(BasisSpec::Linear, 3, vec![0, 2], coeffs, vec![1.0, -1.0]).unwrap()
+    }
+
+    #[test]
+    fn predict_matches_hand_computation() {
+        let m = model_2_states();
+        let x = [2.0, 99.0, 4.0]; // x1 is not in the support, must be ignored
+        assert!((m.predict(0, &x).unwrap() - (1.0 + 4.0 - 4.0)).abs() < 1e-12);
+        assert!((m.predict(1, &x).unwrap() - (-1.0 + 6.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_from_basis_agrees_with_predict() {
+        let m = model_2_states();
+        let x = [0.3, -0.7, 1.1];
+        let b = BasisSpec::Linear.eval(&x);
+        assert_eq!(m.predict(1, &x).unwrap(), m.predict_from_basis(1, &b));
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let coeffs = Matrix::zeros(2, 2);
+        // unsorted support
+        assert!(PerStateModel::new(
+            BasisSpec::Linear,
+            3,
+            vec![2, 0],
+            coeffs.clone(),
+            vec![0.0; 2]
+        )
+        .is_err());
+        // duplicate support
+        assert!(PerStateModel::new(
+            BasisSpec::Linear,
+            3,
+            vec![1, 1],
+            coeffs.clone(),
+            vec![0.0; 2]
+        )
+        .is_err());
+        // support out of dictionary
+        assert!(PerStateModel::new(
+            BasisSpec::Linear,
+            3,
+            vec![0, 5],
+            coeffs.clone(),
+            vec![0.0; 2]
+        )
+        .is_err());
+        // wrong intercept count
+        assert!(
+            PerStateModel::new(BasisSpec::Linear, 3, vec![0, 1], coeffs, vec![0.0; 3]).is_err()
+        );
+    }
+
+    #[test]
+    fn predict_input_validation() {
+        let m = model_2_states();
+        assert!(m.predict(2, &[0.0; 3]).is_err());
+        assert!(m.predict(0, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn perfect_model_has_zero_error() {
+        // Build data exactly from the model, check modeling_error ≈ 0.
+        let m = model_2_states();
+        let mut rng = cbmf_stats::seeded_rng(2);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..2 {
+            let x = Matrix::from_fn(10, 3, |_, _| cbmf_stats::normal::sample(&mut rng));
+            let y: Vec<f64> = (0..10).map(|i| m.predict(k, x.row(i)).unwrap()).collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        let test = TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap();
+        assert!(m.modeling_error(&test).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn modeling_error_rejects_mismatched_problems() {
+        let m = model_2_states();
+        let x = Matrix::zeros(3, 3);
+        let one_state =
+            TunableProblem::from_samples(&[x], &[vec![1.0; 3]], BasisSpec::Linear).unwrap();
+        assert!(m.modeling_error(&one_state).is_err());
+    }
+
+    #[test]
+    fn empty_support_predicts_intercept() {
+        let m = PerStateModel::new(BasisSpec::Linear, 2, vec![], Matrix::zeros(1, 0), vec![7.5])
+            .unwrap();
+        assert_eq!(m.predict(0, &[1.0, 2.0]).unwrap(), 7.5);
+    }
+}

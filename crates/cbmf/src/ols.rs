@@ -1,0 +1,141 @@
+//! Plain per-state least-squares fitting (paper eq. 2).
+//!
+//! The classical baseline: each state solved independently by QR on the
+//! full dictionary. Requires `N_k > M` samples per state — exactly the
+//! over-sampling burden that sparse methods exist to remove — so in the
+//! large experiments it only appears on small synthetic problems and in
+//! tests as the reference the sparse solvers must approach.
+
+use cbmf_linalg::{Matrix, Qr};
+
+use crate::dataset::TunableProblem;
+use crate::error::CbmfError;
+use crate::model::PerStateModel;
+
+/// Fits each state independently with ordinary least squares.
+///
+/// # Errors
+///
+/// * [`CbmfError::TooFewSamples`] if any state has fewer samples than basis
+///   functions.
+/// * [`CbmfError::Linalg`] if a design matrix is rank-deficient.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::{ols, BasisSpec, TunableProblem};
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// let mut rng = cbmf_stats::seeded_rng(3);
+/// let x = Matrix::from_fn(20, 3, |_, _| cbmf_stats::normal::sample(&mut rng));
+/// let y: Vec<f64> = (0..20).map(|i| 5.0 + 2.0 * x[(i, 1)]).collect();
+/// let problem = TunableProblem::from_samples(&[x], &[y], BasisSpec::Linear)?;
+/// let model = ols::fit(&problem)?;
+/// assert!((model.coefficients()[(0, 1)] - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit(problem: &TunableProblem) -> Result<PerStateModel, CbmfError> {
+    let k = problem.num_states();
+    let m = problem.num_basis();
+    let mut coeffs = Matrix::zeros(k, m);
+    let mut intercepts = Vec::with_capacity(k);
+    for (ki, st) in problem.states().iter().enumerate() {
+        if st.len() <= m {
+            return Err(CbmfError::TooFewSamples {
+                have: st.len(),
+                need: m + 1,
+                r#for: "least-squares fitting",
+            });
+        }
+        let sol = Qr::new(&st.basis)?.solve_least_squares(&st.y)?;
+        intercepts.push(problem.intercept_for(ki, &(0..m).collect::<Vec<_>>(), &sol));
+        coeffs.row_mut(ki).copy_from_slice(&sol);
+    }
+    let d = dictionary_dim(problem);
+    PerStateModel::new(
+        problem.basis_spec(),
+        d,
+        (0..m).collect(),
+        coeffs,
+        intercepts,
+    )
+}
+
+/// Recovers the input dimension d from the problem's dictionary size.
+pub(crate) fn dictionary_dim(problem: &TunableProblem) -> usize {
+    match problem.basis_spec() {
+        crate::BasisSpec::Linear => problem.num_basis(),
+        crate::BasisSpec::LinearSquares => problem.num_basis() / 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BasisSpec;
+    use cbmf_stats::{normal, seeded_rng};
+
+    #[test]
+    fn recovers_exact_linear_model_per_state() {
+        let mut rng = seeded_rng(10);
+        let d = 4;
+        let truths = [
+            (vec![1.0, 0.0, -2.0, 0.5], 3.0),
+            (vec![1.5, 0.2, -1.0, 0.0], -1.0),
+        ];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (w, b) in &truths {
+            let x = Matrix::from_fn(30, d, |_, _| normal::sample(&mut rng));
+            let y: Vec<f64> = (0..30)
+                .map(|i| b + x.row(i).iter().zip(w).map(|(xi, wi)| xi * wi).sum::<f64>())
+                .collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        let problem = TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap();
+        let model = fit(&problem).unwrap();
+        for (k, (w, _)) in truths.iter().enumerate() {
+            for (j, wj) in w.iter().enumerate() {
+                assert!(
+                    (model.coefficients()[(k, j)] - wj).abs() < 1e-9,
+                    "state {k} coeff {j}"
+                );
+            }
+        }
+        assert!(model.modeling_error(&problem).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_state_is_rejected() {
+        let mut rng = seeded_rng(11);
+        let x = Matrix::from_fn(3, 5, |_, _| normal::sample(&mut rng));
+        let y = vec![1.0, 2.0, 3.0];
+        let problem = TunableProblem::from_samples(&[x], &[y], BasisSpec::Linear).unwrap();
+        assert!(matches!(
+            fit(&problem),
+            Err(CbmfError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_shrinks_with_sample_count() {
+        let mut rng = seeded_rng(12);
+        let d = 3;
+        let gen = |n: usize, rng: &mut cbmf_stats::SeededRng| {
+            let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
+            let y: Vec<f64> = (0..n)
+                .map(|i| 2.0 * x[(i, 0)] + 0.3 * normal::sample(rng))
+                .collect();
+            TunableProblem::from_samples(&[x], &[y], BasisSpec::Linear).unwrap()
+        };
+        let small = gen(8, &mut rng);
+        let big = gen(400, &mut rng);
+        let coef_small = fit(&small).unwrap().coefficients()[(0, 0)];
+        let coef_big = fit(&big).unwrap().coefficients()[(0, 0)];
+        assert!((coef_big - 2.0).abs() < (coef_small - 2.0).abs() + 0.05);
+        assert!((coef_big - 2.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,223 @@
+use cbmf_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CbmfError;
+
+/// The C-BMF prior (paper eqs. 8–11): per-basis sparsity hyper-parameters
+/// `λ_m`, a shared K×K cross-state correlation matrix `R` (eq. 9), and the
+/// observation-noise standard deviation `σ0` (eq. 15).
+///
+/// Under this prior the coefficients of basis `m` across all K states are
+/// jointly Gaussian, `α_m ~ N(0, λ_m·R)`, independent across `m` — the
+/// "unified prior distribution" that encodes sparsity (λ_m → 0), shared
+/// template (one λ_m for all states) and correlated magnitudes (off-diagonal
+/// R) at once.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf::CbmfPrior;
+///
+/// # fn main() -> Result<(), cbmf::CbmfError> {
+/// let prior = CbmfPrior::with_toeplitz_r(vec![1.0, 0.0, 1.0], 4, 0.9, 0.1)?;
+/// assert_eq!(prior.num_states(), 4);
+/// assert!((prior.r()[(0, 3)] - 0.9f64.powi(3)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CbmfPrior {
+    lambda: Vec<f64>,
+    r: Matrix,
+    sigma0: f64,
+}
+
+impl CbmfPrior {
+    /// Floor applied to every `λ_m` to keep covariances well-defined; the
+    /// paper's Algorithm 1 step 17 initializes pruned bases at `1e-5`, and
+    /// EM may drive them further down — never below this.
+    pub const LAMBDA_FLOOR: f64 = 1e-12;
+
+    /// Creates a prior from explicit hyper-parameters.
+    ///
+    /// `r` is symmetrized; `λ` values are floored at
+    /// [`CbmfPrior::LAMBDA_FLOOR`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `λ` is empty or contains
+    /// negative/non-finite values, `r` is not square, has non-unit-scale
+    /// issues (non-finite entries), or `σ0` is not positive.
+    pub fn new(lambda: Vec<f64>, r: Matrix, sigma0: f64) -> Result<Self, CbmfError> {
+        if lambda.is_empty() {
+            return Err(CbmfError::InvalidInput {
+                what: "prior needs at least one basis hyper-parameter".to_string(),
+            });
+        }
+        if lambda.iter().any(|l| !l.is_finite() || *l < 0.0) {
+            return Err(CbmfError::InvalidInput {
+                what: "lambda values must be finite and non-negative".to_string(),
+            });
+        }
+        if !r.is_square() || r.rows() == 0 {
+            return Err(CbmfError::InvalidInput {
+                what: format!("R must be square and non-empty, got {:?}", r.shape()),
+            });
+        }
+        if !r.is_finite() {
+            return Err(CbmfError::InvalidInput {
+                what: "R contains non-finite entries".to_string(),
+            });
+        }
+        if !(sigma0.is_finite() && sigma0 > 0.0) {
+            return Err(CbmfError::InvalidInput {
+                what: format!("sigma0 must be positive and finite, got {sigma0}"),
+            });
+        }
+        let lambda = lambda
+            .into_iter()
+            .map(|l| l.max(Self::LAMBDA_FLOOR))
+            .collect();
+        Ok(CbmfPrior {
+            lambda,
+            r: r.symmetrized(),
+            sigma0,
+        })
+    }
+
+    /// Creates a prior with the parameterized Toeplitz correlation of the
+    /// initializer (paper eq. 32): `R[i][j] = r0^{|i−j|}`.
+    ///
+    /// # Errors
+    ///
+    /// Additionally to [`CbmfPrior::new`], rejects `r0` outside `[0, 1)`.
+    pub fn with_toeplitz_r(
+        lambda: Vec<f64>,
+        num_states: usize,
+        r0: f64,
+        sigma0: f64,
+    ) -> Result<Self, CbmfError> {
+        CbmfPrior::new(lambda, toeplitz_r(num_states, r0)?, sigma0)
+    }
+
+    /// Number of basis functions M.
+    pub fn num_basis(&self) -> usize {
+        self.lambda.len()
+    }
+
+    /// Number of states K.
+    pub fn num_states(&self) -> usize {
+        self.r.rows()
+    }
+
+    /// The sparsity hyper-parameters `λ`.
+    pub fn lambda(&self) -> &[f64] {
+        &self.lambda
+    }
+
+    /// The cross-state correlation matrix `R`.
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// The observation-noise standard deviation `σ0`.
+    pub fn sigma0(&self) -> f64 {
+        self.sigma0
+    }
+
+    /// Indices of basis functions whose λ exceeds `threshold · max(λ)` —
+    /// the effective support the prior encodes.
+    pub fn active_basis(&self, threshold: f64) -> Vec<usize> {
+        let max = self.lambda.iter().copied().fold(0.0_f64, f64::max);
+        let cut = threshold * max;
+        self.lambda
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l > cut)
+            .map(|(m, _)| m)
+            .collect()
+    }
+}
+
+/// The eq.-32 correlation matrix: `R[i][j] = r0^{|i−j|}` for K states.
+///
+/// # Errors
+///
+/// Returns [`CbmfError::InvalidInput`] if `k == 0` or `r0 ∉ [0, 1)`.
+pub fn toeplitz_r(k: usize, r0: f64) -> Result<Matrix, CbmfError> {
+    if k == 0 {
+        return Err(CbmfError::InvalidInput {
+            what: "need at least one state".to_string(),
+        });
+    }
+    if !(0.0..1.0).contains(&r0) {
+        return Err(CbmfError::InvalidInput {
+            what: format!("r0 must be in [0, 1), got {r0}"),
+        });
+    }
+    Ok(Matrix::from_fn(k, k, |i, j| {
+        r0.powi((i as i64 - j as i64).unsigned_abs() as i32)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_linalg::Cholesky;
+
+    #[test]
+    fn toeplitz_matches_eq_32() {
+        let r = toeplitz_r(4, 0.5).unwrap();
+        assert_eq!(r[(0, 0)], 1.0);
+        assert_eq!(r[(0, 1)], 0.5);
+        assert_eq!(r[(0, 3)], 0.125);
+        assert_eq!(r[(2, 1)], 0.5);
+        // Kac–Murdock–Szegő matrices are PD for |r0| < 1.
+        assert!(Cholesky::new(&r).is_ok());
+    }
+
+    #[test]
+    fn toeplitz_r0_zero_is_identity() {
+        let r = toeplitz_r(3, 0.0).unwrap();
+        assert_eq!(r, Matrix::identity(3));
+    }
+
+    #[test]
+    fn toeplitz_validation() {
+        assert!(toeplitz_r(0, 0.5).is_err());
+        assert!(toeplitz_r(3, 1.0).is_err());
+        assert!(toeplitz_r(3, -0.1).is_err());
+    }
+
+    #[test]
+    fn prior_floors_lambda() {
+        let p = CbmfPrior::with_toeplitz_r(vec![0.0, 1.0], 2, 0.9, 0.1).unwrap();
+        assert!(p.lambda()[0] >= CbmfPrior::LAMBDA_FLOOR);
+        assert_eq!(p.lambda()[1], 1.0);
+    }
+
+    #[test]
+    fn prior_validation() {
+        let r = Matrix::identity(2);
+        assert!(CbmfPrior::new(vec![], r.clone(), 0.1).is_err());
+        assert!(CbmfPrior::new(vec![-1.0], r.clone(), 0.1).is_err());
+        assert!(CbmfPrior::new(vec![1.0], Matrix::zeros(2, 3), 0.1).is_err());
+        assert!(CbmfPrior::new(vec![1.0], r.clone(), 0.0).is_err());
+        assert!(CbmfPrior::new(vec![1.0], r, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn r_is_symmetrized() {
+        let r = Matrix::from_rows(&[&[1.0, 0.8], &[0.6, 1.0]]).unwrap();
+        let p = CbmfPrior::new(vec![1.0], r, 0.1).unwrap();
+        assert_eq!(p.r()[(0, 1)], p.r()[(1, 0)]);
+        assert!((p.r()[(0, 1)] - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn active_basis_thresholds_relative_to_max() {
+        let p = CbmfPrior::with_toeplitz_r(vec![1.0, 1e-5, 0.5, 1e-9], 2, 0.5, 0.1).unwrap();
+        assert_eq!(p.active_basis(1e-3), vec![0, 2]);
+        assert_eq!(p.active_basis(1e-10), vec![0, 1, 2, 3]);
+    }
+}

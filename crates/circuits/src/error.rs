@@ -1,0 +1,86 @@
+use std::fmt;
+
+use cbmf_linalg::LinalgError;
+
+/// Error type for the circuit-simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A netlist referenced a node that was never allocated.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of allocated nodes.
+        num_nodes: usize,
+    },
+    /// An element value was non-physical (negative resistance, NaN, ...).
+    BadElementValue {
+        /// Description of the element and value.
+        what: String,
+    },
+    /// The MNA system could not be solved (floating node, singular matrix).
+    SolveFailed(LinalgError),
+    /// A testbench was driven with inputs of the wrong shape.
+    BadInput {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { node, num_nodes } => {
+                write!(f, "node {node} does not exist ({num_nodes} allocated)")
+            }
+            CircuitError::BadElementValue { what } => {
+                write!(f, "bad element value: {what}")
+            }
+            CircuitError::SolveFailed(e) => write!(f, "mna solve failed: {e}"),
+            CircuitError::BadInput { what } => write!(f, "bad input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::SolveFailed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CircuitError {
+    fn from(e: LinalgError) -> Self {
+        CircuitError::SolveFailed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CircuitError::UnknownNode {
+            node: 7,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains("node 7"));
+        let e = CircuitError::BadElementValue {
+            what: "resistor R1 = -5 ohms".to_string(),
+        };
+        assert!(e.to_string().contains("R1"));
+        let e = CircuitError::from(LinalgError::Singular { pivot: 2 });
+        assert!(e.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CircuitError>();
+    }
+}

@@ -1,0 +1,75 @@
+//! Analog/RF circuit-simulation substrate for the C-BMF reproduction.
+//!
+//! The paper evaluates C-BMF on transistor-level Monte Carlo data from a
+//! commercial 32 nm SOI CMOS process — a proprietary substrate we cannot
+//! ship. This crate is the documented substitution (see `DESIGN.md`): a
+//! small-signal modified-nodal-analysis (MNA) simulator with a behavioural
+//! MOS model, a Pelgrom-style process-variation model, and the two tunable
+//! testbenches of the paper:
+//!
+//! * [`Lna`] — a tunable 2.4 GHz low-noise amplifier with 32 knob states and
+//!   1264 process-variation variables (noise figure, voltage gain, IIP3).
+//! * [`Mixer`] — a tunable 2.4 GHz down-conversion mixer with 32 states and
+//!   1303 variables (noise figure, voltage gain, input-referred 1 dB
+//!   compression point).
+//!
+//! What matters for the statistical experiments is preserved: each
+//! performance metric is a smooth function of >1000 Gaussian variables with
+//! a small number of strong (inter-die) contributors and a long tail of weak
+//! (per-unit-device mismatch) contributors, and the functions for different
+//! knob states are strongly but imperfectly correlated because the same
+//! physical devices are active in every state.
+//!
+//! [`MonteCarlo`] collects training/testing sets from any [`Testbench`] and
+//! charges virtual simulation cost through [`SimCostModel`], which is how the
+//! "simulation cost (hours)" rows of Tables 1–2 are regenerated without a
+//! 2.53 GHz Linux server from 2016.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbmf_circuits::{Lna, Testbench};
+//!
+//! # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+//! let lna = Lna::new();
+//! assert_eq!(lna.num_states(), 32);
+//! assert_eq!(lna.num_variables(), 1264);
+//! let nominal = vec![0.0; lna.num_variables()];
+//! let poi = lna.simulate(0, &nominal)?;
+//! assert_eq!(poi.len(), 3); // NF, VG, IIP3
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cost;
+mod error;
+mod lna;
+mod mixer;
+mod mna;
+mod montecarlo;
+mod mosfet;
+mod netlist;
+mod noise;
+mod testbench;
+mod variation;
+mod vco;
+
+pub use cost::{SimCostModel, VirtualCost};
+pub use error::CircuitError;
+pub use lna::Lna;
+pub use mixer::Mixer;
+pub use mna::{AcSolution, AcSolver, FactoredAc};
+pub use montecarlo::{MonteCarlo, StateSamples, TunableDataset};
+pub use mosfet::{Mosfet, MosfetDeltas, SmallSignal};
+pub use netlist::{Element, Netlist, NodeId};
+pub use noise::{NoiseAnalysis, NoiseContribution};
+pub use testbench::Testbench;
+pub use variation::{DeviceClass, VariationModel};
+pub use vco::Vco;
+
+/// Boltzmann constant times four times the standard noise temperature
+/// (290 K), in joules: the thermal-noise prefactor `4kT ≈ 1.6e-20`.
+pub const FOUR_K_T: f64 = 4.0 * 1.380649e-23 * 290.0;

@@ -1,0 +1,560 @@
+use crate::cost::SimCostModel;
+use crate::error::CircuitError;
+use crate::mna::AcSolver;
+use crate::mosfet::{Mosfet, MosfetDeltas, SmallSignal};
+use crate::netlist::Netlist;
+use crate::noise::{NoiseAnalysis, NoiseContribution};
+use crate::testbench::Testbench;
+use crate::variation::{DeviceClass, VariationModel};
+use crate::FOUR_K_T;
+
+/// Number of inter-die (global) variation variables.
+const INTER_DIE: usize = 16;
+/// Mismatch parameters per unit finger for the LNA (MosfetDeltas prefix).
+const PARAMS_PER_FINGER: usize = 8;
+/// Unit fingers of the input device M1.
+const M1_FINGERS: usize = 64;
+/// Unit fingers of the cascode device M2.
+const M2_FINGERS: usize = 48;
+/// Unit fingers of the bias current mirror.
+const MIRROR_FINGERS: usize = 44;
+
+// Indices into the inter-die block (shared with the mixer testbench).
+pub(crate) const G_VTHN: usize = 0;
+pub(crate) const G_BETAN: usize = 2;
+pub(crate) const G_LEFF: usize = 4;
+pub(crate) const G_WEFF: usize = 5;
+pub(crate) const G_CAP: usize = 6;
+pub(crate) const G_RSHEET: usize = 7;
+pub(crate) const G_CPASSIVE: usize = 8;
+pub(crate) const G_IND: usize = 9;
+pub(crate) const G_THETAN: usize = 10;
+pub(crate) const G_KF: usize = 12;
+pub(crate) const G_GAMMA: usize = 13;
+pub(crate) const G_BIAS: usize = 14;
+pub(crate) const G_PACKAGE: usize = 15;
+// G1 (vthp), G3 (betap) and G11 (thetap) are PMOS globals: present in the
+// variation space (the PDK models them) but with zero effect on these
+// NMOS-only RF paths — genuinely irrelevant regressors for the sparse model.
+
+/// Inter-die coupling weights, expressed in units of the local per-finger
+/// sigma (inter-die components are several times larger than single-finger
+/// mismatch and hit all fingers coherently).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InterDieWeights {
+    pub vth: f64,
+    pub beta: f64,
+    pub leff: f64,
+    pub weff: f64,
+    pub cap: f64,
+    pub theta: f64,
+    pub kf: f64,
+}
+
+impl InterDieWeights {
+    pub(crate) fn nmos() -> Self {
+        InterDieWeights {
+            vth: 2.0,
+            beta: 1.5,
+            leff: 1.2,
+            weff: 1.0,
+            cap: 1.5,
+            theta: 1.0,
+            kf: 1.0,
+        }
+    }
+}
+
+/// Combines one finger's local mismatch parameters with the shared
+/// inter-die shifts into the deltas the device model consumes.
+pub(crate) fn combined_deltas(
+    local: &[f64],
+    globals: &[f64],
+    w: &InterDieWeights,
+) -> Result<MosfetDeltas, CircuitError> {
+    let mut d = MosfetDeltas::from_slice(local)?;
+    d.dvth += w.vth * globals[G_VTHN];
+    d.dbeta += w.beta * globals[G_BETAN];
+    d.dleff += w.leff * globals[G_LEFF];
+    d.dweff += w.weff * globals[G_WEFF];
+    d.dcap += w.cap * globals[G_CAP];
+    d.dtheta += w.theta * globals[G_THETAN];
+    d.dkf += w.kf * globals[G_KF];
+    Ok(d)
+}
+
+/// Aggregates the small-signal parameters of a multi-finger transistor:
+/// parallel fingers sum currents, so every parameter adds.
+pub(crate) fn aggregate_fingers(
+    unit: &Mosfet,
+    model: &VariationModel,
+    x: &[f64],
+    class: usize,
+    unit_bias: f64,
+    freq: f64,
+    w: &InterDieWeights,
+) -> Result<SmallSignal, CircuitError> {
+    let globals = model.inter_die(x);
+    let fingers = model.classes()[class].fingers;
+    let mut agg = SmallSignal {
+        gm: 0.0,
+        gds: 0.0,
+        cgs: 0.0,
+        cgd: 0.0,
+        gm2: 0.0,
+        gm3: 0.0,
+        thermal_noise_psd: 0.0,
+        flicker_noise_psd: 0.0,
+    };
+    for f in 0..fingers {
+        let local = model.finger_params(x, class, f);
+        let d = combined_deltas(local, globals, w)?;
+        let ss = unit.small_signal(unit_bias, &d, freq);
+        agg.gm += ss.gm;
+        agg.gds += ss.gds;
+        agg.cgs += ss.cgs;
+        agg.cgd += ss.cgd;
+        agg.gm2 += ss.gm2;
+        agg.gm3 += ss.gm3;
+        agg.thermal_noise_psd += ss.thermal_noise_psd;
+        agg.flicker_noise_psd += ss.flicker_noise_psd;
+    }
+    Ok(agg)
+}
+
+/// Relative bias-current error contributed by a mismatched current mirror:
+/// the mean over mirror fingers of a VTH/β-driven per-finger error.
+pub(crate) fn mirror_bias_error(model: &VariationModel, x: &[f64], class: usize) -> f64 {
+    let c = &model.classes()[class];
+    let mut acc = 0.0;
+    for f in 0..c.fingers {
+        let p = model.finger_params(x, class, f);
+        // ΔI/I per finger ≈ 1.0%·ΔVTHσ + 0.8%·Δβσ.
+        acc += 0.010 * p[0] + 0.008 * p[1];
+    }
+    acc / c.fingers as f64
+}
+
+/// The tunable 2.4 GHz low-noise amplifier of the paper's Section 4.1.
+///
+/// Topology: inductively degenerated cascode NMOS LNA with an LC tank load.
+/// The input device (M1) and cascode (M2) are arrays of unit fingers, each
+/// carrying its own mismatch variables; a tunable current mirror sets the
+/// bias and provides the 32 knob states (the paper: "32 different knob
+/// configurations controlled by a tunable current source").
+///
+/// Variation space: 16 inter-die variables + (64 + 48 + 44) fingers × 8
+/// mismatch parameters = **1264** variables, matching the paper.
+///
+/// Metrics per (state, sample): noise figure `nf_db`, voltage gain `vg_db`,
+/// third-order input intercept `iip3_dbm`.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_circuits::{Lna, Testbench};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let lna = Lna::new();
+/// let x = vec![0.0; lna.num_variables()];
+/// let poi = lna.simulate(16, &x)?;
+/// let (nf, vg, iip3) = (poi[0], poi[1], poi[2]);
+/// assert!(nf > 0.5 && nf < 6.0, "plausible NF, got {nf} dB");
+/// assert!(vg > 10.0 && vg < 35.0, "plausible gain, got {vg} dB");
+/// assert!(iip3 > -25.0 && iip3 < 15.0, "plausible IIP3, got {iip3} dBm");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lna {
+    variation: VariationModel,
+    unit_m1: Mosfet,
+    unit_m2: Mosfet,
+    /// Analysis frequency (2.4 GHz).
+    freq: f64,
+    /// Nominal source resistance (50 Ω).
+    rs: f64,
+    /// Nominal total bias current at the center state, amperes.
+    bias0: f64,
+    /// External gate–source matching capacitor, farads.
+    cex: f64,
+    /// Degeneration inductor, henries.
+    ls: f64,
+    /// Gate inductor (tuned at construction for input resonance), henries.
+    lg: f64,
+    /// Load tank: inductor, capacitor, parallel loss resistor.
+    ld: f64,
+    cload: f64,
+    rtank: f64,
+}
+
+impl Lna {
+    /// Builds the LNA with the paper's dimensions (32 states, 1264
+    /// variables) and element values tuned for 2.4 GHz operation.
+    pub fn new() -> Self {
+        let variation = VariationModel::new(
+            INTER_DIE,
+            vec![
+                DeviceClass::new("M1 input", M1_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("M2 cascode", M2_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("bias mirror", MIRROR_FINGERS, PARAMS_PER_FINGER),
+            ],
+        );
+        debug_assert_eq!(variation.dim(), 1264);
+        let freq = 2.4e9;
+        let w0 = std::f64::consts::TAU * freq;
+        let unit_m1 = Mosfet::rf_nmos(M1_FINGERS, 0.0);
+        let unit_m2 = Mosfet::rf_nmos(M2_FINGERS, 0.0);
+        let bias0 = 4.0e-3;
+        let cex = 300e-15;
+
+        // Nominal M1 aggregate at the center state, for matching-element
+        // selection only (runtime uses per-sample values).
+        let nominal =
+            unit_m1.small_signal(bias0 / M1_FINGERS as f64, &MosfetDeltas::default(), freq);
+        let cgs_total = nominal.cgs * M1_FINGERS as f64 + cex;
+        let gm_total = nominal.gm * M1_FINGERS as f64;
+        // Source degeneration for Re(Zin) = 50 Ω: Ls = Rs·Cgs/gm.
+        let ls = 50.0 * cgs_total / gm_total;
+        // Gate inductor resonates the series input loop at f0.
+        let lg = (1.0 / (w0 * w0 * cgs_total) - ls).max(0.2e-9);
+        // Load tank resonant at f0.
+        let cload = 500e-15;
+        let ld = 1.0 / (w0 * w0 * cload);
+        let rtank = 600.0;
+
+        Lna {
+            variation,
+            unit_m1,
+            unit_m2,
+            freq,
+            rs: 50.0,
+            bias0,
+            cex,
+            ls,
+            lg,
+            ld,
+            cload,
+            rtank,
+        }
+    }
+
+    /// The variation-space layout (for interpreting fitted coefficients).
+    pub fn variation_model(&self) -> &VariationModel {
+        &self.variation
+    }
+
+    /// Total bias current of knob state `k` (before variation), amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= 32`.
+    pub fn state_bias(&self, state: usize) -> f64 {
+        assert!(state < 32, "lna has 32 states");
+        self.bias0 * (0.55 + 0.03 * state as f64)
+    }
+}
+
+impl Default for Lna {
+    fn default() -> Self {
+        Lna::new()
+    }
+}
+
+impl Testbench for Lna {
+    fn name(&self) -> &str {
+        "lna"
+    }
+
+    fn num_states(&self) -> usize {
+        32
+    }
+
+    fn num_variables(&self) -> usize {
+        self.variation.dim()
+    }
+
+    fn metric_names(&self) -> &[&'static str] {
+        &["nf_db", "vg_db", "iip3_dbm"]
+    }
+
+    fn simulate(&self, state: usize, x: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if state >= self.num_states() {
+            return Err(CircuitError::BadInput {
+                what: format!("state {state} out of range (32 states)"),
+            });
+        }
+        self.variation.check(x)?;
+        let g = self.variation.inter_die(x);
+        let w = InterDieWeights::nmos();
+
+        // --- Bias path: knob state, inter-die supply/bias, mirror mismatch.
+        let mirror_err = mirror_bias_error(&self.variation, x, 2);
+        let bias = self.state_bias(state) * (1.0 + 0.04 * g[G_BIAS] + mirror_err);
+
+        // --- Device aggregates under this sample's variations.
+        let m1 = aggregate_fingers(
+            &self.unit_m1,
+            &self.variation,
+            x,
+            0,
+            bias / M1_FINGERS as f64,
+            self.freq,
+            &w,
+        )?;
+        let m2 = aggregate_fingers(
+            &self.unit_m2,
+            &self.variation,
+            x,
+            1,
+            bias / M2_FINGERS as f64,
+            self.freq,
+            &w,
+        )?;
+
+        // --- Passive values under inter-die variation.
+        let rs = self.rs * (1.0 + 0.02 * g[G_PACKAGE]);
+        let rtank = self.rtank * (1.0 + 0.08 * g[G_RSHEET]);
+        let cex = self.cex * (1.0 + 0.05 * g[G_CPASSIVE]);
+        let cload = self.cload * (1.0 + 0.05 * g[G_CPASSIVE]);
+        let ind_scale = 1.0 + 0.03 * g[G_IND];
+        let (ls, lg, ld) = (
+            self.ls * ind_scale,
+            self.lg * ind_scale,
+            self.ld * ind_scale,
+        );
+        let gamma_scale = 1.0 + 0.05 * g[G_GAMMA];
+
+        // --- Build and solve the small-signal netlist at 2.4 GHz.
+        let mut nl = Netlist::new();
+        let n_in = nl.add_node();
+        let n_lg = nl.add_node();
+        let n_gate = nl.add_node();
+        let n_src = nl.add_node();
+        let n_casc = nl.add_node();
+        let n_out = nl.add_node();
+        let gnd = nl.ground();
+
+        // Norton source: 1 V Thevenin behind Rs.
+        let v_src = 1.0;
+        nl.add_current_source(gnd, n_in, v_src / rs)?;
+        nl.add_resistor(n_in, gnd, rs)?;
+        // Gate inductor with its series loss (Q ≈ 12 on-chip spiral); the
+        // loss resistance tracks the metal sheet-resistance corner and is
+        // the dominant contributor to a practical LNA's noise figure.
+        let r_lg = std::f64::consts::TAU * self.freq * lg / 12.0 * (1.0 + 0.06 * g[G_RSHEET]);
+        nl.add_inductor(n_in, n_lg, lg)?;
+        nl.add_resistor(n_lg, n_gate, r_lg)?;
+        nl.add_capacitor(n_gate, n_src, m1.cgs + cex)?;
+        nl.add_inductor(n_src, gnd, ls)?;
+        // M1: drain = casc, source = src, gate control.
+        nl.add_vccs(n_casc, n_src, n_gate, n_src, m1.gm)?;
+        nl.add_resistor(n_casc, n_src, 1.0 / m1.gds)?;
+        nl.add_capacitor(n_gate, n_casc, m1.cgd)?;
+        // M2 cascode: gate AC ground, source = casc, drain = out.
+        nl.add_vccs(n_out, n_casc, gnd, n_casc, m2.gm)?;
+        nl.add_resistor(n_out, n_casc, 1.0 / m2.gds)?;
+        nl.add_capacitor(n_casc, gnd, m2.cgs)?;
+        nl.add_capacitor(n_out, gnd, m2.cgd + cload)?;
+        // Load tank.
+        nl.add_inductor(n_out, gnd, ld)?;
+        nl.add_resistor(n_out, gnd, rtank)?;
+
+        let solver = AcSolver::new(&nl)?;
+        let fac = solver.factor(self.freq)?;
+        let sol = fac.solve_sources()?;
+        let vout = sol.voltage(n_out).abs();
+        let vgs = sol.differential(n_gate, n_src).abs();
+        let vg_db = 20.0 * (vout / v_src).max(1e-12).log10();
+
+        // --- Noise figure via per-source output noise.
+        let mut na = NoiseAnalysis::new();
+        let src_idx = na.add(NoiseContribution::to_node("Rs", FOUR_K_T / rs, n_in));
+        na.add(NoiseContribution::between(
+            "Lg loss",
+            FOUR_K_T / r_lg,
+            n_lg,
+            n_gate,
+        ));
+        na.add(NoiseContribution::between(
+            "M1 channel",
+            m1.thermal_noise_psd * gamma_scale + m1.flicker_noise_psd,
+            n_casc,
+            n_src,
+        ));
+        na.add(NoiseContribution::between(
+            "M2 channel",
+            m2.thermal_noise_psd * gamma_scale + m2.flicker_noise_psd,
+            n_out,
+            n_casc,
+        ));
+        na.add(NoiseContribution::to_node(
+            "tank loss",
+            FOUR_K_T / rtank,
+            n_out,
+        ));
+        let (_total, f) = na.noise_factor(&fac, n_out, None, src_idx)?;
+        let nf_db = 10.0 * f.log10();
+
+        // --- IIP3 from the aggregate input-stage nonlinearity, improved by
+        // the series (inductive-degeneration) feedback loop gain.
+        // Input-referred third-order intercept voltage (gate drive):
+        //   A² = (4/3)·|gm/gm3| · (1 + T)²  with loop gain T ≈ gm·ω·Ls.
+        let loop_gain = m1.gm * std::f64::consts::TAU * self.freq * ls;
+        let a_sq = (4.0 / 3.0) * (m1.gm / m1.gm3.abs().max(1e-12)) * (1.0 + loop_gain).powi(2);
+        // Refer from gate drive back to the source through the passive input
+        // network gain |vgs / vsrc|.
+        let input_gain = (vgs / v_src).max(1e-9);
+        let a_src_sq = a_sq / (input_gain * input_gain);
+        // Available power at the 50 Ω source: P = A²/(8·Rs), in dBm.
+        let iip3_dbm = 10.0 * (a_src_sq / (8.0 * rs) * 1000.0).log10();
+
+        Ok(vec![nf_db, vg_db, iip3_dbm])
+    }
+
+    fn cost_model(&self) -> SimCostModel {
+        SimCostModel::lna_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_stats::seeded_rng;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let lna = Lna::new();
+        assert_eq!(lna.num_states(), 32);
+        assert_eq!(lna.num_variables(), 1264);
+        assert_eq!(lna.metric_names().len(), 3);
+    }
+
+    #[test]
+    fn nominal_metrics_are_physical() {
+        let lna = Lna::new();
+        let x = vec![0.0; 1264];
+        for state in [0, 15, 31] {
+            let m = lna.simulate(state, &x).unwrap();
+            assert!(
+                m[0] > 0.3 && m[0] < 8.0,
+                "NF = {} dB at state {state}",
+                m[0]
+            );
+            assert!(
+                m[1] > 5.0 && m[1] < 40.0,
+                "VG = {} dB at state {state}",
+                m[1]
+            );
+            assert!(
+                m[2] > -30.0 && m[2] < 20.0,
+                "IIP3 = {} dBm at state {state}",
+                m[2]
+            );
+        }
+    }
+
+    #[test]
+    fn gain_increases_with_bias_state() {
+        let lna = Lna::new();
+        let x = vec![0.0; 1264];
+        let low = lna.simulate(0, &x).unwrap()[1];
+        let high = lna.simulate(31, &x).unwrap()[1];
+        assert!(high > low, "more bias, more gm, more gain: {low} vs {high}");
+    }
+
+    #[test]
+    fn noise_figure_improves_with_bias() {
+        let lna = Lna::new();
+        let x = vec![0.0; 1264];
+        let low = lna.simulate(0, &x).unwrap()[0];
+        let high = lna.simulate(31, &x).unwrap()[0];
+        assert!(high < low, "more gm lowers NF: {low} vs {high}");
+    }
+
+    #[test]
+    fn metrics_respond_to_global_variation() {
+        let lna = Lna::new();
+        let base = lna.simulate(10, &vec![0.0; 1264]).unwrap();
+        let mut x = vec![0.0; 1264];
+        x[G_VTHN] = 3.0;
+        let shifted = lna.simulate(10, &x).unwrap();
+        for (b, s) in base.iter().zip(&shifted) {
+            assert!((b - s).abs() > 1e-4, "global VTH must move every metric");
+        }
+    }
+
+    #[test]
+    fn pmos_globals_are_irrelevant() {
+        let lna = Lna::new();
+        let base = lna.simulate(10, &vec![0.0; 1264]).unwrap();
+        let mut x = vec![0.0; 1264];
+        x[1] = 4.0; // vthp
+        x[3] = 4.0; // betap
+        x[11] = 4.0; // thetap
+        let shifted = lna.simulate(10, &x).unwrap();
+        assert_eq!(base, shifted, "pmos globals must not touch the nmos lna");
+    }
+
+    #[test]
+    fn single_finger_mismatch_is_weak_but_nonzero() {
+        let lna = Lna::new();
+        let base = lna.simulate(10, &vec![0.0; 1264]).unwrap();
+        let mut x = vec![0.0; 1264];
+        let idx = lna.variation_model().param_index(0, 7, 0); // M1 finger 7 dvth
+        x[idx] = 3.0;
+        let shifted = lna.simulate(10, &x).unwrap();
+        let rel = ((base[1] - shifted[1]) / base[1]).abs();
+        assert!(rel > 0.0, "finger mismatch must have some effect");
+        assert!(rel < 0.01, "one finger of 64 must be weak: {rel}");
+        // Global VTH must dominate a single-finger shift.
+        let mut xg = vec![0.0; 1264];
+        xg[G_VTHN] = 3.0;
+        let global = lna.simulate(10, &xg).unwrap();
+        let rel_g = ((base[1] - global[1]) / base[1]).abs();
+        assert!(rel_g > 10.0 * rel, "inter-die beats single-finger mismatch");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_smooth() {
+        let lna = Lna::new();
+        let mut rng = seeded_rng(3);
+        let x = lna.variation_model().sample(&mut rng);
+        let a = lna.simulate(5, &x).unwrap();
+        let b = lna.simulate(5, &x).unwrap();
+        assert_eq!(a, b);
+        // Small perturbation, small effect (smoothness).
+        let mut x2 = x.clone();
+        x2[0] += 1e-5;
+        let c = lna.simulate(5, &x2).unwrap();
+        for (ai, ci) in a.iter().zip(&c) {
+            assert!((ai - ci).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn random_samples_stay_finite_and_physical() {
+        let lna = Lna::new();
+        let mut rng = seeded_rng(4);
+        for state in [0usize, 31] {
+            for _ in 0..5 {
+                let x = lna.variation_model().sample(&mut rng);
+                let m = lna.simulate(state, &x).unwrap();
+                assert!(m.iter().all(|v| v.is_finite()), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let lna = Lna::new();
+        assert!(lna.simulate(32, &vec![0.0; 1264]).is_err());
+        assert!(lna.simulate(0, &[0.0; 10]).is_err());
+    }
+
+    #[test]
+    fn cost_model_matches_table1() {
+        let lna = Lna::new();
+        assert!((lna.cost_model().charge(1120).hours() - 2.72).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,378 @@
+use crate::cost::SimCostModel;
+use crate::error::CircuitError;
+use crate::lna::{
+    aggregate_fingers, mirror_bias_error, InterDieWeights, G_BIAS, G_CPASSIVE, G_GAMMA, G_IND,
+    G_PACKAGE, G_RSHEET,
+};
+use crate::mna::AcSolver;
+use crate::mosfet::Mosfet;
+use crate::netlist::Netlist;
+use crate::testbench::Testbench;
+use crate::variation::{DeviceClass, VariationModel};
+use crate::FOUR_K_T;
+
+/// Inter-die variables shared with the LNA layout.
+const INTER_DIE: usize = 16;
+/// Mismatch parameters per unit finger (full [`crate::MosfetDeltas`] set).
+const PARAMS_PER_FINGER: usize = 9;
+/// Unit fingers of the RF transconductance stage.
+const GM_FINGERS: usize = 55;
+/// Unit fingers of the switching quad (total across the four switches).
+const SW_FINGERS: usize = 64;
+/// Unit fingers of the tail-current mirror.
+const MIRROR_FINGERS: usize = 24;
+
+/// The tunable 2.4 GHz down-conversion mixer of the paper's Section 4.2.
+///
+/// A double-balanced (Gilbert) down-converter: the RF input network and
+/// transconductance stage are solved by MNA at 2.4 GHz; frequency
+/// translation through the switching quad and the IF load are evaluated
+/// behaviourally with the standard 2/π commutation factor, switch
+/// transition losses, and per-mechanism output noise. The 32 knob states
+/// are set by **two tunable load resistors** (the paper's knob), swept
+/// jointly; tuning the loads trades conversion gain against compression.
+///
+/// Variation space: 16 inter-die variables + (55 + 64 + 24) fingers × 9
+/// mismatch parameters = **1303** variables, matching the paper.
+///
+/// Metrics per (state, sample): noise figure `nf_db`, conversion voltage
+/// gain `vg_db`, input-referred 1 dB compression point `i1dbcp_dbm`.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_circuits::{Mixer, Testbench};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let mixer = Mixer::new();
+/// assert_eq!(mixer.num_variables(), 1303);
+/// let poi = mixer.simulate(0, &vec![0.0; 1303])?;
+/// assert!(poi[0] > 3.0 && poi[0] < 20.0); // NF plausible for a mixer
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mixer {
+    variation: VariationModel,
+    unit_gm: Mosfet,
+    unit_sw: Mosfet,
+    /// RF frequency (2.4 GHz).
+    freq_rf: f64,
+    /// IF frequency where the output noise is evaluated (10 MHz).
+    freq_if: f64,
+    /// Source resistance, ohms.
+    rs: f64,
+    /// Nominal tail bias current, amperes.
+    bias0: f64,
+    /// Nominal single-side load resistance, ohms.
+    rload0: f64,
+    /// External input matching capacitor, farads.
+    cex: f64,
+    /// Input matching inductor (tuned at construction), henries.
+    lmatch: f64,
+    /// LO amplitude at the switch gates, volts.
+    v_lo: f64,
+}
+
+impl Mixer {
+    /// Builds the mixer with the paper's dimensions (32 states, 1303
+    /// variables).
+    pub fn new() -> Self {
+        let variation = VariationModel::new(
+            INTER_DIE,
+            vec![
+                DeviceClass::new("gm stage", GM_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("switch quad", SW_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("tail mirror", MIRROR_FINGERS, PARAMS_PER_FINGER),
+            ],
+        );
+        debug_assert_eq!(variation.dim(), 1303);
+        let freq_rf = 2.4e9;
+        let w0 = std::f64::consts::TAU * freq_rf;
+        let unit_gm = Mosfet::rf_nmos(GM_FINGERS, 0.0);
+        let unit_sw = Mosfet::rf_nmos(SW_FINGERS, 0.0);
+        let bias0 = 3.0e-3;
+        let cex = 250e-15;
+        let nominal = unit_gm.small_signal(
+            bias0 / GM_FINGERS as f64,
+            &crate::mosfet::MosfetDeltas::default(),
+            freq_rf,
+        );
+        let cgs_total = nominal.cgs * GM_FINGERS as f64 + cex;
+        let lmatch = 1.0 / (w0 * w0 * cgs_total);
+
+        Mixer {
+            variation,
+            unit_gm,
+            unit_sw,
+            freq_rf,
+            freq_if: 10.0e6,
+            rs: 50.0,
+            bias0,
+            rload0: 400.0,
+            cex,
+            lmatch,
+            v_lo: 0.6,
+        }
+    }
+
+    /// The variation-space layout (for interpreting fitted coefficients).
+    pub fn variation_model(&self) -> &VariationModel {
+        &self.variation
+    }
+
+    /// The two tunable load resistances of knob state `k` (before
+    /// variation), ohms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= 32`.
+    pub fn state_loads(&self, state: usize) -> (f64, f64) {
+        assert!(state < 32, "mixer has 32 states");
+        let r1 = self.rload0 * (0.75 + 0.020 * state as f64);
+        let r2 = self.rload0 * (0.80 + 0.018 * state as f64);
+        (r1, r2)
+    }
+}
+
+impl Default for Mixer {
+    fn default() -> Self {
+        Mixer::new()
+    }
+}
+
+impl Testbench for Mixer {
+    fn name(&self) -> &str {
+        "mixer"
+    }
+
+    fn num_states(&self) -> usize {
+        32
+    }
+
+    fn num_variables(&self) -> usize {
+        self.variation.dim()
+    }
+
+    fn metric_names(&self) -> &[&'static str] {
+        &["nf_db", "vg_db", "i1dbcp_dbm"]
+    }
+
+    fn simulate(&self, state: usize, x: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if state >= self.num_states() {
+            return Err(CircuitError::BadInput {
+                what: format!("state {state} out of range (32 states)"),
+            });
+        }
+        self.variation.check(x)?;
+        let g = self.variation.inter_die(x);
+        let w = InterDieWeights::nmos();
+
+        // --- Bias path.
+        let mirror_err = mirror_bias_error(&self.variation, x, 2);
+        let bias = self.bias0 * (1.0 + 0.04 * g[G_BIAS] + mirror_err);
+
+        // --- Device aggregates. The gm stage runs the full tail current;
+        // each switch pair carries half on average, and flicker matters at
+        // the IF frequency, so switches are evaluated there.
+        let gm_stage = aggregate_fingers(
+            &self.unit_gm,
+            &self.variation,
+            x,
+            0,
+            bias / GM_FINGERS as f64,
+            self.freq_rf,
+            &w,
+        )?;
+        let switches = aggregate_fingers(
+            &self.unit_sw,
+            &self.variation,
+            x,
+            1,
+            0.5 * bias / SW_FINGERS as f64,
+            self.freq_if,
+            &w,
+        )?;
+
+        // --- Passives under inter-die variation.
+        let rs = self.rs * (1.0 + 0.02 * g[G_PACKAGE]);
+        let r_sheet = 1.0 + 0.06 * g[G_RSHEET];
+        let (r1_nom, r2_nom) = self.state_loads(state);
+        let r_load = 0.5 * (r1_nom + r2_nom) * r_sheet;
+        let cex = self.cex * (1.0 + 0.05 * g[G_CPASSIVE]);
+        let lmatch = self.lmatch * (1.0 + 0.03 * g[G_IND]);
+        let gamma_scale = 1.0 + 0.05 * g[G_GAMMA];
+
+        // --- RF input network solved by MNA: |vgs / vsrc| at 2.4 GHz.
+        let mut nl = Netlist::new();
+        let n_in = nl.add_node();
+        let n_gate = nl.add_node();
+        let gnd = nl.ground();
+        let v_src = 1.0;
+        nl.add_current_source(gnd, n_in, v_src / rs)?;
+        nl.add_resistor(n_in, gnd, rs)?;
+        nl.add_inductor(n_in, n_gate, lmatch)?;
+        nl.add_capacitor(n_gate, gnd, gm_stage.cgs + cex)?;
+        // Gate bias network loss (deliberately lossy: keeps the passive
+        // input boost modest, as in practical mixer front-ends).
+        nl.add_resistor(n_gate, gnd, 500.0)?;
+        let sol = AcSolver::new(&nl)?.solve(self.freq_rf)?;
+        let h_in = sol.voltage(n_gate).abs() / v_src;
+
+        // --- Commutation: ideal 2/π minus switch-transition loss. The loss
+        // grows with the switch overdrive relative to the LO amplitude
+        // (slower switching), which couples switch variations into VG/NF.
+        let vov_sw = (bias / switches.gm).min(0.6); // ≈ 2·(I/2)/gm_total
+        let transition_loss = (vov_sw / (std::f64::consts::PI * self.v_lo)).min(0.5);
+        let commutation = (2.0 / std::f64::consts::PI) * (1.0 - transition_loss);
+
+        // Effective load includes the gm-stage and switch output
+        // conductances in parallel with each resistor.
+        let r_eff = 1.0 / (1.0 / r_load + gm_stage.gds + 0.5 * switches.gds);
+        let conv_gain = commutation * gm_stage.gm * h_in * r_eff;
+        let vg_db = 20.0 * conv_gain.max(1e-12).log10();
+
+        // --- Output noise at IF (V²/Hz). White RF-path mechanisms fold from
+        // both sidebands (factor 2); the single-sideband noise figure then
+        // references only the signal-sideband source noise (s_src / 2).
+        let s_src = 4.0 * 1.380649e-23 * 290.0 * rs * conv_gain * conv_gain;
+        let i2r = commutation * r_eff; // current-to-output transimpedance
+        let s_gm = 2.0 * i2r * i2r * gm_stage.thermal_noise_psd * gamma_scale;
+        // Switches in a Gilbert quad contribute strongly around the LO
+        // transitions (the classical 4kTγI/(πA_LO)-type term); modeled as
+        // their aggregate channel noise weighted by a transition factor,
+        // plus flicker at IF leaking through commutation imbalance.
+        let sw_transition_factor = 2.0 * (1.0 + vov_sw / self.v_lo);
+        let s_sw_thermal =
+            r_eff * r_eff * switches.thermal_noise_psd * gamma_scale * sw_transition_factor;
+        let s_sw_flicker = r_eff * r_eff * switches.flicker_noise_psd * 0.25;
+        // Two load resistors in the differential output.
+        let s_load = 2.0 * FOUR_K_T * r_eff;
+        let total = s_src + s_gm + s_sw_thermal + s_sw_flicker + s_load;
+        let nf_db = 10.0 * (2.0 * total / s_src).log10();
+
+        // --- Input-referred 1 dB compression: the gm-stage third-order
+        // nonlinearity (P1dB = PIIP3 − 9.64 dB) combined with the output
+        // voltage-swing limit set by the IR headroom across the loads.
+        // Larger load states mean more gain but earlier output clipping,
+        // which is exactly the gain/linearity trade the tuning knob buys.
+        let a_iip3_sq = (4.0 / 3.0) * (gm_stage.gm / gm_stage.gm3.abs().max(1e-12));
+        let a_gm_sq = a_iip3_sq * 10f64.powf(-0.964) / (h_in * h_in); // gm-limited A²(1dB) at the source
+                                                                      // Supply headroom left after the static IR drop across the loads:
+                                                                      // bigger load states burn more headroom, clipping earlier.
+        let v_swing = (1.0 - 0.5 * bias * r_eff).max(0.1);
+        let a_swing_sq = (v_swing / conv_gain).powi(2);
+        let a_comb_sq = 1.0 / (1.0 / a_gm_sq + 1.0 / a_swing_sq);
+        let i1dbcp_dbm = 10.0 * (a_comb_sq / (8.0 * rs) * 1000.0).log10();
+
+        Ok(vec![nf_db, vg_db, i1dbcp_dbm])
+    }
+
+    fn cost_model(&self) -> SimCostModel {
+        SimCostModel::mixer_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_stats::seeded_rng;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let mixer = Mixer::new();
+        assert_eq!(mixer.num_states(), 32);
+        assert_eq!(mixer.num_variables(), 1303);
+    }
+
+    #[test]
+    fn nominal_metrics_are_physical() {
+        let mixer = Mixer::new();
+        let x = vec![0.0; 1303];
+        for state in [0, 15, 31] {
+            let m = mixer.simulate(state, &x).unwrap();
+            assert!(
+                m[0] > 3.0 && m[0] < 20.0,
+                "NF = {} dB at state {state}",
+                m[0]
+            );
+            assert!(
+                m[1] > 0.0 && m[1] < 30.0,
+                "VG = {} dB at state {state}",
+                m[1]
+            );
+            assert!(
+                m[2] > -30.0 && m[2] < 10.0,
+                "I1dBCP = {} dBm at state {state}",
+                m[2]
+            );
+        }
+    }
+
+    #[test]
+    fn gain_increases_with_load_state() {
+        let mixer = Mixer::new();
+        let x = vec![0.0; 1303];
+        let low = mixer.simulate(0, &x).unwrap()[1];
+        let high = mixer.simulate(31, &x).unwrap()[1];
+        assert!(high > low, "bigger loads, more conversion gain");
+    }
+
+    #[test]
+    fn state_loads_are_monotone_pairs() {
+        let mixer = Mixer::new();
+        let (a0, b0) = mixer.state_loads(0);
+        let (a31, b31) = mixer.state_loads(31);
+        assert!(a31 > a0 && b31 > b0);
+        assert_ne!(a0, b0, "two distinct tunable resistors");
+    }
+
+    #[test]
+    fn switch_mismatch_affects_metrics() {
+        let mixer = Mixer::new();
+        let base = mixer.simulate(5, &vec![0.0; 1303]).unwrap();
+        let mut x = vec![0.0; 1303];
+        // Shift all switch fingers' VTH coherently via the class block.
+        for f in 0..SW_FINGERS {
+            let idx = mixer.variation_model().param_index(1, f, 0);
+            x[idx] = 2.0;
+        }
+        let shifted = mixer.simulate(5, &x).unwrap();
+        assert!((base[1] - shifted[1]).abs() > 1e-6, "switches touch VG");
+    }
+
+    #[test]
+    fn random_samples_stay_finite() {
+        let mixer = Mixer::new();
+        let mut rng = seeded_rng(6);
+        for _ in 0..5 {
+            let x = mixer.variation_model().sample(&mut rng);
+            let m = mixer.simulate(20, &x).unwrap();
+            assert!(m.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mixer = Mixer::new();
+        let mut rng = seeded_rng(7);
+        let x = mixer.variation_model().sample(&mut rng);
+        assert_eq!(
+            mixer.simulate(3, &x).unwrap(),
+            mixer.simulate(3, &x).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let mixer = Mixer::new();
+        assert!(mixer.simulate(32, &vec![0.0; 1303]).is_err());
+        assert!(mixer.simulate(0, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn cost_model_matches_table2() {
+        let mixer = Mixer::new();
+        assert!((mixer.cost_model().charge(1120).hours() - 17.20).abs() < 1e-9);
+    }
+}

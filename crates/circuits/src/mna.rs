@@ -1,0 +1,419 @@
+use cbmf_linalg::{CLu, CMatrix, Complex64};
+
+use crate::error::CircuitError;
+use crate::netlist::{Element, Netlist, NodeId};
+
+/// Frequency-domain nodal-analysis solver.
+///
+/// Assembles the complex node-admittance matrix of a [`Netlist`] at a given
+/// frequency (ground eliminated), LU-factors it once, and solves for the node
+/// voltages under the netlist's current-source excitation or under arbitrary
+/// injected currents — the latter is what the noise analysis uses, one
+/// right-hand side per noise source, reusing the single factorization.
+///
+/// # Examples
+///
+/// Voltage divider: two 1 kΩ resistors driven by a 1 mA Norton source give
+/// 0.5 V at the midpoint only if the source sees both; here the source drives
+/// the top node directly, so `V(top) = I · (R1 + R2) = 2 V` is observed at
+/// the top and `1 V` at the midpoint:
+///
+/// ```
+/// use cbmf_circuits::{AcSolver, Netlist};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let mut nl = Netlist::new();
+/// let top = nl.add_node();
+/// let mid = nl.add_node();
+/// nl.add_resistor(top, mid, 1_000.0)?;
+/// nl.add_resistor(mid, nl.ground(), 1_000.0)?;
+/// nl.add_current_source(nl.ground(), top, 1e-3)?;
+/// let sol = AcSolver::new(&nl)?.solve(1.0)?;
+/// assert!((sol.voltage(top).re - 2.0).abs() < 1e-9);
+/// assert!((sol.voltage(mid).re - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AcSolver<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> AcSolver<'a> {
+    /// Creates a solver for the given netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::BadInput`] if the netlist has no non-ground
+    /// nodes.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, CircuitError> {
+        if netlist.num_nodes() < 2 {
+            return Err(CircuitError::BadInput {
+                what: "netlist has no nodes besides ground".to_string(),
+            });
+        }
+        Ok(AcSolver { netlist })
+    }
+
+    /// Assembles and factors the admittance matrix at `freq_hz`, returning a
+    /// reusable factored system.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadInput`] if `freq_hz` is not positive/finite.
+    /// * [`CircuitError::SolveFailed`] if the matrix is singular (e.g. a
+    ///   node with no DC path and no capacitive path anywhere).
+    pub fn factor(&self, freq_hz: f64) -> Result<FactoredAc, CircuitError> {
+        if !(freq_hz.is_finite() && freq_hz > 0.0) {
+            return Err(CircuitError::BadInput {
+                what: format!("analysis frequency must be positive, got {freq_hz}"),
+            });
+        }
+        let n = self.netlist.num_nodes() - 1; // ground eliminated
+        let omega = std::f64::consts::TAU * freq_hz;
+        let mut y = CMatrix::zeros(n, n);
+        let mut i_src = vec![Complex64::ZERO; n];
+
+        // Stamp a two-terminal admittance between nodes a and b.
+        let stamp_admittance = |y: &mut CMatrix, a: NodeId, b: NodeId, g: Complex64| {
+            let (ia, ib) = (a.index(), b.index());
+            if ia > 0 {
+                y.stamp(ia - 1, ia - 1, g);
+            }
+            if ib > 0 {
+                y.stamp(ib - 1, ib - 1, g);
+            }
+            if ia > 0 && ib > 0 {
+                y.stamp(ia - 1, ib - 1, -g);
+                y.stamp(ib - 1, ia - 1, -g);
+            }
+        };
+
+        for el in self.netlist.elements() {
+            match *el {
+                Element::Resistor { a, b, ohms } => {
+                    stamp_admittance(&mut y, a, b, Complex64::from_re(1.0 / ohms));
+                }
+                Element::Capacitor { a, b, farads } => {
+                    stamp_admittance(&mut y, a, b, Complex64::new(0.0, omega * farads));
+                }
+                Element::Inductor { a, b, henries } => {
+                    // Y = 1/(jωL) = -j/(ωL)
+                    stamp_admittance(&mut y, a, b, Complex64::new(0.0, -1.0 / (omega * henries)));
+                }
+                Element::Vccs {
+                    out_p,
+                    out_n,
+                    ctrl_p,
+                    ctrl_n,
+                    gm,
+                } => {
+                    // Current gm·(Vcp − Vcn) flows out of out_p into out_n.
+                    let g = Complex64::from_re(gm);
+                    for (out, sign) in [(out_p, 1.0), (out_n, -1.0)] {
+                        if out.index() == 0 {
+                            continue;
+                        }
+                        let row = out.index() - 1;
+                        if ctrl_p.index() > 0 {
+                            y.stamp(row, ctrl_p.index() - 1, g.scale(sign));
+                        }
+                        if ctrl_n.index() > 0 {
+                            y.stamp(row, ctrl_n.index() - 1, g.scale(-sign));
+                        }
+                    }
+                }
+                Element::CurrentSource { from, to, amps } => {
+                    // Current leaves `from` and enters `to`.
+                    if from.index() > 0 {
+                        i_src[from.index() - 1] -= Complex64::from_re(amps);
+                    }
+                    if to.index() > 0 {
+                        i_src[to.index() - 1] += Complex64::from_re(amps);
+                    }
+                }
+            }
+        }
+
+        let lu = CLu::new(&y)?;
+        Ok(FactoredAc {
+            lu,
+            i_src,
+            num_nodes: self.netlist.num_nodes(),
+        })
+    }
+
+    /// Convenience: factor at `freq_hz` and solve with the netlist's own
+    /// current sources as excitation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AcSolver::factor`].
+    pub fn solve(&self, freq_hz: f64) -> Result<AcSolution, CircuitError> {
+        let fac = self.factor(freq_hz)?;
+        fac.solve_sources()
+    }
+}
+
+/// A factored MNA system at one frequency, ready to solve multiple
+/// right-hand sides.
+#[derive(Debug)]
+pub struct FactoredAc {
+    lu: CLu,
+    i_src: Vec<Complex64>,
+    num_nodes: usize,
+}
+
+impl FactoredAc {
+    /// Solves with the netlist's own current sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::SolveFailed`] on numerical failure.
+    pub fn solve_sources(&self) -> Result<AcSolution, CircuitError> {
+        let v = self.lu.solve(&self.i_src)?;
+        Ok(AcSolution {
+            voltages: v,
+            num_nodes: self.num_nodes,
+        })
+    }
+
+    /// Solves with a unit current injected from ground into `into` (all
+    /// netlist sources switched off) — the transfer function a noise
+    /// current at that node sees.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadInput`] if `into` is ground or unknown.
+    /// * [`CircuitError::SolveFailed`] on numerical failure.
+    pub fn solve_injection(&self, into: NodeId) -> Result<AcSolution, CircuitError> {
+        self.solve_injection_pair(None, into)
+    }
+
+    /// Solves with a unit current flowing from `out_of` into `into`
+    /// (a differential noise-current injection). `None` means ground.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadInput`] if a referenced node is unknown or the
+    ///   two terminals are identical.
+    /// * [`CircuitError::SolveFailed`] on numerical failure.
+    pub fn solve_injection_pair(
+        &self,
+        out_of: Option<NodeId>,
+        into: NodeId,
+    ) -> Result<AcSolution, CircuitError> {
+        let n = self.num_nodes - 1;
+        let check = |node: NodeId| -> Result<(), CircuitError> {
+            if node.index() >= self.num_nodes {
+                return Err(CircuitError::UnknownNode {
+                    node: node.index(),
+                    num_nodes: self.num_nodes,
+                });
+            }
+            Ok(())
+        };
+        check(into)?;
+        if let Some(src) = out_of {
+            check(src)?;
+            if src == into {
+                return Err(CircuitError::BadInput {
+                    what: "injection terminals must differ".to_string(),
+                });
+            }
+        }
+        if into.is_ground() && out_of.is_none_or(|s| s.is_ground()) {
+            return Err(CircuitError::BadInput {
+                what: "cannot inject from ground into ground".to_string(),
+            });
+        }
+        let mut rhs = vec![Complex64::ZERO; n];
+        if into.index() > 0 {
+            rhs[into.index() - 1] = Complex64::ONE;
+        }
+        if let Some(src) = out_of {
+            if src.index() > 0 {
+                rhs[src.index() - 1] -= Complex64::ONE;
+            }
+        }
+        let v = self.lu.solve(&rhs)?;
+        Ok(AcSolution {
+            voltages: v,
+            num_nodes: self.num_nodes,
+        })
+    }
+}
+
+/// Node voltages from one AC solve.
+#[derive(Debug, Clone)]
+pub struct AcSolution {
+    voltages: Vec<Complex64>,
+    num_nodes: usize,
+}
+
+impl AcSolution {
+    /// Complex voltage at `node` (ground reads exactly zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the solved netlist.
+    pub fn voltage(&self, node: NodeId) -> Complex64 {
+        assert!(
+            node.index() < self.num_nodes,
+            "node {} not in solved netlist",
+            node.index()
+        );
+        if node.index() == 0 {
+            Complex64::ZERO
+        } else {
+            self.voltages[node.index() - 1]
+        }
+    }
+
+    /// Differential voltage `V(a) − V(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not belong to the solved netlist.
+    pub fn differential(&self, a: NodeId, b: NodeId) -> Complex64 {
+        self.voltage(a) - self.voltage(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// |Z| of a parallel RLC at resonance equals R.
+    #[test]
+    fn parallel_rlc_resonance() {
+        let r = 500.0;
+        let l = 2e-9;
+        let f0 = 2.4e9;
+        // C chosen for resonance at f0: C = 1/(ω² L)
+        let w0 = std::f64::consts::TAU * f0;
+        let c = 1.0 / (w0 * w0 * l);
+
+        let mut nl = Netlist::new();
+        let out = nl.add_node();
+        nl.add_resistor(out, nl.ground(), r).unwrap();
+        nl.add_inductor(out, nl.ground(), l).unwrap();
+        nl.add_capacitor(out, nl.ground(), c).unwrap();
+        nl.add_current_source(nl.ground(), out, 1.0).unwrap();
+
+        let solver = AcSolver::new(&nl).unwrap();
+        let at_res = solver.solve(f0).unwrap().voltage(out).abs();
+        assert!((at_res - r).abs() / r < 1e-9, "(|Z| = {at_res})");
+        // Off resonance the impedance must drop.
+        let off = solver.solve(f0 * 1.5).unwrap().voltage(out).abs();
+        assert!(off < at_res * 0.5);
+    }
+
+    /// RC low-pass: magnitude at the pole frequency is 1/sqrt(2).
+    #[test]
+    fn rc_low_pass_pole() {
+        let r = 1_000.0;
+        let c = 1e-12;
+        let fpole = 1.0 / (std::f64::consts::TAU * r * c);
+
+        let mut nl = Netlist::new();
+        let out = nl.add_node();
+        nl.add_resistor(out, nl.ground(), r).unwrap();
+        nl.add_capacitor(out, nl.ground(), c).unwrap();
+        nl.add_current_source(nl.ground(), out, 1.0 / r).unwrap();
+
+        let solver = AcSolver::new(&nl).unwrap();
+        let vlow = solver.solve(fpole / 1e3).unwrap().voltage(out).abs();
+        let vpole = solver.solve(fpole).unwrap().voltage(out).abs();
+        assert!((vlow - 1.0).abs() < 1e-5);
+        assert!((vpole - 1.0 / 2.0_f64.sqrt()).abs() < 1e-6);
+    }
+
+    /// A VCCS driving a load resistor forms an amplifier with gain gm·RL.
+    #[test]
+    fn vccs_common_source_gain() {
+        let gm = 0.02; // 20 mS
+        let rl = 250.0;
+        let rs = 50.0;
+
+        let mut nl = Netlist::new();
+        let gate = nl.add_node();
+        let drain = nl.add_node();
+        // Norton input: 1 A through Rs gives 50 V open-circuit... use small.
+        nl.add_resistor(gate, nl.ground(), rs).unwrap();
+        nl.add_current_source(nl.ground(), gate, 1.0 / rs).unwrap(); // 1 V at gate
+        nl.add_resistor(drain, nl.ground(), rl).unwrap();
+        // Drain current gm·Vgs flows from drain to ground (inverting stage):
+        nl.add_vccs(drain, nl.ground(), gate, nl.ground(), gm)
+            .unwrap();
+
+        let sol = AcSolver::new(&nl).unwrap().solve(1e6).unwrap();
+        let vgate = sol.voltage(gate);
+        let vdrain = sol.voltage(drain);
+        assert!((vgate.re - 1.0).abs() < 1e-9);
+        // V(drain) = −gm·RL·V(gate)
+        assert!((vdrain.re + gm * rl).abs() < 1e-9, "vdrain = {vdrain}");
+    }
+
+    #[test]
+    fn injection_reuses_factorization() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let b = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 100.0).unwrap();
+        nl.add_resistor(a, b, 100.0).unwrap();
+        nl.add_resistor(b, nl.ground(), 100.0).unwrap();
+
+        let solver = AcSolver::new(&nl).unwrap();
+        let fac = solver.factor(1e6).unwrap();
+        // Inject 1 A into node a: V(a) = R_eff where R_eff = 100 ∥ 200.
+        let sol = fac.solve_injection(a).unwrap();
+        let reff = 100.0 * 200.0 / 300.0;
+        assert!((sol.voltage(a).re - reff).abs() < 1e-9);
+        // Differential injection from b into a.
+        let sol2 = fac.solve_injection_pair(Some(b), a).unwrap();
+        let diff = sol2.differential(a, b);
+        assert!(diff.re > 0.0);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let _floating = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 1.0).unwrap();
+        let solver = AcSolver::new(&nl).unwrap();
+        assert!(matches!(
+            solver.solve(1e6),
+            Err(CircuitError::SolveFailed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let nl = Netlist::new();
+        assert!(AcSolver::new(&nl).is_err()); // ground only
+
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 1.0).unwrap();
+        let solver = AcSolver::new(&nl).unwrap();
+        assert!(solver.solve(0.0).is_err());
+        assert!(solver.solve(-1.0).is_err());
+        assert!(solver.solve(f64::NAN).is_err());
+
+        let fac = solver.factor(1e6).unwrap();
+        assert!(fac.solve_injection(nl.ground()).is_err());
+        assert!(fac.solve_injection_pair(Some(a), a).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in solved netlist")]
+    fn voltage_of_foreign_node_panics() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 1.0).unwrap();
+        let sol = AcSolver::new(&nl).unwrap().solve(1e6).unwrap();
+        sol.voltage(NodeId(9));
+    }
+}

@@ -1,0 +1,244 @@
+use cbmf_linalg::Matrix;
+use rand::Rng;
+
+use crate::cost::VirtualCost;
+use crate::error::CircuitError;
+use crate::testbench::Testbench;
+
+/// Monte Carlo samples collected for one knob state.
+#[derive(Debug, Clone)]
+pub struct StateSamples {
+    /// Variation vectors, one per row (`n × d`).
+    pub x: Matrix,
+    /// Metric values, one row per sample, one column per metric (`n × p`).
+    pub y: Matrix,
+}
+
+impl StateSamples {
+    /// Number of samples in this state.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// True if the state holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// The values of metric `m` across all samples of this state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn metric(&self, m: usize) -> Vec<f64> {
+        self.y.col(m)
+    }
+}
+
+/// A complete tunable-circuit dataset: per-state Monte Carlo samples plus
+/// the virtual simulation cost that produced them.
+#[derive(Debug, Clone)]
+pub struct TunableDataset {
+    /// Testbench identifier.
+    pub name: String,
+    /// Metric names, matching the columns of every [`StateSamples::y`].
+    pub metric_names: Vec<String>,
+    /// One entry per knob state.
+    pub states: Vec<StateSamples>,
+    /// Virtual simulation cost charged to collect this dataset.
+    pub cost: VirtualCost,
+}
+
+impl TunableDataset {
+    /// Number of knob states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of simulated samples across all states.
+    pub fn total_samples(&self) -> usize {
+        self.states.iter().map(StateSamples::len).sum()
+    }
+
+    /// Index of a metric by name.
+    pub fn metric_index(&self, name: &str) -> Option<usize> {
+        self.metric_names.iter().position(|m| m == name)
+    }
+}
+
+/// Monte Carlo sample collector over a [`Testbench`].
+///
+/// Mirrors the paper's data-collection protocol: for every knob state,
+/// `samples_per_state` independent variation vectors are drawn and the
+/// circuit is simulated once per (state, sample), with every simulation
+/// charged to the virtual cost meter.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cbmf_circuits::{Lna, MonteCarlo};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let lna = Lna::new();
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let training = MonteCarlo::new(15).collect(&lna, &mut rng)?;
+/// assert_eq!(training.num_states(), 32);
+/// assert_eq!(training.total_samples(), 32 * 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    samples_per_state: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a collector drawing `samples_per_state` samples per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_state == 0`.
+    pub fn new(samples_per_state: usize) -> Self {
+        assert!(samples_per_state > 0, "need at least one sample per state");
+        MonteCarlo { samples_per_state }
+    }
+
+    /// Samples per state this collector draws.
+    pub fn samples_per_state(&self) -> usize {
+        self.samples_per_state
+    }
+
+    /// Runs the Monte Carlo collection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures from the testbench.
+    pub fn collect<T: Testbench + ?Sized, R: Rng + ?Sized>(
+        &self,
+        tb: &T,
+        rng: &mut R,
+    ) -> Result<TunableDataset, CircuitError> {
+        let d = tb.num_variables();
+        let k = tb.num_states();
+        let p = tb.metric_names().len();
+        let n = self.samples_per_state;
+        let mut states = Vec::with_capacity(k);
+        for state in 0..k {
+            let mut x = Matrix::zeros(n, d);
+            let mut y = Matrix::zeros(n, p);
+            for i in 0..n {
+                for v in x.row_mut(i) {
+                    *v = cbmf_stats::normal::sample(rng);
+                }
+                let metrics = tb.simulate(state, x.row(i))?;
+                debug_assert_eq!(metrics.len(), p);
+                y.row_mut(i).copy_from_slice(&metrics);
+            }
+            states.push(StateSamples { x, y });
+        }
+        let cost = tb.cost_model().charge(n * k);
+        Ok(TunableDataset {
+            name: tb.name().to_string(),
+            metric_names: tb.metric_names().iter().map(|s| s.to_string()).collect(),
+            states,
+            cost,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::SimCostModel;
+    use cbmf_stats::seeded_rng;
+
+    /// A deterministic toy testbench for collector tests.
+    #[derive(Debug)]
+    struct Toy;
+
+    impl Testbench for Toy {
+        fn name(&self) -> &str {
+            "toy"
+        }
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_variables(&self) -> usize {
+            4
+        }
+        fn metric_names(&self) -> &[&'static str] {
+            &["sum", "first"]
+        }
+        fn simulate(&self, state: usize, x: &[f64]) -> Result<Vec<f64>, CircuitError> {
+            if state >= 3 {
+                return Err(CircuitError::BadInput {
+                    what: "state out of range".to_string(),
+                });
+            }
+            let s: f64 = x.iter().sum::<f64>() + state as f64;
+            Ok(vec![s, x[0]])
+        }
+        fn cost_model(&self) -> SimCostModel {
+            SimCostModel::new(2.0)
+        }
+    }
+
+    #[test]
+    fn collects_expected_shapes_and_cost() {
+        let mut rng = seeded_rng(1);
+        let ds = MonteCarlo::new(5).collect(&Toy, &mut rng).unwrap();
+        assert_eq!(ds.num_states(), 3);
+        assert_eq!(ds.total_samples(), 15);
+        assert_eq!(ds.states[0].x.shape(), (5, 4));
+        assert_eq!(ds.states[0].y.shape(), (5, 2));
+        assert_eq!(ds.cost.samples(), 15);
+        assert!((ds.cost.seconds() - 30.0).abs() < 1e-12);
+        assert_eq!(ds.metric_index("first"), Some(1));
+        assert_eq!(ds.metric_index("nope"), None);
+    }
+
+    #[test]
+    fn metrics_match_testbench_function() {
+        let mut rng = seeded_rng(2);
+        let ds = MonteCarlo::new(4).collect(&Toy, &mut rng).unwrap();
+        for (k, st) in ds.states.iter().enumerate() {
+            for i in 0..st.len() {
+                let expected: f64 = st.x.row(i).iter().sum::<f64>() + k as f64;
+                assert!((st.y[(i, 0)] - expected).abs() < 1e-12);
+                assert_eq!(st.y[(i, 1)], st.x[(i, 0)]);
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible_across_equal_seeds() {
+        let mut r1 = seeded_rng(9);
+        let mut r2 = seeded_rng(9);
+        let d1 = MonteCarlo::new(3).collect(&Toy, &mut r1).unwrap();
+        let d2 = MonteCarlo::new(3).collect(&Toy, &mut r2).unwrap();
+        assert_eq!(d1.states[2].x, d2.states[2].x);
+        assert_eq!(d1.states[2].y, d2.states[2].y);
+    }
+
+    #[test]
+    fn states_get_independent_samples() {
+        let mut rng = seeded_rng(3);
+        let ds = MonteCarlo::new(3).collect(&Toy, &mut rng).unwrap();
+        assert_ne!(ds.states[0].x, ds.states[1].x);
+    }
+
+    #[test]
+    fn metric_column_accessor() {
+        let mut rng = seeded_rng(4);
+        let ds = MonteCarlo::new(3).collect(&Toy, &mut rng).unwrap();
+        let firsts = ds.states[0].metric(1);
+        assert_eq!(firsts.len(), 3);
+        assert_eq!(firsts[0], ds.states[0].x[(0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        MonteCarlo::new(0);
+    }
+}

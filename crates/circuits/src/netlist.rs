@@ -1,0 +1,325 @@
+use serde::{Deserialize, Serialize};
+
+use crate::error::CircuitError;
+
+/// A circuit node handle returned by [`Netlist::add_node`].
+///
+/// Node 0 is always ground; [`Netlist::ground`] returns it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of the node (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// True if this is the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A linear small-signal circuit element.
+///
+/// Voltage sources are intentionally absent: every excitation in the RF
+/// testbenches is expressed as a Norton equivalent (current source in
+/// parallel with its source resistance), which keeps the MNA system purely
+/// nodal and always well-posed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Element {
+    /// Resistor between two nodes.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be positive and finite).
+        ohms: f64,
+    },
+    /// Capacitor between two nodes.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be non-negative and finite).
+        farads: f64,
+    },
+    /// Inductor between two nodes (modeled as admittance `1/(jωL)`).
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (must be positive and finite).
+        henries: f64,
+    },
+    /// Voltage-controlled current source: a current `gm · (V(cp) − V(cn))`
+    /// flows from `out_p` to `out_n` (i.e. out of `out_p`, into `out_n`).
+    Vccs {
+        /// Node current leaves.
+        out_p: NodeId,
+        /// Node current enters.
+        out_n: NodeId,
+        /// Positive control node.
+        ctrl_p: NodeId,
+        /// Negative control node.
+        ctrl_n: NodeId,
+        /// Transconductance in siemens (any finite value).
+        gm: f64,
+    },
+    /// Independent small-signal current source of 1 A-equivalent magnitude
+    /// scaled by `amps`, flowing from `from` into `to`.
+    CurrentSource {
+        /// Node the current leaves.
+        from: NodeId,
+        /// Node the current enters.
+        to: NodeId,
+        /// Source magnitude in amperes (phasor, real).
+        amps: f64,
+    },
+}
+
+/// A small-signal netlist: a set of nodes plus linear elements.
+///
+/// # Examples
+///
+/// Build a simple RC low-pass driven by a Norton source and check its
+/// -3 dB behaviour via the solver:
+///
+/// ```
+/// use cbmf_circuits::{AcSolver, Netlist};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let mut nl = Netlist::new();
+/// let inp = nl.add_node();
+/// nl.add_resistor(inp, nl.ground(), 1_000.0)?;
+/// nl.add_capacitor(inp, nl.ground(), 1e-9)?;
+/// nl.add_current_source(nl.ground(), inp, 1e-3)?;
+/// // At DC-ish frequency the node sits at I·R = 1 V.
+/// let sol = AcSolver::new(&nl)?.solve(1.0)?;
+/// assert!((sol.voltage(inp).abs() - 1.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Netlist {
+    num_nodes: usize,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist containing only the ground node.
+    pub fn new() -> Self {
+        Netlist {
+            num_nodes: 1,
+            elements: Vec::new(),
+        }
+    }
+
+    /// The ground node (node 0, the MNA reference).
+    pub fn ground(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Allocates a new node and returns its handle.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Total number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The elements added so far.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), CircuitError> {
+        if n.0 >= self.num_nodes {
+            return Err(CircuitError::UnknownNode {
+                node: n.0,
+                num_nodes: self.num_nodes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] if a node was not allocated here.
+    /// * [`CircuitError::BadElementValue`] if `ohms` is not positive/finite.
+    pub fn add_resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> Result<(), CircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(CircuitError::BadElementValue {
+                what: format!("resistor must have positive finite ohms, got {ohms}"),
+            });
+        }
+        self.elements.push(Element::Resistor { a, b, ohms });
+        Ok(())
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Netlist::add_resistor`]; `farads` must be
+    /// non-negative and finite.
+    pub fn add_capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> Result<(), CircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(farads.is_finite() && farads >= 0.0) {
+            return Err(CircuitError::BadElementValue {
+                what: format!("capacitor must have non-negative finite farads, got {farads}"),
+            });
+        }
+        self.elements.push(Element::Capacitor { a, b, farads });
+        Ok(())
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`Netlist::add_resistor`]; `henries` must be positive
+    /// and finite.
+    pub fn add_inductor(&mut self, a: NodeId, b: NodeId, henries: f64) -> Result<(), CircuitError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        if !(henries.is_finite() && henries > 0.0) {
+            return Err(CircuitError::BadElementValue {
+                what: format!("inductor must have positive finite henries, got {henries}"),
+            });
+        }
+        self.elements.push(Element::Inductor { a, b, henries });
+        Ok(())
+    }
+
+    /// Adds a voltage-controlled current source (the small-signal
+    /// transconductance of a transistor).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] if a node was not allocated here.
+    /// * [`CircuitError::BadElementValue`] if `gm` is not finite.
+    pub fn add_vccs(
+        &mut self,
+        out_p: NodeId,
+        out_n: NodeId,
+        ctrl_p: NodeId,
+        ctrl_n: NodeId,
+        gm: f64,
+    ) -> Result<(), CircuitError> {
+        self.check_node(out_p)?;
+        self.check_node(out_n)?;
+        self.check_node(ctrl_p)?;
+        self.check_node(ctrl_n)?;
+        if !gm.is_finite() {
+            return Err(CircuitError::BadElementValue {
+                what: format!("vccs gm must be finite, got {gm}"),
+            });
+        }
+        self.elements.push(Element::Vccs {
+            out_p,
+            out_n,
+            ctrl_p,
+            ctrl_n,
+            gm,
+        });
+        Ok(())
+    }
+
+    /// Adds an independent current source (the excitation).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::UnknownNode`] if a node was not allocated here.
+    /// * [`CircuitError::BadElementValue`] if `amps` is not finite.
+    pub fn add_current_source(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        amps: f64,
+    ) -> Result<(), CircuitError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !amps.is_finite() {
+            return Err(CircuitError::BadElementValue {
+                what: format!("current source amps must be finite, got {amps}"),
+            });
+        }
+        self.elements
+            .push(Element::CurrentSource { from, to, amps });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_exists_from_the_start() {
+        let nl = Netlist::new();
+        assert_eq!(nl.num_nodes(), 1);
+        assert!(nl.ground().is_ground());
+        assert_eq!(nl.ground().index(), 0);
+    }
+
+    #[test]
+    fn nodes_are_sequential() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let b = nl.add_node();
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(nl.num_nodes(), 3);
+    }
+
+    #[test]
+    fn elements_accumulate() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 50.0).unwrap();
+        nl.add_capacitor(a, nl.ground(), 1e-12).unwrap();
+        nl.add_inductor(a, nl.ground(), 1e-9).unwrap();
+        nl.add_vccs(nl.ground(), a, a, nl.ground(), 0.01).unwrap();
+        nl.add_current_source(nl.ground(), a, 1.0).unwrap();
+        assert_eq!(nl.elements().len(), 5);
+    }
+
+    #[test]
+    fn foreign_nodes_rejected() {
+        let mut nl = Netlist::new();
+        let bogus = NodeId(5);
+        assert!(matches!(
+            nl.add_resistor(bogus, NodeId(0), 1.0),
+            Err(CircuitError::UnknownNode { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let g = nl.ground();
+        assert!(nl.add_resistor(a, g, 0.0).is_err());
+        assert!(nl.add_resistor(a, g, -1.0).is_err());
+        assert!(nl.add_resistor(a, g, f64::NAN).is_err());
+        assert!(nl.add_capacitor(a, g, -1e-12).is_err());
+        assert!(nl.add_inductor(a, g, 0.0).is_err());
+        assert!(nl.add_vccs(a, g, a, g, f64::INFINITY).is_err());
+        assert!(nl.add_current_source(a, g, f64::NAN).is_err());
+        // Zero capacitance is allowed (open circuit).
+        assert!(nl.add_capacitor(a, g, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,231 @@
+use std::collections::HashMap;
+
+use crate::error::CircuitError;
+use crate::mna::FactoredAc;
+use crate::netlist::NodeId;
+
+/// One noise-current source: a white PSD injected between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseContribution {
+    /// Label for reporting (e.g. `"M1 thermal"`, `"Rs"`).
+    pub label: String,
+    /// Current-noise power spectral density in A²/Hz.
+    pub psd: f64,
+    /// Node the noise current leaves (`None` = ground).
+    pub from: Option<NodeId>,
+    /// Node the noise current enters.
+    pub into: NodeId,
+}
+
+impl NoiseContribution {
+    /// Creates a contribution injecting between ground and `into`.
+    pub fn to_node(label: impl Into<String>, psd: f64, into: NodeId) -> Self {
+        NoiseContribution {
+            label: label.into(),
+            psd,
+            from: None,
+            into,
+        }
+    }
+
+    /// Creates a contribution injecting between two non-ground nodes.
+    pub fn between(label: impl Into<String>, psd: f64, from: NodeId, into: NodeId) -> Self {
+        NoiseContribution {
+            label: label.into(),
+            psd,
+            from: Some(from),
+            into,
+        }
+    }
+}
+
+/// Output-referred noise analysis over a factored MNA system.
+///
+/// For each registered noise source the transfer impedance from its
+/// injection terminals to the output is obtained by solving the factored
+/// system with a unit current at those terminals (solutions are cached per
+/// distinct terminal pair, so the hundred-odd unit fingers that share a
+/// drain node cost one solve). Independent sources add in power:
+/// `S_out = Σ_i |Z_i|² · S_i`.
+///
+/// The noise figure follows the standard definition
+/// `F = S_out,total / S_out,source` where the "source" contribution is the
+/// thermal noise of the input termination.
+#[derive(Debug, Clone, Default)]
+pub struct NoiseAnalysis {
+    contributions: Vec<NoiseContribution>,
+}
+
+impl NoiseAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        NoiseAnalysis::default()
+    }
+
+    /// Registers a noise source and returns its index.
+    pub fn add(&mut self, contribution: NoiseContribution) -> usize {
+        self.contributions.push(contribution);
+        self.contributions.len() - 1
+    }
+
+    /// The registered contributions.
+    pub fn contributions(&self) -> &[NoiseContribution] {
+        &self.contributions
+    }
+
+    /// Computes the per-source output noise PSDs (V²/Hz) at the output
+    /// `out_p − out_n` (single-ended when `out_n` is `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MNA solve failures and invalid injection terminals.
+    pub fn output_psds(
+        &self,
+        fac: &FactoredAc,
+        out_p: NodeId,
+        out_n: Option<NodeId>,
+    ) -> Result<Vec<f64>, CircuitError> {
+        let mut cache: HashMap<(Option<usize>, usize), f64> = HashMap::new();
+        let mut out = Vec::with_capacity(self.contributions.len());
+        for c in &self.contributions {
+            let key = (c.from.map(NodeId::index), c.into.index());
+            let z_sq = match cache.get(&key) {
+                Some(&v) => v,
+                None => {
+                    let sol = fac.solve_injection_pair(c.from, c.into)?;
+                    let z = match out_n {
+                        Some(n) => sol.differential(out_p, n),
+                        None => sol.voltage(out_p),
+                    };
+                    let v = z.abs_sq();
+                    cache.insert(key, v);
+                    v
+                }
+            };
+            out.push(z_sq * c.psd);
+        }
+        Ok(out)
+    }
+
+    /// Total output noise PSD and the noise factor `F` relative to the
+    /// contribution at `source_index` (typically the input termination).
+    ///
+    /// Returns `(total_psd, noise_factor)`; the noise figure in dB is
+    /// `10·log10(noise_factor)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadInput`] if `source_index` is out of range or the
+    ///   source contributes zero output noise.
+    /// * Propagated MNA failures.
+    pub fn noise_factor(
+        &self,
+        fac: &FactoredAc,
+        out_p: NodeId,
+        out_n: Option<NodeId>,
+        source_index: usize,
+    ) -> Result<(f64, f64), CircuitError> {
+        if source_index >= self.contributions.len() {
+            return Err(CircuitError::BadInput {
+                what: format!(
+                    "source index {source_index} out of range ({})",
+                    self.contributions.len()
+                ),
+            });
+        }
+        let psds = self.output_psds(fac, out_p, out_n)?;
+        let total: f64 = psds.iter().sum();
+        let source = psds[source_index];
+        if source <= 0.0 {
+            return Err(CircuitError::BadInput {
+                what: "source contribution is zero; noise factor undefined".to_string(),
+            });
+        }
+        Ok((total, total / source))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::AcSolver;
+    use crate::netlist::Netlist;
+    use crate::FOUR_K_T;
+
+    /// Two equal resistors to ground at one node: each contributes equally,
+    /// so F = 2 (NF = 3.01 dB).
+    #[test]
+    fn equal_resistors_give_3db() {
+        let r = 50.0;
+        let mut nl = Netlist::new();
+        let n = nl.add_node();
+        nl.add_resistor(n, nl.ground(), r).unwrap();
+        nl.add_resistor(n, nl.ground(), r).unwrap();
+        let fac = AcSolver::new(&nl).unwrap().factor(1e9).unwrap();
+
+        let mut na = NoiseAnalysis::new();
+        let psd = FOUR_K_T / r;
+        let src = na.add(NoiseContribution::to_node("source", psd, n));
+        na.add(NoiseContribution::to_node("load", psd, n));
+        let (_total, f) = na.noise_factor(&fac, n, None, src).unwrap();
+        assert!((f - 2.0).abs() < 1e-12, "F = {f}");
+    }
+
+    /// Output noise of a single resistor matches 4kTR.
+    #[test]
+    fn single_resistor_output_noise_is_4ktr() {
+        let r = 1_000.0;
+        let mut nl = Netlist::new();
+        let n = nl.add_node();
+        nl.add_resistor(n, nl.ground(), r).unwrap();
+        let fac = AcSolver::new(&nl).unwrap().factor(1e6).unwrap();
+
+        let mut na = NoiseAnalysis::new();
+        na.add(NoiseContribution::to_node("r", FOUR_K_T / r, n));
+        let psds = na.output_psds(&fac, n, None).unwrap();
+        // |Z|²·(4kT/R) = R²·4kT/R = 4kTR.
+        assert!((psds[0] - FOUR_K_T * r).abs() / (FOUR_K_T * r) < 1e-12);
+    }
+
+    /// Identical injection terminals must be solved once (cache hit), and
+    /// scaling a PSD scales the output linearly.
+    #[test]
+    fn psd_scales_linearly() {
+        let mut nl = Netlist::new();
+        let n = nl.add_node();
+        nl.add_resistor(n, nl.ground(), 100.0).unwrap();
+        let fac = AcSolver::new(&nl).unwrap().factor(1e6).unwrap();
+
+        let mut na = NoiseAnalysis::new();
+        na.add(NoiseContribution::to_node("a", 1e-21, n));
+        na.add(NoiseContribution::to_node("b", 3e-21, n));
+        let psds = na.output_psds(&fac, n, None).unwrap();
+        assert!((psds[1] / psds[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differential_output_and_pair_injection() {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let b = nl.add_node();
+        nl.add_resistor(a, nl.ground(), 200.0).unwrap();
+        nl.add_resistor(b, nl.ground(), 200.0).unwrap();
+        nl.add_resistor(a, b, 400.0).unwrap();
+        let fac = AcSolver::new(&nl).unwrap().factor(1e6).unwrap();
+
+        let mut na = NoiseAnalysis::new();
+        na.add(NoiseContribution::between("ra_b", 1e-20, a, b));
+        let psds = na.output_psds(&fac, a, Some(b)).unwrap();
+        assert!(psds[0] > 0.0);
+    }
+
+    #[test]
+    fn bad_source_index_rejected() {
+        let mut nl = Netlist::new();
+        let n = nl.add_node();
+        nl.add_resistor(n, nl.ground(), 1.0).unwrap();
+        let fac = AcSolver::new(&nl).unwrap().factor(1e6).unwrap();
+        let na = NoiseAnalysis::new();
+        assert!(na.noise_factor(&fac, n, None, 0).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+use crate::cost::SimCostModel;
+use crate::error::CircuitError;
+
+/// A tunable circuit under test: K knob states, a process-variation space,
+/// and a set of performance metrics evaluated per (state, sample).
+///
+/// This is the interface between the circuit substrate and the modeling
+/// layer: [`crate::MonteCarlo`] drives any `Testbench` to produce the
+/// training/testing sets of the paper's experiments.
+pub trait Testbench {
+    /// Short identifier (used in reports), e.g. `"lna"`.
+    fn name(&self) -> &str;
+
+    /// Number of knob configurations (the paper's K; 32 for both circuits).
+    fn num_states(&self) -> usize;
+
+    /// Dimension of the process-variation vector (the paper's device-level
+    /// random variables; 1264 for the LNA, 1303 for the mixer).
+    fn num_variables(&self) -> usize;
+
+    /// Names of the performance metrics, e.g. `["nf_db", "vg_db", "iip3_dbm"]`.
+    fn metric_names(&self) -> &[&'static str];
+
+    /// Simulates one sample: evaluates all metrics for knob state `state` at
+    /// variation vector `x` (standard-normal coordinates).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BadInput`] if `state` is out of range or `x` has
+    ///   the wrong length.
+    /// * [`CircuitError::SolveFailed`] if the underlying MNA system cannot
+    ///   be solved (should not happen inside ±6σ).
+    fn simulate(&self, state: usize, x: &[f64]) -> Result<Vec<f64>, CircuitError>;
+
+    /// The virtual cost model charged per simulated sample (see
+    /// [`SimCostModel`]).
+    fn cost_model(&self) -> SimCostModel;
+}

@@ -1,0 +1,274 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use cbmf_stats::normal;
+
+use crate::error::CircuitError;
+
+/// A class of matched unit devices in a testbench (e.g. "the 64 unit
+/// fingers of the input transistor").
+///
+/// Every finger in the class owns `params_per_finger` independent
+/// standard-normal mismatch variables in the global variation vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceClass {
+    /// Human-readable name, e.g. `"M1 input pair"`.
+    pub name: String,
+    /// Number of unit fingers in the class.
+    pub fingers: usize,
+    /// Mismatch variables per finger (≤ 9, the [`crate::MosfetDeltas`] layout).
+    pub params_per_finger: usize,
+}
+
+impl DeviceClass {
+    /// Creates a device class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fingers == 0` or `params_per_finger` is 0 or > 9.
+    pub fn new(name: impl Into<String>, fingers: usize, params_per_finger: usize) -> Self {
+        assert!(fingers > 0, "a device class needs at least one finger");
+        assert!(
+            (1..=9).contains(&params_per_finger),
+            "params_per_finger must be in 1..=9"
+        );
+        DeviceClass {
+            name: name.into(),
+            fingers,
+            params_per_finger,
+        }
+    }
+
+    /// Total variation variables owned by this class.
+    pub fn dim(&self) -> usize {
+        self.fingers * self.params_per_finger
+    }
+}
+
+/// Layout of a testbench's process-variation vector `x`.
+///
+/// The vector is organized as
+/// `[ inter-die globals | class 0 fingers | class 1 fingers | … ]`,
+/// with each finger's parameters contiguous. This mirrors how foundry
+/// statistical models separate inter-die (global, shared by all devices)
+/// components from local mismatch (independent per unit device), and it is
+/// what produces the approximately-sparse structure the paper's sparse
+/// regression exploits: a handful of strong global variables plus a long
+/// tail of individually-weak mismatch variables.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_circuits::{DeviceClass, VariationModel};
+///
+/// let model = VariationModel::new(16, vec![
+///     DeviceClass::new("M1", 64, 8),
+///     DeviceClass::new("M2", 92, 8),
+/// ]);
+/// assert_eq!(model.dim(), 16 + (64 + 92) * 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationModel {
+    inter_die: usize,
+    classes: Vec<DeviceClass>,
+    /// Offset of each class's block in the variation vector.
+    offsets: Vec<usize>,
+    dim: usize,
+}
+
+impl VariationModel {
+    /// Creates a model with `inter_die` global variables and the given
+    /// device classes.
+    pub fn new(inter_die: usize, classes: Vec<DeviceClass>) -> Self {
+        let mut offsets = Vec::with_capacity(classes.len());
+        let mut cursor = inter_die;
+        for c in &classes {
+            offsets.push(cursor);
+            cursor += c.dim();
+        }
+        VariationModel {
+            inter_die,
+            classes,
+            offsets,
+            dim: cursor,
+        }
+    }
+
+    /// Total dimension of the variation vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of inter-die (global) variables.
+    pub fn inter_die_count(&self) -> usize {
+        self.inter_die
+    }
+
+    /// The device classes, in layout order.
+    pub fn classes(&self) -> &[DeviceClass] {
+        &self.classes
+    }
+
+    /// Validates that `x` has the right dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::BadInput`] on length mismatch.
+    pub fn check(&self, x: &[f64]) -> Result<(), CircuitError> {
+        if x.len() != self.dim {
+            return Err(CircuitError::BadInput {
+                what: format!(
+                    "variation vector has length {}, model expects {}",
+                    x.len(),
+                    self.dim
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The inter-die block of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is shorter than the inter-die block (call
+    /// [`VariationModel::check`] first on untrusted input).
+    pub fn inter_die<'x>(&self, x: &'x [f64]) -> &'x [f64] {
+        &x[..self.inter_die]
+    }
+
+    /// The mismatch parameters of one finger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` or `finger` is out of range, or `x` is too short.
+    pub fn finger_params<'x>(&self, x: &'x [f64], class: usize, finger: usize) -> &'x [f64] {
+        let c = &self.classes[class];
+        assert!(finger < c.fingers, "finger {finger} out of range");
+        let start = self.offsets[class] + finger * c.params_per_finger;
+        &x[start..start + c.params_per_finger]
+    }
+
+    /// Global index of a specific finger parameter (for interpreting fitted
+    /// model coefficients back in circuit terms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn param_index(&self, class: usize, finger: usize, param: usize) -> usize {
+        let c = &self.classes[class];
+        assert!(finger < c.fingers && param < c.params_per_finger);
+        self.offsets[class] + finger * c.params_per_finger + param
+    }
+
+    /// Draws a standard-normal variation vector of the right dimension.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        normal::sample_vec(rng, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_stats::seeded_rng;
+
+    fn model() -> VariationModel {
+        VariationModel::new(
+            4,
+            vec![DeviceClass::new("a", 3, 2), DeviceClass::new("b", 2, 5)],
+        )
+    }
+
+    #[test]
+    fn dimensions_add_up() {
+        let m = model();
+        assert_eq!(m.dim(), 4 + 6 + 10);
+        assert_eq!(m.inter_die_count(), 4);
+        assert_eq!(m.classes().len(), 2);
+    }
+
+    #[test]
+    fn layout_is_contiguous_and_disjoint() {
+        let m = model();
+        let x: Vec<f64> = (0..m.dim()).map(|i| i as f64).collect();
+        assert_eq!(m.inter_die(&x), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(m.finger_params(&x, 0, 0), &[4.0, 5.0]);
+        assert_eq!(m.finger_params(&x, 0, 2), &[8.0, 9.0]);
+        assert_eq!(m.finger_params(&x, 1, 0), &[10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(m.finger_params(&x, 1, 1)[4], 19.0);
+        assert_eq!(m.param_index(1, 1, 4), 19);
+    }
+
+    #[test]
+    fn every_index_is_owned_exactly_once() {
+        let m = model();
+        let mut hits = vec![0usize; m.dim()];
+        for i in 0..m.inter_die_count() {
+            hits[i] += 1;
+        }
+        for (ci, c) in m.classes().iter().enumerate() {
+            for f in 0..c.fingers {
+                for p in 0..c.params_per_finger {
+                    hits[m.param_index(ci, f, p)] += 1;
+                }
+            }
+        }
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn check_validates_length() {
+        let m = model();
+        assert!(m.check(&vec![0.0; m.dim()]).is_ok());
+        assert!(m.check(&vec![0.0; m.dim() - 1]).is_err());
+    }
+
+    #[test]
+    fn sample_has_right_dim_and_is_reproducible() {
+        let m = model();
+        let mut r1 = seeded_rng(5);
+        let mut r2 = seeded_rng(5);
+        let x1 = m.sample(&mut r1);
+        let x2 = m.sample(&mut r2);
+        assert_eq!(x1.len(), m.dim());
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finger 3 out of range")]
+    fn finger_out_of_range_panics() {
+        let m = model();
+        let x = vec![0.0; m.dim()];
+        m.finger_params(&x, 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "params_per_finger must be in 1..=9")]
+    fn class_validates_params() {
+        DeviceClass::new("bad", 1, 10);
+    }
+
+    #[test]
+    fn paper_dimensions_are_reachable() {
+        // LNA: 16 inter-die + 156 fingers × 8 params = 1264.
+        let lna = VariationModel::new(
+            16,
+            vec![
+                DeviceClass::new("m1", 64, 8),
+                DeviceClass::new("m2", 48, 8),
+                DeviceClass::new("mirror", 44, 8),
+            ],
+        );
+        assert_eq!(lna.dim(), 1264);
+        // Mixer: 16 inter-die + 143 fingers × 9 params = 1303.
+        let mixer = VariationModel::new(
+            16,
+            vec![
+                DeviceClass::new("gm", 55, 9),
+                DeviceClass::new("sw", 64, 9),
+                DeviceClass::new("bias", 24, 9),
+            ],
+        );
+        assert_eq!(mixer.dim(), 1303);
+    }
+}

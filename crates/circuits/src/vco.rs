@@ -1,0 +1,294 @@
+use crate::cost::SimCostModel;
+use crate::error::CircuitError;
+use crate::lna::{
+    aggregate_fingers, mirror_bias_error, InterDieWeights, G_BIAS, G_CPASSIVE, G_GAMMA, G_IND,
+    G_RSHEET,
+};
+use crate::mna::AcSolver;
+use crate::mosfet::Mosfet;
+use crate::netlist::Netlist;
+use crate::testbench::Testbench;
+use crate::variation::{DeviceClass, VariationModel};
+
+/// Inter-die variables shared with the other testbenches.
+const INTER_DIE: usize = 16;
+/// Mismatch parameters per unit finger.
+const PARAMS_PER_FINGER: usize = 8;
+/// Unit fingers of the cross-coupled pair (total, both sides).
+const PAIR_FINGERS: usize = 48;
+/// Unit fingers of the tail-current mirror.
+const MIRROR_FINGERS: usize = 36;
+/// Unit fingers modeling the switched-capacitor bank switches.
+const BANK_FINGERS: usize = 40;
+
+/// A tunable 2.4 GHz-band LC voltage-controlled oscillator — a third
+/// testbench beyond the paper's two, exercising the PoI its introduction
+/// names first: *phase noise*.
+///
+/// Topology: NMOS cross-coupled pair (negative gm) across an LC tank with
+/// a switched-capacitor bank; a tail mirror sets the bias. The 32 knob
+/// states step the capacitor bank, tuning the oscillation frequency (a
+/// digitally-controlled oscillator's coarse bank). Phase noise at 1 MHz
+/// offset follows Leeson's model fed by the simulated tank quality factor
+/// (from an MNA impedance solve at resonance) and the device excess noise.
+///
+/// Variation space: 16 inter-die + (48 + 36 + 40) fingers × 8 = **1008**
+/// variables.
+///
+/// Metrics per (state, sample): oscillation frequency `freq_ghz`, phase
+/// noise `pn_dbchz` at 1 MHz offset, differential amplitude `amp_v`.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_circuits::{Testbench, Vco};
+///
+/// # fn main() -> Result<(), cbmf_circuits::CircuitError> {
+/// let vco = Vco::new();
+/// assert_eq!(vco.num_variables(), 1008);
+/// let m = vco.simulate(0, &vec![0.0; 1008])?;
+/// assert!(m[0] > 1.0 && m[0] < 5.0, "freq {} GHz", m[0]);
+/// assert!(m[1] < -80.0 && m[1] > -160.0, "PN {} dBc/Hz", m[1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Vco {
+    variation: VariationModel,
+    unit_pair: Mosfet,
+    /// Tank inductance, henries.
+    ltank: f64,
+    /// Fixed tank capacitance, farads.
+    cfixed: f64,
+    /// Capacitor-bank step, farads per knob state.
+    cstep: f64,
+    /// Tank parallel loss resistance at the nominal corner, ohms.
+    rtank0: f64,
+    /// Nominal tail current, amperes.
+    bias0: f64,
+    /// Phase-noise offset frequency, hertz.
+    offset: f64,
+}
+
+impl Vco {
+    /// Builds the VCO (32 states, 1008 variables).
+    pub fn new() -> Self {
+        let variation = VariationModel::new(
+            INTER_DIE,
+            vec![
+                DeviceClass::new("cross pair", PAIR_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("tail mirror", MIRROR_FINGERS, PARAMS_PER_FINGER),
+                DeviceClass::new("bank switches", BANK_FINGERS, PARAMS_PER_FINGER),
+            ],
+        );
+        debug_assert_eq!(variation.dim(), 1008);
+        Vco {
+            variation,
+            unit_pair: Mosfet::rf_nmos(PAIR_FINGERS, 0.0),
+            ltank: 1.5e-9,
+            cfixed: 2.2e-12,
+            cstep: 28e-15,
+            rtank0: 350.0,
+            bias0: 3.0e-3,
+            offset: 1.0e6,
+        }
+    }
+
+    /// The variation-space layout.
+    pub fn variation_model(&self) -> &VariationModel {
+        &self.variation
+    }
+
+    /// Nominal tank capacitance of knob state `k`, farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= 32`.
+    pub fn state_capacitance(&self, state: usize) -> f64 {
+        assert!(state < 32, "vco has 32 states");
+        self.cfixed + self.cstep * state as f64
+    }
+}
+
+impl Default for Vco {
+    fn default() -> Self {
+        Vco::new()
+    }
+}
+
+impl Testbench for Vco {
+    fn name(&self) -> &str {
+        "vco"
+    }
+
+    fn num_states(&self) -> usize {
+        32
+    }
+
+    fn num_variables(&self) -> usize {
+        self.variation.dim()
+    }
+
+    fn metric_names(&self) -> &[&'static str] {
+        &["freq_ghz", "pn_dbchz", "amp_v"]
+    }
+
+    fn simulate(&self, state: usize, x: &[f64]) -> Result<Vec<f64>, CircuitError> {
+        if state >= self.num_states() {
+            return Err(CircuitError::BadInput {
+                what: format!("state {state} out of range (32 states)"),
+            });
+        }
+        self.variation.check(x)?;
+        let g = self.variation.inter_die(x);
+        let w = InterDieWeights::nmos();
+
+        // --- Bias.
+        let mirror_err = mirror_bias_error(&self.variation, x, 1);
+        let bias = self.bias0 * (1.0 + 0.04 * g[G_BIAS] + mirror_err);
+
+        // --- Cross-coupled pair aggregate (each side carries bias/2; the
+        // negative-gm seen by the tank is gm_total/2 for the pair).
+        let pair = aggregate_fingers(
+            &self.unit_pair,
+            &self.variation,
+            x,
+            0,
+            0.5 * bias / PAIR_FINGERS as f64,
+            2.4e9,
+            &w,
+        )?;
+
+        // --- Switched-capacitor bank: switch on-resistance mismatch turns
+        // into an effective capacitance/Q error per engaged unit.
+        let bank_class = 2;
+        let mut bank_err = 0.0;
+        for f in 0..BANK_FINGERS {
+            let p = self.variation.finger_params(x, bank_class, f);
+            bank_err += 0.004 * p[0] + 0.006 * p[5].min(3.0); // vth + cap entries
+        }
+        bank_err /= BANK_FINGERS as f64;
+
+        // --- Tank under variation.
+        let ind_scale = 1.0 + 0.03 * g[G_IND];
+        let cap_scale = (1.0 + 0.05 * g[G_CPASSIVE]) * (1.0 + bank_err);
+        let ltank = self.ltank * ind_scale;
+        let ctank = (self.state_capacitance(state) + pair.cgs + pair.cgd) * cap_scale;
+        let rtank_nom = self.rtank0 * (1.0 + 0.08 * g[G_RSHEET]);
+
+        // Oscillation frequency.
+        let w0 = 1.0 / (ltank * ctank).sqrt();
+        let f0 = w0 / std::f64::consts::TAU;
+
+        // Effective tank parallel resistance at resonance from an MNA
+        // impedance solve (loss resistor ∥ pair output conductance).
+        let mut nl = Netlist::new();
+        let n = nl.add_node();
+        nl.add_inductor(n, nl.ground(), ltank)?;
+        nl.add_capacitor(n, nl.ground(), ctank)?;
+        nl.add_resistor(n, nl.ground(), rtank_nom)?;
+        nl.add_resistor(n, nl.ground(), 2.0 / pair.gds.max(1e-9))?;
+        let fac = AcSolver::new(&nl)?.factor(f0)?;
+        let rp = fac.solve_injection(n)?.voltage(n).abs();
+        let q = rp / (w0 * ltank);
+
+        // Startup safety margin and amplitude (current-limited regime).
+        let gm_loop = 0.5 * pair.gm;
+        let amp = (2.0 / std::f64::consts::PI) * bias * rp * (1.0 - 1.0 / (gm_loop * rp).max(1.2));
+        let p_sig = amp * amp / (2.0 * rp);
+
+        // Leeson phase noise at the offset, with the device excess-noise
+        // factor from the pair's thermal noise against the tank loss.
+        let gamma_scale = 1.0 + 0.05 * g[G_GAMMA];
+        let four_kt = crate::FOUR_K_T;
+        let device_factor =
+            1.0 + (pair.thermal_noise_psd * gamma_scale + pair.flicker_noise_psd) * rp / four_kt;
+        let leeson =
+            (2.0 * four_kt / 4.0) * device_factor / p_sig * (f0 / (2.0 * q * self.offset)).powi(2);
+        let pn_dbchz = 10.0 * leeson.max(1e-30).log10();
+
+        Ok(vec![f0 / 1e9, pn_dbchz, amp])
+    }
+
+    fn cost_model(&self) -> SimCostModel {
+        // Periodic-steady-state analyses are the costliest of the three
+        // testbenches; charge accordingly (virtual, see DESIGN.md).
+        SimCostModel::new(90.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf_stats::seeded_rng;
+
+    #[test]
+    fn dimensions_and_nominal_metrics() {
+        let vco = Vco::new();
+        assert_eq!(vco.num_states(), 32);
+        assert_eq!(vco.num_variables(), 1008);
+        let x = vec![0.0; 1008];
+        for state in [0, 15, 31] {
+            let m = vco.simulate(state, &x).unwrap();
+            assert!(m[0] > 1.0 && m[0] < 5.0, "freq {} GHz at {state}", m[0]);
+            assert!(
+                m[1] < -80.0 && m[1] > -160.0,
+                "PN {} dBc/Hz at {state}",
+                m[1]
+            );
+            assert!(m[2] > 0.05 && m[2] < 3.0, "amp {} V at {state}", m[2]);
+        }
+    }
+
+    #[test]
+    fn frequency_decreases_with_bank_state() {
+        let vco = Vco::new();
+        let x = vec![0.0; 1008];
+        let f_low = vco.simulate(0, &x).unwrap()[0];
+        let f_high = vco.simulate(31, &x).unwrap()[0];
+        assert!(f_high < f_low, "more capacitance, lower frequency");
+        // A useful tuning range: at least 10%.
+        assert!((f_low - f_high) / f_low > 0.10, "{f_low} -> {f_high}");
+    }
+
+    #[test]
+    fn capacitance_variation_shifts_frequency() {
+        let vco = Vco::new();
+        let base = vco.simulate(10, &vec![0.0; 1008]).unwrap()[0];
+        let mut x = vec![0.0; 1008];
+        x[crate::lna::G_CPASSIVE] = 3.0;
+        let shifted = vco.simulate(10, &x).unwrap()[0];
+        assert!(shifted < base, "more C, lower f: {base} -> {shifted}");
+        let rel = (base - shifted) / base;
+        assert!(rel > 0.01 && rel < 0.2, "plausible 3σ shift: {rel}");
+    }
+
+    #[test]
+    fn phase_noise_responds_to_tank_q() {
+        let vco = Vco::new();
+        let base = vco.simulate(10, &vec![0.0; 1008]).unwrap()[1];
+        let mut x = vec![0.0; 1008];
+        x[crate::lna::G_RSHEET] = -3.0; // lossier tank corner
+        let worse = vco.simulate(10, &x).unwrap()[1];
+        assert!(worse > base, "lower Q, worse PN: {base} -> {worse}");
+    }
+
+    #[test]
+    fn random_samples_finite_and_deterministic() {
+        let vco = Vco::new();
+        let mut rng = seeded_rng(150);
+        for _ in 0..5 {
+            let x = vco.variation_model().sample(&mut rng);
+            let a = vco.simulate(7, &x).unwrap();
+            assert!(a.iter().all(|v| v.is_finite()));
+            assert_eq!(a, vco.simulate(7, &x).unwrap());
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let vco = Vco::new();
+        assert!(vco.simulate(32, &vec![0.0; 1008]).is_err());
+        assert!(vco.simulate(0, &vec![0.0; 7]).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the circuit substrate invariants.
+
+use cbmf_circuits::{AcSolver, Lna, Mixer, Netlist, Testbench};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Passive reciprocal networks: the transfer impedance from node a to
+    /// node b equals the one from b to a (reciprocity).
+    #[test]
+    fn passive_network_is_reciprocal(
+        r1 in 10.0f64..1_000.0,
+        r2 in 10.0f64..1_000.0,
+        r3 in 10.0f64..1_000.0,
+        c1 in 1e-13f64..1e-11,
+        freq in 1e6f64..1e10,
+    ) {
+        let mut nl = Netlist::new();
+        let a = nl.add_node();
+        let b = nl.add_node();
+        nl.add_resistor(a, nl.ground(), r1).expect("valid");
+        nl.add_resistor(b, nl.ground(), r2).expect("valid");
+        nl.add_resistor(a, b, r3).expect("valid");
+        nl.add_capacitor(a, b, c1).expect("valid");
+        let fac = AcSolver::new(&nl).expect("nodes").factor(freq).expect("nonsingular");
+        let z_ab = fac.solve_injection(a).expect("solve").voltage(b);
+        let z_ba = fac.solve_injection(b).expect("solve").voltage(a);
+        prop_assert!((z_ab - z_ba).abs() < 1e-9 * z_ab.abs().max(1e-12));
+    }
+
+    /// Linear scaling: doubling the excitation current doubles every node
+    /// voltage.
+    #[test]
+    fn mna_is_linear_in_excitation(
+        r in 50.0f64..500.0,
+        amps in 1e-4f64..1e-1,
+        freq in 1e6f64..1e9,
+    ) {
+        let build = |i: f64| {
+            let mut nl = Netlist::new();
+            let n = nl.add_node();
+            nl.add_resistor(n, nl.ground(), r).expect("valid");
+            nl.add_capacitor(n, nl.ground(), 1e-12).expect("valid");
+            nl.add_current_source(nl.ground(), n, i).expect("valid");
+            let v = AcSolver::new(&nl).expect("nodes").solve(freq).expect("solve").voltage(n);
+            v
+        };
+        let v1 = build(amps);
+        let v2 = build(2.0 * amps);
+        prop_assert!((v2 - v1.scale(2.0)).abs() < 1e-9 * v2.abs());
+    }
+
+    /// LNA outputs are finite and smooth for in-range Gaussian samples, and
+    /// perturbing one coordinate slightly moves the output slightly.
+    #[test]
+    fn lna_outputs_finite_and_locally_smooth(
+        state in 0usize..32,
+        seed in 0u64..500,
+        coord in 0usize..1264,
+    ) {
+        let lna = Lna::new();
+        let mut rng = cbmf_stats::seeded_rng(seed);
+        let x = lna.variation_model().sample(&mut rng);
+        let base = lna.simulate(state, &x).expect("simulate");
+        prop_assert!(base.iter().all(|v| v.is_finite()));
+        let mut x2 = x.clone();
+        x2[coord] += 1e-4;
+        let moved = lna.simulate(state, &x2).expect("simulate");
+        for (b, m) in base.iter().zip(&moved) {
+            prop_assert!((b - m).abs() < 0.05, "jump too large: {b} -> {m}");
+        }
+    }
+
+    /// Mixer state loads are monotone in the knob index for both resistors.
+    #[test]
+    fn mixer_loads_monotone(state in 0usize..31) {
+        let mixer = Mixer::new();
+        let (a0, b0) = mixer.state_loads(state);
+        let (a1, b1) = mixer.state_loads(state + 1);
+        prop_assert!(a1 > a0 && b1 > b0);
+    }
+
+    /// The LNA's bias knob is strictly monotone in state index.
+    #[test]
+    fn lna_bias_monotone(state in 0usize..31) {
+        let lna = Lna::new();
+        prop_assert!(lna.state_bias(state + 1) > lna.state_bias(state));
+    }
+
+    /// Simulations are exactly deterministic: same (state, x) twice gives a
+    /// bit-identical result.
+    #[test]
+    fn simulation_determinism(state in 0usize..32, seed in 0u64..200) {
+        let mixer = Mixer::new();
+        let mut rng = cbmf_stats::seeded_rng(seed);
+        let x = mixer.variation_model().sample(&mut rng);
+        let a = mixer.simulate(state, &x).expect("simulate");
+        let b = mixer.simulate(state, &x).expect("simulate");
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+}

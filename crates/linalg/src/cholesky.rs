@@ -1,0 +1,468 @@
+use crate::error::LinalgError;
+use crate::mat::Matrix;
+use crate::vecops;
+
+/// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
+///
+/// This is the backbone of the C-BMF posterior algebra: the observation-space
+/// covariance `C = σ₀²·I + D·A·Dᵀ` is factored once per EM iteration and then
+/// reused for every solve. [`Cholesky::new_with_jitter`] provides the
+/// escalating-diagonal-jitter retry that keeps EM robust when the M-step
+/// drives `C` towards the PD boundary.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::{Cholesky, Matrix};
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// assert!((chol.logdet() - (8.0f64).ln()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored as a full square matrix with the
+    /// strictly-upper part zeroed.
+    l: Matrix,
+    /// Diagonal jitter that was actually added to make the factorization
+    /// succeed (zero in the common case).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::factor(a, 0.0)
+    }
+
+    /// Factors `a`, retrying with escalating diagonal jitter on failure.
+    ///
+    /// Starting from `initial_jitter * mean(diag)`, the jitter is multiplied
+    /// by 10 on each failed attempt, up to `max_tries` attempts. The jitter
+    /// actually used is reported by [`Cholesky::jitter`].
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if all retries fail.
+    pub fn new_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<Self, LinalgError> {
+        match Self::factor(a, 0.0) {
+            Ok(c) => return Ok(c),
+            Err(LinalgError::NotSquare { .. }) => {
+                return Err(LinalgError::NotSquare {
+                    rows: a.rows(),
+                    cols: a.cols(),
+                })
+            }
+            Err(_) => {}
+        }
+        let n = a.rows().max(1) as f64;
+        let diag_scale = (a.trace() / n).abs().max(1e-300);
+        let mut jitter = initial_jitter.max(f64::EPSILON) * diag_scale;
+        let mut last = LinalgError::NotPositiveDefinite { pivot: 0 };
+        for _ in 0..max_tries {
+            match Self::factor(a, jitter) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            jitter *= 10.0;
+        }
+        Err(last)
+    }
+
+    fn factor(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                if i == j {
+                    s += jitter;
+                }
+                s -= vecops::dot(&l.row(i)[..j], &l.row(j)[..j]);
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                    }
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter that was added to make the factorization succeed
+    /// (zero when no retry was needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Log-determinant of the factored matrix, `log det A = 2 Σ log L_ii`.
+    pub fn logdet(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.dim() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (self.dim(), self.dim()),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        self.solve_in_place(&mut x);
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        // Solve on the transpose so the inner loops walk contiguous rows.
+        let mut xt = b.transpose();
+        for j in 0..xt.rows() {
+            self.solve_in_place(xt.row_mut(j));
+        }
+        Ok(xt.transpose())
+    }
+
+    /// Computes the full inverse `A⁻¹` (symmetric).
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut col = vec![0.0; n];
+        for j in 0..n {
+            col.iter_mut().for_each(|x| *x = 0.0);
+            col[j] = 1.0;
+            self.solve_in_place(&mut col);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv.symmetrized()
+    }
+
+    /// Forward/back substitution in place: overwrites `x` (initially `b`)
+    /// with `A⁻¹ b`.
+    fn solve_in_place(&self, x: &mut [f64]) {
+        let n = self.dim();
+        debug_assert_eq!(x.len(), n);
+        // L z = b
+        for i in 0..n {
+            let s = vecops::dot(&self.l.row(i)[..i], &x[..i]);
+            x[i] = (x[i] - s) / self.l[(i, i)];
+        }
+        // Lᵀ x = z
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Rank-one update: replaces the factored matrix `A` by `A + v·vᵀ`,
+    /// updating the factor in `O(n²)` instead of refactoring in `O(n³)`.
+    ///
+    /// This is what makes the C-BMF initializer's greedy loop affordable:
+    /// adding one basis function to the active set perturbs the
+    /// observation-space covariance by a sum of K rank-one terms, each
+    /// applied through this routine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.dim()`.
+    pub fn rank_one_update(&mut self, v: &[f64]) -> Result<(), LinalgError> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank one update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut work = v.to_vec();
+        for j in 0..n {
+            let ljj = self.l[(j, j)];
+            let wj = work[j];
+            let r = ljj.hypot(wj);
+            let c = r / ljj;
+            let s = wj / ljj;
+            self.l[(j, j)] = r;
+            for i in (j + 1)..n {
+                let lij = (self.l[(i, j)] + s * work[i]) / c;
+                work[i] = c * work[i] - s * lij;
+                self.l[(i, j)] = lij;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the lower-triangular system `L y = b` only (half a solve).
+    ///
+    /// Useful for whitening: if `A = L Lᵀ` is a covariance, `y = L⁻¹ b` has
+    /// identity covariance when `b ~ N(0, A)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn forward_solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "forward solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let s = vecops::dot(&self.l.row(i)[..i], &y[..i]);
+            y[i] = (y[i] - s) / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Computes `L v` where `L` is the lower factor.
+    ///
+    /// Together with i.i.d. standard-normal `v` this produces samples from
+    /// `N(0, A)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.dim()`.
+    pub fn l_matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "l_matvec",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..n)
+            .map(|i| vecops::dot(&self.l.row(i)[..=i], &v[..=i]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = M Mᵀ + I for a fixed M, guaranteed SPD.
+        let m =
+            Matrix::from_rows(&[&[1.0, 2.0, 0.5], &[0.0, 1.0, -1.0], &[2.0, 0.0, 1.0]]).unwrap();
+        let mut a = m.matmul_t(&m).unwrap();
+        a.add_diag_mut(1.0);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let rec = c.l().matmul_t(c.l()).unwrap();
+        assert!((&rec - &a).max_abs() < 1e-12);
+        assert_eq!(c.jitter(), 0.0);
+    }
+
+    #[test]
+    fn solve_vec_matches_direct_check() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x = c.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solves() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, -1.0]]).unwrap();
+        let x = c.solve_mat(&b).unwrap();
+        let ax = a.matmul(&x).unwrap();
+        assert!((&ax - &b).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(3)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn logdet_matches_lu_determinant() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let det = crate::Lu::new(&a).unwrap().det();
+        assert!((c.logdet() - det.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_pd_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 PSD matrix: plain Cholesky fails, jittered succeeds.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+        let c = Cholesky::new_with_jitter(&a, 1e-10, 20).unwrap();
+        assert!(c.jitter() > 0.0);
+        // Factorization of A + jitter*I should reconstruct within jitter.
+        let rec = c.l().matmul_t(c.l()).unwrap();
+        assert!((&rec - &a).max_abs() <= c.jitter() * 1.01 + 1e-12);
+    }
+
+    #[test]
+    fn jitter_gives_up_eventually() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(); // indefinite
+        assert!(Cholesky::new_with_jitter(&a, 1e-12, 2).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::new_with_jitter(&a, 1e-10, 3),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_one_update_matches_refactorization() {
+        let a = spd3();
+        let v = [0.7, -1.3, 0.4];
+        let mut updated = Cholesky::new(&a).unwrap();
+        updated.rank_one_update(&v).unwrap();
+        // Reference: factor A + vvᵀ from scratch.
+        let mut avv = a.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                avv[(i, j)] += v[i] * v[j];
+            }
+        }
+        let reference = Cholesky::new(&avv).unwrap();
+        assert!((&updated.l().clone() - reference.l()).max_abs() < 1e-12);
+        // Solves agree too.
+        let b = [1.0, 2.0, -1.0];
+        let x1 = updated.solve_vec(&b).unwrap();
+        let x2 = reference.solve_vec(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn repeated_rank_one_updates_stay_accurate() {
+        let mut chol = Cholesky::new(&Matrix::from_diag(&[0.1, 0.1, 0.1, 0.1])).unwrap();
+        let mut full = Matrix::from_diag(&[0.1, 0.1, 0.1, 0.1]);
+        for t in 0..25 {
+            let v: Vec<f64> = (0..4).map(|i| ((t * 4 + i) as f64 * 0.37).sin()).collect();
+            chol.rank_one_update(&v).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    full[(i, j)] += v[i] * v[j];
+                }
+            }
+        }
+        let rec = chol.l().matmul_t(chol.l()).unwrap();
+        assert!((&rec - &full).max_abs() < 1e-10 * full.max_abs());
+    }
+
+    #[test]
+    fn rank_one_update_shape_mismatch() {
+        let mut chol = Cholesky::new(&spd3()).unwrap();
+        assert!(chol.rank_one_update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn forward_solve_whitens() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let y = c.forward_solve(&b).unwrap();
+        // L y should equal b.
+        let ly = c.l_matvec(&y).unwrap();
+        for (lyi, bi) in ly.iter().zip(&b) {
+            assert!((lyi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shape_errors_on_solves() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!(c.solve_vec(&[1.0]).is_err());
+        assert!(c.forward_solve(&[1.0]).is_err());
+        assert!(c.l_matvec(&[1.0]).is_err());
+        assert!(c.solve_mat(&Matrix::zeros(2, 2)).is_err());
+    }
+}

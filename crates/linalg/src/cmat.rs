@@ -1,0 +1,329 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::complex::Complex64;
+use crate::error::LinalgError;
+
+/// A dense, row-major complex matrix.
+///
+/// This is the system matrix of the modified-nodal-analysis (MNA) circuit
+/// simulator: at each analysis frequency the circuit stamps complex
+/// admittances into a `CMatrix`, which is then factored by [`CLu`] and solved
+/// for the node voltages.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::{CMatrix, CLu, Complex64};
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// let mut a = CMatrix::zeros(2, 2);
+/// a[(0, 0)] = Complex64::new(1.0, 1.0);
+/// a[(1, 1)] = Complex64::new(0.0, -2.0);
+/// let lu = CLu::new(&a)?;
+/// let x = lu.solve(&[Complex64::ONE, Complex64::I])?;
+/// assert!((x[1] - Complex64::new(-0.5, 0.0)).abs() < 1e-14);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cmatvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let mut acc = Complex64::ZERO;
+            for (a, x) in row.iter().zip(v) {
+                acc += *a * *x;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Adds `value` at `(i, j)` — the "stamping" primitive of MNA assembly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn stamp(&mut self, i: usize, j: usize, value: Complex64) {
+        self[(i, j)] += value;
+    }
+
+    /// True if all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|z| z.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(6) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(6) {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Complex LU factorization with partial pivoting.
+///
+/// Factors the MNA system matrix once per (state, sample, frequency) and
+/// solves for multiple right-hand sides (signal excitation plus one RHS per
+/// noise source in the noise analysis).
+#[derive(Debug, Clone)]
+pub struct CLu {
+    lu: CMatrix,
+    perm: Vec<usize>,
+}
+
+impl CLu {
+    /// Factors a square complex matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot magnitude is zero.
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != Complex64::ZERO {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        let upd = factor * ukj;
+                        lu[(i, j)] -= upd;
+                    }
+                }
+            }
+        }
+        Ok(CLu { lu, perm })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "clu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut x: Vec<Complex64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn solve_reproduces_rhs() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = c(2.0, 1.0);
+        a[(0, 1)] = c(-1.0, 0.0);
+        a[(1, 0)] = c(0.0, 1.0);
+        a[(1, 1)] = c(3.0, 0.0);
+        a[(1, 2)] = c(0.5, -0.5);
+        a[(2, 2)] = c(1.0, -2.0);
+        a[(2, 0)] = c(0.0, 0.5);
+        let b = vec![c(1.0, 0.0), c(0.0, 1.0), c(2.0, -1.0)];
+        let x = CLu::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((*axi - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut a = CMatrix::zeros(2, 2);
+        a[(0, 1)] = Complex64::ONE;
+        a[(1, 0)] = Complex64::ONE;
+        let x = CLu::new(&a)
+            .unwrap()
+            .solve(&[c(5.0, 0.0), c(7.0, 0.0)])
+            .unwrap();
+        assert!((x[0] - c(7.0, 0.0)).abs() < 1e-14);
+        assert!((x[1] - c(5.0, 0.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let a = CMatrix::zeros(2, 2);
+        assert!(matches!(CLu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn not_square_rejected() {
+        let a = CMatrix::zeros(2, 3);
+        assert!(matches!(CLu::new(&a), Err(LinalgError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = CMatrix::identity(4);
+        let b = vec![c(1.0, 2.0); 4];
+        let x = CLu::new(&a).unwrap().solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn stamping_accumulates() {
+        let mut a = CMatrix::zeros(2, 2);
+        a.stamp(0, 0, c(1.0, 0.0));
+        a.stamp(0, 0, c(0.5, 1.0));
+        assert_eq!(a[(0, 0)], c(1.5, 1.0));
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let lu = CLu::new(&CMatrix::identity(2)).unwrap();
+        assert!(lu.solve(&[Complex64::ONE]).is_err());
+    }
+}

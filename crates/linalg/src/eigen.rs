@@ -1,0 +1,266 @@
+use crate::error::LinalgError;
+use crate::mat::Matrix;
+
+/// Symmetric eigendecomposition `A = V diag(w) Vᵀ` via cyclic Jacobi rotations.
+///
+/// C-BMF's EM M-step (eq. 30 of the paper) re-estimates the cross-state
+/// correlation matrix `R` from posterior moments; round-off can push it
+/// slightly off the positive-definite cone. [`SymEigen::project_pd`] clips the
+/// spectrum at a floor and reassembles the matrix, which is the standard
+/// "nearest PD in the eigenvalue sense" repair.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::{Matrix, SymEigen};
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let eig = SymEigen::new(&a)?;
+/// let mut w = eig.eigenvalues().to_vec();
+/// w.sort_by(|x, y| x.partial_cmp(y).unwrap());
+/// assert!((w[0] - 1.0).abs() < 1e-10 && (w[1] - 3.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    eigenvalues: Vec<f64>,
+    /// Columns are the eigenvectors, in the same order as `eigenvalues`.
+    eigenvectors: Matrix,
+}
+
+impl SymEigen {
+    /// Maximum number of full Jacobi sweeps before giving up.
+    const MAX_SWEEPS: usize = 100;
+
+    /// Decomposes a symmetric matrix. Only the lower triangle is trusted;
+    /// the matrix is symmetrized first.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::InvalidInput`] if `a` contains non-finite values.
+    /// * [`LinalgError::NoConvergence`] if the sweeps do not converge
+    ///   (practically unreachable for symmetric input).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::InvalidInput {
+                what: "eigendecomposition input contains NaN or infinity".to_string(),
+            });
+        }
+        let n = a.rows();
+        let mut m = a.symmetrized();
+        let mut v = Matrix::identity(n);
+        if n <= 1 {
+            return Ok(SymEigen {
+                eigenvalues: m.diag(),
+                eigenvectors: v,
+            });
+        }
+        let scale = m.max_abs().max(1e-300);
+        let tol = 1e-14 * scale;
+        for _sweep in 0..Self::MAX_SWEEPS {
+            let mut off = 0.0_f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off = off.max(m[(i, j)].abs());
+                }
+            }
+            if off <= tol {
+                return Ok(SymEigen {
+                    eigenvalues: m.diag(),
+                    eigenvectors: v,
+                });
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol * 1e-2 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Classic Jacobi rotation angle.
+                    let theta = 0.5 * (aqq - app) / apq;
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Rotate rows/columns p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence {
+            op: "jacobi eigendecomposition",
+            iterations: Self::MAX_SWEEPS,
+        })
+    }
+
+    /// The eigenvalues (unsorted; paired with [`SymEigen::eigenvectors`]).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The eigenvector matrix; column `i` pairs with `eigenvalues()[i]`.
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min_eigenvalue(&self) -> f64 {
+        self.eigenvalues
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Reassembles `V diag(max(w, floor)) Vᵀ`: the eigenvalue-clipped
+    /// projection of the original matrix onto the PD cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is not finite.
+    pub fn project_pd(&self, floor: f64) -> Matrix {
+        assert!(floor.is_finite(), "floor must be finite");
+        let n = self.eigenvalues.len();
+        let clipped: Vec<f64> = self.eigenvalues.iter().map(|w| w.max(floor)).collect();
+        // V diag(w) Vᵀ
+        let mut scaled = self.eigenvectors.clone();
+        for i in 0..n {
+            for j in 0..n {
+                scaled[(i, j)] *= clipped[j];
+            }
+        }
+        scaled
+            .matmul_t(&self.eigenvectors)
+            .expect("shapes agree by construction")
+            .symmetrized()
+    }
+}
+
+/// Projects a symmetric matrix onto the PD cone by flooring its spectrum.
+///
+/// Convenience wrapper over [`SymEigen::project_pd`] that first symmetrizes
+/// the input. The `floor` is interpreted relative to the largest eigenvalue
+/// magnitude: the effective floor is `floor * max(|w|, 1e-300)`.
+///
+/// # Errors
+///
+/// Propagates [`SymEigen::new`] errors.
+pub fn project_pd_relative(a: &Matrix, floor: f64) -> Result<Matrix, LinalgError> {
+    let eig = SymEigen::new(a)?;
+    let wmax = eig
+        .eigenvalues()
+        .iter()
+        .fold(0.0_f64, |acc, w| acc.max(w.abs()))
+        .max(1e-300);
+    Ok(eig.project_pd(floor * wmax))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cholesky;
+
+    #[test]
+    fn decomposition_reconstructs_matrix() {
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
+        let eig = SymEigen::new(&a).unwrap();
+        let rec = eig.project_pd(f64::MIN);
+        // floor far below any eigenvalue keeps the spectrum intact
+        // => exact reconstruction.
+        assert!((&rec - &a).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_eigenvalues() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let eig = SymEigen::new(&a).unwrap();
+        let mut w = eig.eigenvalues().to_vec();
+        w.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((w[0] - 1.0).abs() < 1e-10);
+        assert!((w[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0, 1.0], &[2.0, 6.0, 2.0], &[1.0, 2.0, 7.0]]).unwrap();
+        let eig = SymEigen::new(&a).unwrap();
+        let v = eig.eigenvectors();
+        let vtv = v.t_matmul(v).unwrap();
+        assert!((&vtv - &Matrix::identity(3)).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn project_pd_makes_indefinite_matrix_choleskyable() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigs 3, -1
+        assert!(Cholesky::new(&a).is_err());
+        let fixed = SymEigen::new(&a).unwrap().project_pd(1e-6);
+        assert!(Cholesky::new(&fixed).is_ok());
+        let eig2 = SymEigen::new(&fixed).unwrap();
+        assert!(eig2.min_eigenvalue() >= 1e-6 - 1e-12);
+    }
+
+    #[test]
+    fn project_pd_is_idempotent_on_pd_input() {
+        let a = Matrix::from_rows(&[&[2.0, 0.5], &[0.5, 1.0]]).unwrap();
+        let p = SymEigen::new(&a).unwrap().project_pd(1e-12);
+        assert!((&p - &a).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn relative_projection_scales_with_matrix() {
+        let a = Matrix::from_rows(&[&[1e6, 0.0], &[0.0, -1.0]]).unwrap();
+        let p = project_pd_relative(&a, 1e-8).unwrap();
+        let eig = SymEigen::new(&p).unwrap();
+        assert!(eig.min_eigenvalue() >= 1e6 * 1e-8 * 0.99);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let a = Matrix::from_rows(&[&[7.0]]).unwrap();
+        let eig = SymEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[7.0]);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(SymEigen::new(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            SymEigen::new(&a),
+            Err(LinalgError::InvalidInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+use std::fmt;
+
+/// Error type for all fallible operations in this crate.
+///
+/// Every public function that can fail returns `Result<_, LinalgError>`; the
+/// variants carry enough context (dimensions, indices) to diagnose the
+/// failure without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// What was being attempted, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite
+    /// (even after the configured jitter retries).
+    NotPositiveDefinite {
+        /// Pivot index at which the failure was detected.
+        pivot: usize,
+    },
+    /// LU factorization hit an (effectively) zero pivot: matrix is singular.
+    Singular {
+        /// Pivot index at which the failure was detected.
+        pivot: usize,
+    },
+    /// An input had an invalid value (empty, NaN, non-positive where a
+    /// positive value is required, ...).
+    InvalidInput {
+        /// Human-readable description of the violated precondition.
+        what: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Which routine failed.
+        op: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot {pivot})")
+            }
+            LinalgError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "shape mismatch in matmul: 2x3 vs 4x5");
+
+        let e = LinalgError::NotSquare { rows: 2, cols: 3 };
+        assert_eq!(e.to_string(), "matrix must be square, got 2x3");
+
+        let e = LinalgError::NotPositiveDefinite { pivot: 1 };
+        assert!(e.to_string().contains("positive definite"));
+
+        let e = LinalgError::Singular { pivot: 0 };
+        assert!(e.to_string().contains("singular"));
+
+        let e = LinalgError::NoConvergence {
+            op: "jacobi",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("jacobi"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<LinalgError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! Dense real and complex linear algebra substrate for the C-BMF
+//! reproduction.
+//!
+//! The Rust ecosystem around sparse Bayesian methods is thin, so this crate
+//! provides — from scratch — everything the Correlated Bayesian Model Fusion
+//! algorithm and its circuit-simulation substrate need:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual arithmetic,
+//!   slicing and reduction operations.
+//! * [`Cholesky`] — SPD factorization with solves, log-determinant and an
+//!   escalating-jitter retry used to keep EM iterations robust.
+//! * [`Lu`] / [`Qr`] — general factorizations (determinants, inverses,
+//!   least-squares).
+//! * [`SymEigen`] — symmetric Jacobi eigendecomposition, used to project
+//!   near-PD matrices back onto the PD cone between EM steps.
+//! * [`Complex64`] and [`CMatrix`] — complex scalars and matrices with an LU
+//!   solve, used by the modified-nodal-analysis circuit simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbmf_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve_vec(&[1.0, 2.0])?;
+//! assert!((4.0 * x[0] + 2.0 * x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cholesky;
+mod cmat;
+mod complex;
+mod eigen;
+mod error;
+mod lu;
+mod mat;
+mod qr;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use cmat::{CLu, CMatrix};
+pub use complex::Complex64;
+pub use eigen::{project_pd_relative, SymEigen};
+pub use error::LinalgError;
+pub use lu::Lu;
+pub use mat::Matrix;
+pub use qr::Qr;

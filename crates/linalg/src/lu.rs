@@ -1,0 +1,233 @@
+use crate::error::LinalgError;
+use crate::mat::Matrix;
+
+/// LU factorization with partial pivoting, `P A = L U`.
+///
+/// Used for general (non-symmetric) square systems: determinants, inverses,
+/// and as the real-valued counterpart of the complex LU in [`crate::CLu`]
+/// that drives the MNA circuit simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::{Lu, Matrix};
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[3.0, 1.0]])?;
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve_vec(&[2.0, 4.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strictly lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Singular`] if a pivot is exactly zero.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix, but the signature stays honest).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, 1.0], &[4.0, -6.0, 0.0], &[-2.0, 7.0, 2.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let b = [5.0, -2.0, 9.0];
+        let x = lu.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (axi, bi) in ax.iter().zip(&b) {
+            assert!((axi - bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+        assert!((lu.det() + 1.0).abs() < 1e-14); // det = -1 (swap)
+    }
+
+    #[test]
+    fn det_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        assert!((Lu::new(&a).unwrap().det() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!((&prod - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let lu = Lu::new(&Matrix::identity(3)).unwrap();
+        assert!(lu.solve_vec(&[1.0]).is_err());
+        assert!(lu.solve_mat(&Matrix::zeros(2, 2)).is_err());
+    }
+}

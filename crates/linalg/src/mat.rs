@@ -1,0 +1,756 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::LinalgError;
+use crate::vecops;
+
+/// A dense, row-major `f64` matrix.
+///
+/// This is the workhorse type of the crate: it stores its elements in a
+/// single contiguous `Vec<f64>` in row-major order so that row slices can be
+/// handed out as `&[f64]` for tight inner loops.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::Matrix;
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix with every element set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m.data[i * n + i] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidInput {
+                what: format!("data length {} does not match {rows}x{cols}", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if `rows` is empty or the rows
+    /// have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        if rows.is_empty() {
+            return Err(LinalgError::InvalidInput {
+                what: "cannot build a matrix from zero rows".to_string(),
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidInput {
+                    what: format!("row {i} has length {}, expected {cols}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Creates a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
+    }
+
+    /// Copies the main diagonal into a new vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.data[i * self.cols + i]).collect()
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        self.diag().iter().sum()
+    }
+
+    /// Returns the transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: the innermost loop walks contiguous rows of `rhs`
+        // and `out`, which is dramatically faster than the naive ijk order.
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                vecops::axpy(aik, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != rhs.rows()`.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                vecops::axpy(aki, b_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self * rhsᵀ` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_t",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                out.data[i * rhs.rows + j] = vecops::dot(a_row, rhs.row(j));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != v.len()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| vecops::dot(self.row(i), v))
+            .collect())
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.rows() != v.len()`.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != v.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matvec",
+                lhs: self.shape(),
+                rhs: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            vecops::axpy(vi, self.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns a copy with every element multiplied by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the shapes differ.
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Copies the rectangular block with rows `r0..r1` and columns `c0..c1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are out of bounds or inverted.
+    pub fn block(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        assert!(c0 <= c1 && c1 <= self.cols, "bad col range {c0}..{c1}");
+        let mut out = Matrix::zeros(r1 - r0, c1 - c0);
+        for i in r0..r1 {
+            out.row_mut(i - r0).copy_from_slice(&self.row(i)[c0..c1]);
+        }
+        out
+    }
+
+    /// Writes `block` into this matrix with its top-left corner at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_block(&mut self, r0: usize, c0: usize, block: &Matrix) {
+        assert!(r0 + block.rows <= self.rows, "block rows do not fit");
+        assert!(c0 + block.cols <= self.cols, "block cols do not fit");
+        for i in 0..block.rows {
+            let dst = i + r0;
+            self.row_mut(dst)[c0..c0 + block.cols].copy_from_slice(block.row(i));
+        }
+    }
+
+    /// Builds a new matrix keeping only the listed columns, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = out.row_mut(i);
+            for (jj, &j) in indices.iter().enumerate() {
+                assert!(j < self.cols, "col index {j} out of bounds");
+                dst[jj] = src[j];
+            }
+        }
+        out
+    }
+
+    /// Returns `(self + selfᵀ) / 2`, forcing exact symmetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn symmetrized(&self) -> Matrix {
+        assert!(self.is_square(), "symmetrized requires a square matrix");
+        let n = self.rows;
+        let mut out = self.clone();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (self.data[i * n + j] + self.data[j * n + i]);
+                out.data[i * n + j] = avg;
+                out.data[j * n + i] = avg;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element (∞-entrywise norm). Zero for empty matrices.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, x| acc.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        vecops::norm2(&self.data)
+    }
+
+    /// Adds `value` to every diagonal entry in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn add_diag_mut(&mut self, value: f64) {
+        assert!(self.is_square(), "add_diag_mut requires a square matrix");
+        let n = self.rows;
+        for i in 0..n {
+            self.data[i * n + i] += value;
+        }
+    }
+
+    /// True if all elements are finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:10.4e}", self[(i, j)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix add shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sub shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn constructors_agree() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(a, abcd());
+        let b = Matrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64);
+        assert_eq!(b, abcd());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0]),
+            Err(LinalgError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_input() {
+        let r0: &[f64] = &[1.0, 2.0];
+        let r1: &[f64] = &[3.0];
+        assert!(Matrix::from_rows(&[r0, r1]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diag() {
+        let i3 = Matrix::identity(3);
+        assert_eq!(i3.trace(), 3.0);
+        assert_eq!(i3.diag(), vec![1.0, 1.0, 1.0]);
+        let d = Matrix::from_diag(&[2.0, 5.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], 5.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = abcd();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = abcd();
+        let b = Matrix::zeros(3, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_products_match_explicit_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[1.0, 0.5], &[-1.0, 2.0]]).unwrap();
+        let t1 = a.t_matmul(&b).unwrap();
+        let t2 = a.transpose().matmul(&b).unwrap();
+        assert!((&t1 - &t2).max_abs() < 1e-14);
+
+        let c = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[0.0, 1.0, -1.0]]).unwrap();
+        let u1 = a.matmul_t(&c).unwrap();
+        let u2 = a.matmul(&c.transpose()).unwrap();
+        assert!((&u1 - &u2).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn matvec_and_t_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let v = [1.0, 1.0, 1.0];
+        assert_eq!(a.matvec(&v).unwrap(), vec![6.0, 15.0]);
+        let w = [1.0, 2.0];
+        assert_eq!(a.t_matvec(&w).unwrap(), vec![9.0, 12.0, 15.0]);
+        assert!(a.matvec(&w).is_err());
+        assert!(a.t_matvec(&v).is_err());
+    }
+
+    #[test]
+    fn block_and_set_block_round_trip() {
+        let a = Matrix::from_fn(4, 5, |i, j| (i * 5 + j) as f64);
+        let b = a.block(1, 3, 2, 5);
+        assert_eq!(b.shape(), (2, 3));
+        assert_eq!(b[(0, 0)], a[(1, 2)]);
+        let mut c = Matrix::zeros(4, 5);
+        c.set_block(1, 2, &b);
+        assert_eq!(c[(1, 2)], a[(1, 2)]);
+        assert_eq!(c[(2, 4)], a[(2, 4)]);
+        assert_eq!(c[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn select_cols_picks_in_order() {
+        let a = Matrix::from_fn(2, 4, |i, j| (i * 4 + j) as f64);
+        let s = a.select_cols(&[3, 0]);
+        assert_eq!(s.row(0), &[3.0, 0.0]);
+        assert_eq!(s.row(1), &[7.0, 4.0]);
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric() {
+        let a = abcd();
+        let s = a.symmetrized();
+        assert_eq!(s[(0, 1)], s[(1, 0)]);
+        assert_eq!(s[(0, 1)], 2.5);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = abcd();
+        let sum = &a + &a;
+        assert_eq!(sum[(1, 1)], 8.0);
+        let diff = &sum - &a;
+        assert_eq!(diff, a);
+        let neg = -&a;
+        assert_eq!(neg[(0, 0)], -1.0);
+        let scaled = &a * 2.0;
+        assert_eq!(scaled, sum);
+        let mut b = a.clone();
+        b += &a;
+        assert_eq!(b, sum);
+        b -= &a;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let a = abcd();
+        assert_eq!(a.max_abs(), 4.0);
+        assert!((a.fro_norm() - (30.0_f64).sqrt()).abs() < 1e-14);
+        assert!(a.is_finite());
+        let mut bad = a.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(!bad.is_finite());
+    }
+
+    #[test]
+    fn add_diag_mut_only_touches_diagonal() {
+        let mut a = abcd();
+        a.add_diag_mut(10.0);
+        assert_eq!(a[(0, 0)], 11.0);
+        assert_eq!(a[(1, 1)], 14.0);
+        assert_eq!(a[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn hadamard_is_elementwise() {
+        let a = abcd();
+        let h = a.hadamard(&a).unwrap();
+        assert_eq!(h[(1, 0)], 9.0);
+        assert!(a.hadamard(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let s = format!("{:?}", abcd());
+        assert!(s.contains("Matrix 2x2"));
+    }
+}

@@ -1,0 +1,256 @@
+use crate::error::LinalgError;
+use crate::mat::Matrix;
+use crate::vecops;
+
+/// Householder QR factorization of an `m x n` matrix with `m >= n`.
+///
+/// The primary consumer is least-squares fitting: the classical baseline of
+/// the paper (eq. 2) and the per-support solves inside OMP / S-OMP all reduce
+/// to `min ‖y − B α‖₂`, which [`Qr::solve_least_squares`] computes stably
+/// without forming the normal equations.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), cbmf_linalg::LinalgError> {
+/// // Overdetermined system: fit a line through three points.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]])?;
+/// let y = [1.0, 3.0, 5.0]; // exactly y = 1 + 2 t
+/// let coef = Qr::new(&a)?.solve_least_squares(&y)?;
+/// assert!((coef[0] - 1.0).abs() < 1e-12 && (coef[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// R on and above the diagonal; Householder vector tails (`v[k+1..m]`)
+    /// below the diagonal. The leading component `v[k]` of each reflector is
+    /// kept in `v0s` because the diagonal slot holds R.
+    qr: Matrix,
+    /// Leading component of each Householder vector.
+    v0s: Vec<f64>,
+    /// The scalar `beta = 2 / (vᵀ v)` for each reflector (zero means the
+    /// reflector is the identity).
+    betas: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a` (requires `a.rows() >= a.cols()`).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidInput`] if `a` is empty or `a.rows() < a.cols()`.
+    /// * [`LinalgError::Singular`] if a column is (numerically) linearly
+    ///   dependent on the previous ones, which would make R singular.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::InvalidInput {
+                what: "qr of an empty matrix".to_string(),
+            });
+        }
+        if m < n {
+            return Err(LinalgError::InvalidInput {
+                what: format!("qr requires rows >= cols, got {m}x{n}"),
+            });
+        }
+        let mut qr = a.clone();
+        let mut v0s = vec![0.0; n];
+        let mut betas = vec![0.0; n];
+        let scale = a.max_abs().max(1.0);
+        for k in 0..n {
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm <= scale * 1e-13 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            let mut vtv = v0 * v0;
+            for i in (k + 1)..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            if vtv == 0.0 {
+                qr[(k, k)] = alpha;
+                continue; // beta stays 0: identity reflector
+            }
+            let beta = 2.0 / vtv;
+            for j in (k + 1)..n {
+                let mut s = v0 * qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= beta;
+                qr[(k, j)] -= s * v0;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+            qr[(k, k)] = alpha;
+            v0s[k] = v0;
+            betas[k] = beta;
+        }
+        Ok(Qr { qr, v0s, betas })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Solves the least-squares problem `min ‖b − A x‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.rows()`.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr least squares",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // y = Qᵀ b, applied reflector by reflector.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let beta = self.betas[k];
+            if beta == 0.0 {
+                continue;
+            }
+            let v0 = self.v0s[k];
+            let mut s = v0 * y[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= beta;
+            y[k] -= s * v0;
+            for i in (k + 1)..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back-substitute R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = s / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (n x n).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+
+    /// Residual 2-norm `‖b − A x‖₂` at the least-squares solution, where `a`
+    /// must be the matrix this factorization was built from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if shapes disagree.
+    pub fn residual_norm(&self, a: &Matrix, b: &[f64]) -> Result<f64, LinalgError> {
+        let x = self.solve_least_squares(b)?;
+        let ax = a.matvec(&x)?;
+        Ok(vecops::norm2(&vecops::sub(b, &ax)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let b = [5.0, 10.0]; // x = (1, 3)
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0],
+            &[1.0, 1.0, 0.5],
+            &[1.0, 2.0, -1.0],
+            &[1.0, 3.0, 0.0],
+            &[1.0, 4.0, 1.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 2.5, 4.0, 5.5];
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        // Normal equations via Cholesky as a cross-check.
+        let ata = a.t_matmul(&a).unwrap();
+        let atb = a.t_matvec(&b).unwrap();
+        let x_ne = crate::Cholesky::new(&ata).unwrap().solve_vec(&atb).unwrap();
+        for (xi, yi) in x.iter().zip(&x_ne) {
+            assert!((xi - yi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_correct_magnitude() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        // RᵀR should equal AᵀA (Q is orthogonal).
+        let rtr = r.t_matmul(&r).unwrap();
+        let ata = a.t_matmul(&a).unwrap();
+        assert!((&rtr - &ata).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn rank_deficient_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]).unwrap();
+        assert!(matches!(Qr::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        assert!(matches!(
+            Qr::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_of_consistent_system_is_zero() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.residual_norm(&a, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cbmf_linalg::{CLu, CMatrix, Cholesky, Complex64, Lu, Matrix, Qr, SymEigen};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned SPD matrix `M Mᵀ + n·I` of dimension 1..=6.
+fn spd_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+            let m = Matrix::from_vec(n, n, data).expect("length matches");
+            let mut a = m.matmul_t(&m).expect("square product");
+            a.add_diag_mut(n as f64);
+            a
+        })
+    })
+}
+
+/// Strategy: an arbitrary square matrix with entries in [-3, 3].
+fn square_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6).prop_flat_map(|n| {
+        proptest::collection::vec(-3.0f64..3.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("length matches"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix()) {
+        let c = Cholesky::new(&a).expect("spd by construction");
+        let rec = c.l().matmul_t(c.l()).expect("square");
+        prop_assert!((&rec - &a).max_abs() < 1e-8 * a.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn cholesky_solve_residual_small(a in spd_matrix()) {
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let c = Cholesky::new(&a).expect("spd");
+        let x = c.solve_vec(&b).expect("shapes match");
+        let ax = a.matvec(&x).expect("shapes match");
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn cholesky_logdet_matches_lu_det(a in spd_matrix()) {
+        let c = Cholesky::new(&a).expect("spd");
+        let det = Lu::new(&a).expect("nonsingular").det();
+        prop_assert!(det > 0.0);
+        prop_assert!((c.logdet() - det.ln()).abs() < 1e-6 * c.logdet().abs().max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_residual_small(m in square_matrix()) {
+        // Shift the diagonal to guarantee non-singularity.
+        let mut a = m;
+        a.add_diag_mut(10.0);
+        let n = a.rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let x = Lu::new(&a).expect("diagonally dominant").solve_vec(&b).expect("shapes");
+        let ax = a.matvec(&x).expect("shapes");
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((axi - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(a in square_matrix(), seed in 0u64..1000) {
+        let n = a.rows();
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3 + seed as usize) % 5) as f64 - 2.0);
+        let c = Matrix::from_fn(n, n, |i, j| ((i + j * 2 + seed as usize) % 3) as f64);
+        let left = a.matmul(&b).expect("square").matmul(&c).expect("square");
+        let right = a.matmul(&b.matmul(&c).expect("square")).expect("square");
+        prop_assert!((&left - &right).max_abs() < 1e-9 * left.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in square_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn qr_least_squares_matches_normal_equations(
+        cols in 1usize..=4,
+        seed in 0u64..500,
+    ) {
+        let rows = cols + 3;
+        let a = Matrix::from_fn(rows, cols, |i, j| {
+            let v = ((i * 31 + j * 17 + seed as usize * 13) % 19) as f64 / 19.0;
+            v + if i == j { 1.0 } else { 0.0 }
+        });
+        let b: Vec<f64> = (0..rows).map(|i| (i as f64).sin()).collect();
+        let x_qr = Qr::new(&a).expect("full column rank").solve_least_squares(&b).expect("shapes");
+        let ata = a.t_matmul(&a).expect("shapes");
+        let atb = a.t_matvec(&b).expect("shapes");
+        let x_ne = Cholesky::new(&ata).expect("spd").solve_vec(&atb).expect("shapes");
+        for (p, q) in x_qr.iter().zip(&x_ne) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn eigen_projection_is_pd_and_idempotent(a in square_matrix()) {
+        let sym = a.symmetrized();
+        let eig = SymEigen::new(&sym).expect("symmetric input");
+        let proj = eig.project_pd(1e-6);
+        // Projection result must be Cholesky-factorable.
+        prop_assert!(Cholesky::new(&proj).is_ok());
+        // Projecting again changes nothing (idempotence).
+        let proj2 = SymEigen::new(&proj).expect("symmetric").project_pd(1e-6);
+        prop_assert!((&proj - &proj2).max_abs() < 1e-6 * proj.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn eigen_trace_is_preserved(a in spd_matrix()) {
+        let eig = SymEigen::new(&a).expect("spd is symmetric");
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8 * a.trace().abs().max(1.0));
+    }
+
+    #[test]
+    fn complex_lu_solve_residual_small(n in 1usize..=5, seed in 0u64..200) {
+        let mut a = CMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let re = ((i * 13 + j * 7 + seed as usize) % 11) as f64 / 11.0;
+                let im = ((i * 5 + j * 3 + seed as usize) % 7) as f64 / 7.0 - 0.5;
+                a[(i, j)] = Complex64::new(re, im);
+            }
+            a[(i, i)] += Complex64::new(4.0, 0.0); // diagonal dominance
+        }
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64, -(i as f64) / 2.0))
+            .collect();
+        let x = CLu::new(&a).expect("nonsingular").solve(&b).expect("shapes");
+        let ax = a.matvec(&x).expect("shapes");
+        for (axi, bi) in ax.iter().zip(&b) {
+            prop_assert!((*axi - *bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn select_cols_then_matvec_matches_masked_product(seed in 0u64..100) {
+        let a = Matrix::from_fn(4, 6, |i, j| ((i * 6 + j + seed as usize) % 7) as f64);
+        let idx = [5usize, 1, 3];
+        let sel = a.select_cols(&idx);
+        let v = [1.0, -2.0, 0.5];
+        let got = sel.matvec(&v).expect("shapes");
+        // Expand v onto all 6 columns and multiply with the full matrix.
+        let mut full_v = vec![0.0; 6];
+        for (pos, &j) in idx.iter().enumerate() {
+            full_v[j] = v[pos];
+        }
+        let want = a.matvec(&full_v).expect("shapes");
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-12);
+        }
+    }
+}

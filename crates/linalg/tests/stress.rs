@@ -1,0 +1,163 @@
+//! Stress and edge-case tests for the linear-algebra substrate at sizes
+//! representative of the C-BMF workload (NK up to ~1100).
+
+use cbmf_linalg::{Cholesky, Lu, Matrix, Qr, SymEigen};
+
+/// A reproducible pseudo-random SPD matrix of dimension n.
+fn spd(n: usize, seed: u64) -> Matrix {
+    let m = Matrix::from_fn(n, n, |i, j| {
+        let h = i
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(j.wrapping_mul(1442695040888963407))
+            .wrapping_add(seed as usize);
+        ((h >> 33) % 1000) as f64 / 1000.0 - 0.5
+    });
+    let mut a = m.matmul_t(&m).expect("square");
+    a.add_diag_mut(n as f64 * 0.05);
+    a
+}
+
+#[test]
+fn cholesky_at_workload_size() {
+    let n = 480; // NK of the C-BMF operating point (15 × 32)
+    let a = spd(n, 1);
+    let chol = Cholesky::new(&a).expect("spd");
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+    let x = chol.solve_vec(&b).expect("solve");
+    let ax = a.matvec(&x).expect("matvec");
+    let resid: f64 = ax
+        .iter()
+        .zip(&b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt();
+    assert!(resid < 1e-7, "residual {resid}");
+    assert!(chol.logdet().is_finite());
+}
+
+#[test]
+fn rank_one_updates_track_full_factorization_at_scale() {
+    let n = 200;
+    let base = spd(n, 2);
+    let mut chol = Cholesky::new(&base).expect("spd");
+    let mut full = base.clone();
+    // 32 greedy-step-like updates.
+    for t in 0..32 {
+        let v: Vec<f64> = (0..n)
+            .map(|i| ((i * 7 + t * 13) as f64 * 0.37).sin() * 0.3)
+            .collect();
+        chol.rank_one_update(&v).expect("update");
+        for i in 0..n {
+            for j in 0..n {
+                full[(i, j)] += v[i] * v[j];
+            }
+        }
+    }
+    let reference = Cholesky::new(&full).expect("spd");
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+    let x1 = chol.solve_vec(&b).expect("solve");
+    let x2 = reference.solve_vec(&b).expect("solve");
+    let diff: f64 = x1
+        .iter()
+        .zip(&x2)
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0, f64::max);
+    assert!(diff < 1e-8, "drift {diff}");
+}
+
+#[test]
+fn ill_conditioned_cholesky_rescued_by_jitter() {
+    // Nearly rank-deficient: two almost-identical rows.
+    let n = 50;
+    let mut a = spd(n, 3);
+    for j in 0..n {
+        let v = a[(0, j)];
+        a[(1, j)] = v * (1.0 + 1e-14);
+        a[(j, 1)] = a[(1, j)];
+    }
+    a[(1, 1)] = a[(0, 0)] * (1.0 + 2e-14);
+    let result = Cholesky::new_with_jitter(&a, 1e-12, 12);
+    assert!(result.is_ok(), "jitter must rescue near-singular SPD input");
+}
+
+#[test]
+fn lu_and_qr_agree_on_square_systems() {
+    let n = 120;
+    let a = Matrix::from_fn(n, n, |i, j| {
+        ((i * 31 + j * 17) % 23) as f64 / 23.0 + if i == j { 3.0 } else { 0.0 }
+    });
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let x_lu = Lu::new(&a)
+        .expect("nonsingular")
+        .solve_vec(&b)
+        .expect("solve");
+    let x_qr = Qr::new(&a)
+        .expect("full rank")
+        .solve_least_squares(&b)
+        .expect("solve");
+    for (p, q) in x_lu.iter().zip(&x_qr) {
+        assert!((p - q).abs() < 1e-8);
+    }
+}
+
+#[test]
+fn eigen_handles_clustered_spectra() {
+    // Matrix with two tight eigenvalue clusters.
+    let n = 24;
+    let q_src = spd(n, 4);
+    let eig = SymEigen::new(&q_src).expect("symmetric");
+    let q = eig.eigenvectors();
+    let mut d = Matrix::zeros(n, n);
+    for i in 0..n {
+        d[(i, i)] = if i < n / 2 {
+            1.0 + 1e-9 * i as f64
+        } else {
+            5.0 + 1e-9 * i as f64
+        };
+    }
+    let a = q
+        .matmul(&d)
+        .expect("shapes")
+        .matmul_t(q)
+        .expect("shapes")
+        .symmetrized();
+    let e2 = SymEigen::new(&a).expect("symmetric");
+    let mut w = e2.eigenvalues().to_vec();
+    w.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    for i in 0..n / 2 {
+        assert!((w[i] - 1.0).abs() < 1e-6, "cluster 1: {}", w[i]);
+        assert!(
+            (w[n / 2 + i] - 5.0).abs() < 1e-6,
+            "cluster 2: {}",
+            w[n / 2 + i]
+        );
+    }
+}
+
+#[test]
+fn matmul_large_block_structure() {
+    // Block-diagonal times block-diagonal stays block-diagonal.
+    let n = 60;
+    let block = |seed: u64| {
+        let mut m = Matrix::zeros(n, n);
+        let b = n / 3;
+        for blk in 0..3 {
+            for i in 0..b {
+                for j in 0..b {
+                    m[(blk * b + i, blk * b + j)] =
+                        ((i * 5 + j * 3 + blk + seed as usize) % 11) as f64;
+                }
+            }
+        }
+        m
+    };
+    let prod = block(1).matmul(&block(2)).expect("shapes");
+    let b = n / 3;
+    for i in 0..n {
+        for j in 0..n {
+            if i / b != j / b {
+                assert_eq!(prod[(i, j)], 0.0, "off-block leak at ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Descriptive statistics: means, variances, quantiles, correlation.
+
+/// Arithmetic mean. Returns `NaN` for empty input (matching `f64` semantics
+/// of `0/0`), so callers that may pass empty slices should check first.
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n − 1`).
+///
+/// Returns `0.0` for fewer than two observations.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation (square root of [`variance`]).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Empirical quantile with linear interpolation between order statistics.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `p` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median (the 0.5 [`quantile`]).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `0.0` when either series is constant (zero variance).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two elements.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    assert!(xs.len() >= 2, "pearson requires at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_short_series_is_zero() {
+        assert_eq!(variance(&[3.0]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert_eq!(quantile(&xs, 1.0 / 3.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty data")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+        let c = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(pearson(&x, &c), 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+use std::fmt;
+
+use cbmf_linalg::LinalgError;
+
+/// Error type for the statistics substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// An input violated a precondition (empty data, bad probability, ...).
+    InvalidInput {
+        /// Human-readable description of the violated precondition.
+        what: String,
+    },
+    /// A wrapped linear-algebra failure (e.g. a covariance that is not PD).
+    Linalg(LinalgError),
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        op: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            StatsError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            StatsError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for StatsError {
+    fn from(e: LinalgError) -> Self {
+        StatsError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StatsError::InvalidInput {
+            what: "empty data".to_string(),
+        };
+        assert_eq!(e.to_string(), "invalid input: empty data");
+
+        let inner = LinalgError::Singular { pivot: 0 };
+        let wrapped = StatsError::from(inner.clone());
+        assert!(wrapped.to_string().contains("singular"));
+        use std::error::Error;
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<StatsError>();
+    }
+}

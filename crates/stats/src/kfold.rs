@@ -1,0 +1,156 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::StatsError;
+
+/// K-fold cross-validation partitioner.
+///
+/// Algorithm 1 of the paper (step 1) partitions the sampling points into `C`
+/// equal-size groups; each group serves once as the testing set while the
+/// others train. Folds are assigned by shuffling indices so that any
+/// systematic ordering in the sample stream cannot bias a fold.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_stats::KFold;
+///
+/// # fn main() -> Result<(), cbmf_stats::StatsError> {
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let kf = KFold::new(10, 5, &mut rng)?;
+/// assert_eq!(kf.folds(), 5);
+/// let (train, test) = kf.split(0);
+/// assert_eq!(train.len() + test.len(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KFold {
+    /// `assignment[i]` is the fold index of observation `i`.
+    assignment: Vec<usize>,
+    folds: usize,
+}
+
+impl KFold {
+    /// Partitions `n` observations into `folds` shuffled groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidInput`] if `folds < 2` or `n < folds`.
+    pub fn new<R: Rng + ?Sized>(n: usize, folds: usize, rng: &mut R) -> Result<Self, StatsError> {
+        if folds < 2 {
+            return Err(StatsError::InvalidInput {
+                what: format!("cross-validation needs at least 2 folds, got {folds}"),
+            });
+        }
+        if n < folds {
+            return Err(StatsError::InvalidInput {
+                what: format!("cannot split {n} observations into {folds} folds"),
+            });
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut assignment = vec![0; n];
+        for (pos, &idx) in order.iter().enumerate() {
+            assignment[idx] = pos % folds;
+        }
+        Ok(KFold { assignment, folds })
+    }
+
+    /// Number of folds.
+    pub fn folds(&self) -> usize {
+        self.folds
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// True if the partitioner covers zero observations (never constructed
+    /// that way, but keeps the `len`/`is_empty` pair complete).
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Returns `(train_indices, test_indices)` for fold `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.folds()`.
+    pub fn split(&self, c: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(c < self.folds, "fold {c} out of range ({})", self.folds);
+        let mut train = Vec::with_capacity(self.len());
+        let mut test = Vec::with_capacity(self.len() / self.folds + 1);
+        for (i, &f) in self.assignment.iter().enumerate() {
+            if f == c {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        (train, test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn folds_partition_everything_exactly_once() {
+        let mut rng = seeded_rng(9);
+        let kf = KFold::new(23, 4, &mut rng).unwrap();
+        let mut seen = [0usize; 23];
+        for c in 0..4 {
+            let (train, test) = kf.split(c);
+            assert_eq!(train.len() + test.len(), 23);
+            for &i in &test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint.
+            for &i in &test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s == 1),
+            "each index tests exactly once"
+        );
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let mut rng = seeded_rng(1);
+        let kf = KFold::new(20, 5, &mut rng).unwrap();
+        for c in 0..5 {
+            let (_, test) = kf.split(c);
+            assert_eq!(test.len(), 4);
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let mut rng = seeded_rng(1);
+        assert!(KFold::new(10, 1, &mut rng).is_err());
+        assert!(KFold::new(3, 4, &mut rng).is_err());
+    }
+
+    #[test]
+    fn shuffling_depends_on_seed() {
+        let mut r1 = seeded_rng(1);
+        let mut r2 = seeded_rng(2);
+        let k1 = KFold::new(50, 5, &mut r1).unwrap();
+        let k2 = KFold::new(50, 5, &mut r2).unwrap();
+        assert_ne!(k1.split(0).1, k2.split(0).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold 4 out of range")]
+    fn out_of_range_fold_panics() {
+        let mut rng = seeded_rng(1);
+        let kf = KFold::new(8, 4, &mut rng).unwrap();
+        kf.split(4);
+    }
+}

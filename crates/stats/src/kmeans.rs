@@ -1,0 +1,302 @@
+use cbmf_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::StatsError;
+
+/// Lloyd's k-means clustering with k-means++-style seeding.
+///
+/// The paper's conclusion (§5) notes that when the states of a tunable
+/// circuit are mutually different, "a clustering algorithm is needed to
+/// group similar states into clusters before applying the proposed C-BMF
+/// algorithm". This is that algorithm: states are embedded (e.g. by their
+/// initial coefficient estimates) and clustered; C-BMF then runs per cluster.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::Matrix;
+/// use cbmf_stats::KMeans;
+///
+/// # fn main() -> Result<(), cbmf_stats::StatsError> {
+/// let pts = Matrix::from_rows(&[
+///     &[0.0, 0.0], &[0.1, -0.1], &[10.0, 10.0], &[10.1, 9.9],
+/// ])?;
+/// let mut rng = cbmf_stats::seeded_rng(3);
+/// let fit = KMeans::new(2).fit(&pts, &mut rng)?;
+/// assert_eq!(fit.labels()[0], fit.labels()[1]);
+/// assert_ne!(fit.labels()[0], fit.labels()[2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    k: usize,
+    max_iters: usize,
+    restarts: usize,
+}
+
+impl KMeans {
+    /// Creates a clusterer targeting `k` clusters with default iteration
+    /// budget (100 iterations, 4 restarts).
+    pub fn new(k: usize) -> Self {
+        KMeans {
+            k,
+            max_iters: 100,
+            restarts: 4,
+        }
+    }
+
+    /// Sets the per-restart iteration budget.
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+
+    /// Sets the number of random restarts (best inertia wins).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Clusters the rows of `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidInput`] if `k == 0` or there are fewer
+    /// points than clusters.
+    pub fn fit<R: Rng + ?Sized>(
+        &self,
+        points: &Matrix,
+        rng: &mut R,
+    ) -> Result<KMeansFit, StatsError> {
+        let n = points.rows();
+        if self.k == 0 {
+            return Err(StatsError::InvalidInput {
+                what: "k must be at least 1".to_string(),
+            });
+        }
+        if n < self.k {
+            return Err(StatsError::InvalidInput {
+                what: format!("cannot form {} clusters from {n} points", self.k),
+            });
+        }
+        let mut best: Option<KMeansFit> = None;
+        for _ in 0..self.restarts {
+            let fit = self.fit_once(points, rng);
+            let better = match &best {
+                None => true,
+                Some(b) => fit.inertia < b.inertia,
+            };
+            if better {
+                best = Some(fit);
+            }
+        }
+        Ok(best.expect("at least one restart runs"))
+    }
+
+    fn fit_once<R: Rng + ?Sized>(&self, points: &Matrix, rng: &mut R) -> KMeansFit {
+        let (n, d) = points.shape();
+        // Seed: distinct random points (simplified k-means++: random distinct
+        // rows, adequate for the small K of the clustering extension).
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut centroids = Matrix::zeros(self.k, d);
+        for (c, &i) in order.iter().take(self.k).enumerate() {
+            centroids.row_mut(c).copy_from_slice(points.row(i));
+        }
+        let mut labels = vec![0usize; n];
+        let mut inertia = f64::INFINITY;
+        for _ in 0..self.max_iters {
+            // Assignment step.
+            let mut new_inertia = 0.0;
+            for i in 0..n {
+                let (lbl, dist) = nearest(points.row(i), &centroids);
+                labels[i] = lbl;
+                new_inertia += dist;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(self.k, d);
+            let mut counts = vec![0usize; self.k];
+            for i in 0..n {
+                counts[labels[i]] += 1;
+                let row = points.row(i);
+                let dst = sums.row_mut(labels[i]);
+                for (s, x) in dst.iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at the point farthest from its
+                    // centroid to keep k clusters alive.
+                    let far = (0..n)
+                        .max_by(|&a, &b| {
+                            let da = sq_dist(points.row(a), centroids.row(labels[a]));
+                            let db = sq_dist(points.row(b), centroids.row(labels[b]));
+                            da.partial_cmp(&db).expect("finite distances")
+                        })
+                        .expect("n >= k >= 1");
+                    centroids.row_mut(c).copy_from_slice(points.row(far));
+                } else {
+                    let inv = 1.0 / counts[c] as f64;
+                    let src = sums.row(c).to_vec();
+                    for (cd, s) in centroids.row_mut(c).iter_mut().zip(src) {
+                        *cd = s * inv;
+                    }
+                }
+            }
+            if (inertia - new_inertia).abs() <= 1e-12 * inertia.max(1.0) {
+                inertia = new_inertia;
+                break;
+            }
+            inertia = new_inertia;
+        }
+        KMeansFit {
+            labels,
+            centroids,
+            inertia,
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(point: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for c in 0..centroids.rows() {
+        let d = sq_dist(point, centroids.row(c));
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// The result of a k-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    labels: Vec<usize>,
+    centroids: Matrix,
+    inertia: f64,
+}
+
+impl KMeansFit {
+    /// Cluster label of each input row.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Cluster centroids, one per row.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Total within-cluster squared distance (lower is tighter).
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Groups row indices by cluster: `result[c]` lists the members of `c`.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let k = self.centroids.rows();
+        let mut out = vec![Vec::new(); k];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l].push(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn two_blobs() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.1 * i as f64, 0.05 * i as f64]);
+        }
+        for i in 0..10 {
+            rows.push(vec![20.0 + 0.1 * i as f64, 20.0 - 0.05 * i as f64]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs).unwrap()
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(4);
+        let fit = KMeans::new(2).fit(&pts, &mut rng).unwrap();
+        let first = fit.labels()[0];
+        for i in 0..10 {
+            assert_eq!(fit.labels()[i], first);
+        }
+        for i in 10..20 {
+            assert_ne!(fit.labels()[i], first);
+        }
+    }
+
+    #[test]
+    fn clusters_listing_matches_labels() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(4);
+        let fit = KMeans::new(2).fit(&pts, &mut rng).unwrap();
+        let clusters = fit.clusters();
+        let total: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 20);
+        for (c, members) in clusters.iter().enumerate() {
+            for &i in members {
+                assert_eq!(fit.labels()[i], c);
+            }
+        }
+    }
+
+    #[test]
+    fn k_equals_one_gives_single_cluster() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(8);
+        let fit = KMeans::new(1).fit(&pts, &mut rng).unwrap();
+        assert!(fit.labels().iter().all(|&l| l == 0));
+        // Centroid is the global mean.
+        let mean_x: f64 = (0..20).map(|i| pts[(i, 0)]).sum::<f64>() / 20.0;
+        assert!((fit.centroids()[(0, 0)] - mean_x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_reaches_zero_inertia() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(5);
+        let fit = KMeans::new(20).restarts(8).fit(&pts, &mut rng).unwrap();
+        assert!(fit.inertia() < 1e-9, "inertia = {}", fit.inertia());
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(1);
+        assert!(KMeans::new(0).fit(&pts, &mut rng).is_err());
+        assert!(KMeans::new(21).fit(&pts, &mut rng).is_err());
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_clusters() {
+        let pts = two_blobs();
+        let mut rng = seeded_rng(6);
+        let i2 = KMeans::new(2)
+            .restarts(6)
+            .fit(&pts, &mut rng)
+            .unwrap()
+            .inertia();
+        let i4 = KMeans::new(4)
+            .restarts(6)
+            .fit(&pts, &mut rng)
+            .unwrap()
+            .inertia();
+        assert!(i4 <= i2 + 1e-9);
+    }
+}

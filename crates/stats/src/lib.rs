@@ -1,0 +1,43 @@
+//! Statistics substrate for the C-BMF reproduction.
+//!
+//! Provides everything statistical that the paper's algorithm and its
+//! evaluation need, on top of [`cbmf_linalg`]:
+//!
+//! * [`normal`] — standard-normal sampling (Box–Muller), pdf/cdf/quantile.
+//! * [`Mvn`] — multivariate normal sampling via Cholesky.
+//! * [`describe`] — descriptive statistics (mean, variance, quantiles,
+//!   Pearson correlation).
+//! * [`metrics`] — the modeling-error metrics reported in the paper's
+//!   figures and tables.
+//! * [`KFold`] — the cross-validation partitioner of Algorithm 1.
+//! * [`KMeans`] — k-means clustering for the paper's §5 state-clustering
+//!   extension.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbmf_stats::{normal, seeded_rng};
+//!
+//! let mut rng = seeded_rng(42);
+//! let samples: Vec<f64> = (0..1000).map(|_| normal::sample(&mut rng)).collect();
+//! let mean = cbmf_stats::describe::mean(&samples);
+//! assert!(mean.abs() < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod describe;
+mod error;
+mod kfold;
+mod kmeans;
+pub mod metrics;
+mod mvn;
+pub mod normal;
+mod rng;
+
+pub use error::StatsError;
+pub use kfold::KFold;
+pub use kmeans::{KMeans, KMeansFit};
+pub use mvn::Mvn;
+pub use rng::{seeded_rng, SeededRng};

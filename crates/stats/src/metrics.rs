@@ -1,0 +1,121 @@
+//! Modeling-error metrics used by the paper's figures and tables.
+//!
+//! The paper reports a single "modeling error (%)" per performance metric,
+//! aggregated over all K states of the tunable circuit. We use the
+//! relative-RMS convention that is standard in this literature (e.g. Li,
+//! TCAD'10): per state, the RMS prediction residual on the testing set is
+//! normalized by the RMS of the true values, and states are averaged.
+
+/// Relative RMS error of predictions against truth: `‖ŷ − y‖₂ / ‖y‖₂`.
+///
+/// Returns `0.0` when both inputs are all-zero, and infinity when truth is
+/// all-zero but predictions are not.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn relative_rms(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "relative_rms length mismatch");
+    assert!(!pred.is_empty(), "relative_rms of empty data");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (p, t) in pred.iter().zip(truth) {
+        num += (p - t) * (p - t);
+        den += t * t;
+    }
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Root-mean-square error `sqrt(mean((ŷ − y)²))`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "rmse length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty data");
+    let s: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
+    (s / pred.len() as f64).sqrt()
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mae length mismatch");
+    assert!(!pred.is_empty(), "mae of empty data");
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// The paper's aggregate "modeling error" over K states: the mean of the
+/// per-state [`relative_rms`] errors, as a fraction (multiply by 100 for %).
+///
+/// `per_state` holds `(predictions, truth)` pairs, one per state.
+///
+/// # Panics
+///
+/// Panics if `per_state` is empty or any pair has mismatched lengths.
+pub fn mean_state_relative_rms(per_state: &[(Vec<f64>, Vec<f64>)]) -> f64 {
+    assert!(!per_state.is_empty(), "no states provided");
+    per_state
+        .iter()
+        .map(|(pred, truth)| relative_rms(pred, truth))
+        .sum::<f64>()
+        / per_state.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_is_zero_error() {
+        let y = [1.0, -2.0, 3.0];
+        assert_eq!(relative_rms(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn relative_rms_known_value() {
+        // truth = [3, 4] (norm 5), pred = [3, 5]: residual norm 1 => 0.2.
+        assert!((relative_rms(&[3.0, 5.0], &[3.0, 4.0]) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rmse_and_mae_known_values() {
+        let pred = [1.0, 2.0, 3.0];
+        let truth = [2.0, 2.0, 1.0];
+        assert!((rmse(&pred, &truth) - (5.0f64 / 3.0).sqrt()).abs() < 1e-15);
+        assert!((mae(&pred, &truth) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_truth_edge_cases() {
+        assert_eq!(relative_rms(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!(relative_rms(&[1.0, 0.0], &[0.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn state_average_is_mean_of_per_state_errors() {
+        let s1 = (vec![3.0, 5.0], vec![3.0, 4.0]); // 0.2
+        let s2 = (vec![3.0, 4.0], vec![3.0, 4.0]); // 0.0
+        let e = mean_state_relative_rms(&[s1, s2]);
+        assert!((e - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        relative_rms(&[1.0], &[1.0, 2.0]);
+    }
+}

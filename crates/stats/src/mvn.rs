@@ -1,0 +1,185 @@
+use cbmf_linalg::{Cholesky, Matrix};
+use rand::Rng;
+
+use crate::error::StatsError;
+use crate::normal;
+
+/// A multivariate normal distribution `N(mean, cov)` with Cholesky-based
+/// sampling.
+///
+/// Used to draw correlated inter-die process-variation components and to
+/// sample from C-BMF posterior distributions in the examples.
+///
+/// # Examples
+///
+/// ```
+/// use cbmf_linalg::Matrix;
+/// use cbmf_stats::Mvn;
+///
+/// # fn main() -> Result<(), cbmf_stats::StatsError> {
+/// let cov = Matrix::from_rows(&[&[1.0, 0.8], &[0.8, 1.0]])?;
+/// let mvn = Mvn::new(vec![0.0, 0.0], &cov)?;
+/// let mut rng = cbmf_stats::seeded_rng(5);
+/// let x = mvn.sample(&mut rng);
+/// assert_eq!(x.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mvn {
+    mean: Vec<f64>,
+    chol: Cholesky,
+}
+
+impl Mvn {
+    /// Creates the distribution from a mean vector and covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InvalidInput`] if dimensions disagree.
+    /// * [`StatsError::Linalg`] if `cov` is not positive definite.
+    pub fn new(mean: Vec<f64>, cov: &Matrix) -> Result<Self, StatsError> {
+        if cov.rows() != mean.len() {
+            return Err(StatsError::InvalidInput {
+                what: format!(
+                    "mean length {} does not match covariance dimension {}",
+                    mean.len(),
+                    cov.rows()
+                ),
+            });
+        }
+        let chol = Cholesky::new_with_jitter(cov, 1e-12, 6)?;
+        Ok(Mvn { mean, chol })
+    }
+
+    /// Creates a zero-mean distribution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mvn::new`].
+    pub fn zero_mean(cov: &Matrix) -> Result<Self, StatsError> {
+        Mvn::new(vec![0.0; cov.rows()], cov)
+    }
+
+    /// Dimension of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Draws one sample: `mean + L z` with `z ~ N(0, I)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let z = normal::sample_vec(rng, self.dim());
+        let mut x = self
+            .chol
+            .l_matvec(&z)
+            .expect("dimension fixed at construction");
+        for (xi, mi) in x.iter_mut().zip(&self.mean) {
+            *xi += mi;
+        }
+        x
+    }
+
+    /// Draws `n` samples as rows of a matrix.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Matrix {
+        let d = self.dim();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let x = self.sample(rng);
+            out.row_mut(i).copy_from_slice(&x);
+        }
+        out
+    }
+
+    /// Log-density of the distribution at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidInput`] if `x.len() != self.dim()`.
+    pub fn log_pdf(&self, x: &[f64]) -> Result<f64, StatsError> {
+        if x.len() != self.dim() {
+            return Err(StatsError::InvalidInput {
+                what: format!("point has dimension {}, expected {}", x.len(), self.dim()),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, b)| a - b).collect();
+        // Whitened residual: ‖L⁻¹ (x − μ)‖².
+        let w = self
+            .chol
+            .forward_solve(&centered)
+            .expect("dimension checked above");
+        let quad: f64 = w.iter().map(|v| v * v).sum();
+        let d = self.dim() as f64;
+        Ok(-0.5 * (quad + self.chol.logdet() + d * (std::f64::consts::TAU).ln()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+    use crate::seeded_rng;
+
+    #[test]
+    fn sample_covariance_matches_target() {
+        let cov = Matrix::from_rows(&[&[2.0, 1.2], &[1.2, 1.0]]).unwrap();
+        let mvn = Mvn::zero_mean(&cov).unwrap();
+        let mut rng = seeded_rng(11);
+        let n = 40_000;
+        let xs = mvn.sample_matrix(&mut rng, n);
+        let c00 = describe::variance(&xs.col(0));
+        let c11 = describe::variance(&xs.col(1));
+        let r = describe::pearson(&xs.col(0), &xs.col(1));
+        assert!((c00 - 2.0).abs() < 0.08, "c00 = {c00}");
+        assert!((c11 - 1.0).abs() < 0.04, "c11 = {c11}");
+        let target_r = 1.2 / (2.0f64 * 1.0).sqrt();
+        assert!((r - target_r).abs() < 0.02, "r = {r}");
+    }
+
+    #[test]
+    fn mean_shift_applies() {
+        let cov = Matrix::identity(3);
+        let mvn = Mvn::new(vec![10.0, -5.0, 0.0], &cov).unwrap();
+        let mut rng = seeded_rng(2);
+        let xs = mvn.sample_matrix(&mut rng, 20_000);
+        assert!((describe::mean(&xs.col(0)) - 10.0).abs() < 0.05);
+        assert!((describe::mean(&xs.col(1)) + 5.0).abs() < 0.05);
+        assert!(describe::mean(&xs.col(2)).abs() < 0.05);
+    }
+
+    #[test]
+    fn log_pdf_matches_univariate_formula() {
+        let cov = Matrix::from_diag(&[4.0]);
+        let mvn = Mvn::zero_mean(&cov).unwrap();
+        // N(0, 4) at x = 2: log pdf = -0.5*(1 + ln 4 + ln 2π)
+        let expected = -0.5 * (1.0 + 4.0f64.ln() + std::f64::consts::TAU.ln());
+        assert!((mvn.log_pdf(&[2.0]).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let cov = Matrix::from_rows(&[&[1.0, 0.3], &[0.3, 2.0]]).unwrap();
+        let mvn = Mvn::new(vec![1.0, -1.0], &cov).unwrap();
+        let at_mean = mvn.log_pdf(&[1.0, -1.0]).unwrap();
+        let off = mvn.log_pdf(&[2.0, 0.0]).unwrap();
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let cov = Matrix::identity(2);
+        assert!(Mvn::new(vec![0.0; 3], &cov).is_err());
+        let mvn = Mvn::zero_mean(&cov).unwrap();
+        assert!(mvn.log_pdf(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn non_pd_covariance_rejected() {
+        let cov = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(Mvn::zero_mean(&cov), Err(StatsError::Linalg(_))));
+    }
+}

@@ -1,0 +1,207 @@
+//! The standard normal distribution: sampling, pdf, cdf and quantile.
+//!
+//! The offline dependency set has `rand` but not `rand_distr`, so normal
+//! sampling (Box–Muller) and the distribution functions are implemented
+//! here. These feed the process-variation model (every ΔVTH / Δβ mismatch
+//! variable is Gaussian) and the yield-estimation example.
+
+use rand::Rng;
+
+/// Draws one sample from `N(0, 1)` using the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// let mut rng = cbmf_stats::seeded_rng(1);
+/// let x = cbmf_stats::normal::sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, 1)` samples.
+pub fn fill<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    for x in out {
+        *x = sample(rng);
+    }
+}
+
+/// Draws `n` i.i.d. `N(0, 1)` samples into a new vector.
+pub fn sample_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    fill(rng, &mut v);
+    v
+}
+
+/// Probability density function of `N(0, 1)`.
+pub fn pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+/// Cumulative distribution function of `N(0, 1)`.
+///
+/// Uses the complementary-error-function identity with an Abramowitz &
+/// Stegun 7.1.26-style rational approximation (|error| < 1.5e-7), which is
+/// far tighter than anything the yield estimates need.
+pub fn cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function `erfc(x)` (|error| < 1.5e-7).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes' erfc approximation.
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Quantile (inverse CDF) of `N(0, 1)`.
+///
+/// Uses the Acklam rational approximation refined by one Newton step,
+/// accurate to ~1e-12 over `p ∈ (0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1), got {p}");
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -((((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0))
+    };
+    // One Newton refinement against the high-accuracy cdf.
+    let e = cdf(x) - p;
+    x - e / pdf(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe;
+    use crate::seeded_rng;
+
+    #[test]
+    fn samples_have_standard_moments() {
+        let mut rng = seeded_rng(7);
+        let xs = sample_vec(&mut rng, 50_000);
+        let m = describe::mean(&xs);
+        let v = describe::variance(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.03, "variance {v}");
+    }
+
+    #[test]
+    fn pdf_known_values() {
+        assert!((pdf(0.0) - 0.3989422804014327).abs() < 1e-15);
+        assert!((pdf(1.0) - 0.24197072451914337).abs() < 1e-12);
+        assert!(pdf(10.0) < 1e-20);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 2e-7);
+        assert!((cdf(1.0) - 0.8413447460685429).abs() < 1e-7);
+        assert!((cdf(-1.0) - 0.15865525393145707).abs() < 1e-7);
+        assert!((cdf(3.0) - 0.9986501019683699).abs() < 1e-7);
+        assert!(cdf(8.0) > 1.0 - 1e-14);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let c = cdf(x);
+            assert!(c >= prev);
+            prev = c;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let x = quantile(p);
+            assert!((cdf(x) - p).abs() < 1e-7, "p = {p}, x = {x}");
+        }
+        assert!(quantile(0.5).abs() < 1e-6);
+        assert!((quantile(0.975) - 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile requires p in (0, 1)")]
+    fn quantile_rejects_out_of_range() {
+        quantile(1.0);
+    }
+
+    #[test]
+    fn fill_matches_sample_stream() {
+        let mut r1 = seeded_rng(3);
+        let mut r2 = seeded_rng(3);
+        let mut buf = [0.0; 5];
+        fill(&mut r1, &mut buf);
+        for b in buf {
+            assert_eq!(b, sample(&mut r2));
+        }
+    }
+}

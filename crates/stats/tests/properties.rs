@@ -1,0 +1,107 @@
+//! Property-based tests on the statistics substrate.
+
+use cbmf_linalg::Matrix;
+use cbmf_stats::{describe, metrics, normal, seeded_rng, KFold, Mvn};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Mean and variance are translation-covariant / invariant.
+    #[test]
+    fn mean_variance_translation(
+        xs in proptest::collection::vec(-10.0f64..10.0, 2..50),
+        shift in -5.0f64..5.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((describe::mean(&shifted) - describe::mean(&xs) - shift).abs() < 1e-9);
+        prop_assert!((describe::variance(&shifted) - describe::variance(&xs)).abs() < 1e-9);
+    }
+
+    /// Quantile is monotone in p and bounded by the extremes.
+    #[test]
+    fn quantile_monotone_and_bounded(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..40),
+        p1 in 0.0f64..1.0,
+        p2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let qlo = describe::quantile(&xs, lo);
+        let qhi = describe::quantile(&xs, hi);
+        prop_assert!(qlo <= qhi + 1e-12);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(qlo >= min - 1e-12 && qhi <= max + 1e-12);
+    }
+
+    /// Pearson correlation is bounded in [-1, 1] and invariant to positive
+    /// affine maps.
+    #[test]
+    fn pearson_bounds_and_affine_invariance(
+        xs in proptest::collection::vec(-5.0f64..5.0, 3..30),
+        a in 0.1f64..4.0,
+        b in -3.0f64..3.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x * x - x).collect();
+        let r = describe::pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+        let xs2: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let r2 = describe::pearson(&xs2, &ys);
+        prop_assert!((r - r2).abs() < 1e-9);
+    }
+
+    /// relative_rms is scale-invariant: scaling both prediction and truth
+    /// by c leaves it unchanged.
+    #[test]
+    fn relative_rms_scale_invariant(
+        pairs in proptest::collection::vec((-5.0f64..5.0, 0.5f64..5.0), 1..20),
+        c in 0.1f64..10.0,
+    ) {
+        let pred: Vec<f64> = pairs.iter().map(|(p, _)| *p).collect();
+        let truth: Vec<f64> = pairs.iter().map(|(_, t)| *t).collect();
+        let e1 = metrics::relative_rms(&pred, &truth);
+        let pred_c: Vec<f64> = pred.iter().map(|p| p * c).collect();
+        let truth_c: Vec<f64> = truth.iter().map(|t| t * c).collect();
+        let e2 = metrics::relative_rms(&pred_c, &truth_c);
+        prop_assert!((e1 - e2).abs() < 1e-9 * (1.0 + e1));
+    }
+
+    /// K-fold splits partition the index set for any valid (n, folds).
+    #[test]
+    fn kfold_partitions(n in 4usize..60, folds in 2usize..5, seed in 0u64..100) {
+        prop_assume!(n >= folds);
+        let mut rng = seeded_rng(seed);
+        let kf = KFold::new(n, folds, &mut rng).expect("valid");
+        let mut seen = vec![false; n];
+        for c in 0..folds {
+            let (train, test) = kf.split(c);
+            prop_assert_eq!(train.len() + test.len(), n);
+            for &i in &test {
+                prop_assert!(!seen[i], "index {i} tested twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// MVN samples transform correctly: a diagonal covariance produces
+    /// approximately independent coordinates with the right scales.
+    #[test]
+    fn mvn_diagonal_scales(v0 in 0.5f64..4.0, v1 in 0.5f64..4.0, seed in 0u64..50) {
+        let cov = Matrix::from_diag(&[v0, v1]);
+        let mvn = Mvn::zero_mean(&cov).expect("pd");
+        let mut rng = seeded_rng(seed);
+        let xs = mvn.sample_matrix(&mut rng, 4000);
+        let s0 = describe::variance(&xs.col(0));
+        let s1 = describe::variance(&xs.col(1));
+        prop_assert!((s0 - v0).abs() < 0.25 * v0, "{s0} vs {v0}");
+        prop_assert!((s1 - v1).abs() < 0.25 * v1, "{s1} vs {v1}");
+    }
+
+    /// The normal cdf/quantile pair are inverse on a grid.
+    #[test]
+    fn normal_quantile_cdf_roundtrip(p in 0.001f64..0.999) {
+        let x = normal::quantile(p);
+        prop_assert!((normal::cdf(x) - p).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,51 @@
+//! The paper's §4.1 flow: performance modeling of a tunable 2.4 GHz LNA
+//! (32 knob states, 1264 process-variation variables) — S-OMP vs C-BMF on
+//! all three metrics, with the virtual simulation-cost accounting that
+//! produces Table 1's cost rows.
+//!
+//! Run with: `cargo run --release -p cbmf --example lna_modeling`
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Somp, SompConfig, TunableProblem};
+use cbmf_circuits::{Lna, MonteCarlo, Testbench, TunableDataset};
+use cbmf_stats::seeded_rng;
+
+fn problem(ds: &TunableDataset, metric: usize) -> TunableProblem {
+    let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+    let ys: Vec<_> = ds.states.iter().map(|s| s.metric(metric)).collect();
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid dataset")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(41);
+    println!(
+        "LNA: {} states, {} variation variables, metrics {:?}",
+        lna.num_states(),
+        lna.num_variables(),
+        lna.metric_names()
+    );
+
+    // The paper's operating points: S-OMP needs 35 samples/state (1120
+    // total) for the accuracy C-BMF reaches with 15/state (480 total).
+    let test = MonteCarlo::new(50).collect(&lna, &mut rng)?;
+    let train_somp = MonteCarlo::new(35).collect(&lna, &mut rng)?;
+    let train_cbmf = MonteCarlo::new(15).collect(&lna, &mut rng)?;
+
+    for (m, name) in lna.metric_names().iter().enumerate() {
+        let test_p = problem(&test, m);
+        let somp = Somp::new(SompConfig::default()).fit(&problem(&train_somp, m), &mut rng)?;
+        let cbmf = CbmfFit::new(CbmfConfig::default()).fit(&problem(&train_cbmf, m), &mut rng)?;
+        println!(
+            "{name:10}  S-OMP@1120: {:5.3}%   C-BMF@480: {:5.3}%",
+            100.0 * somp.modeling_error(&test_p)?,
+            100.0 * cbmf.model().modeling_error(&test_p)?
+        );
+    }
+    println!(
+        "simulation cost: S-OMP {:.2} h, C-BMF {:.2} h  ({:.1}x reduction)",
+        train_somp.cost.hours(),
+        train_cbmf.cost.hours(),
+        train_somp.cost.hours() / train_cbmf.cost.hours()
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! The paper's §4.2 flow: performance modeling of a tunable 2.4 GHz
+//! down-conversion mixer (32 states, 1303 variables) — S-OMP vs C-BMF.
+//!
+//! Run with: `cargo run --release -p cbmf --example mixer_modeling`
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Somp, SompConfig, TunableProblem};
+use cbmf_circuits::{Mixer, MonteCarlo, Testbench, TunableDataset};
+use cbmf_stats::seeded_rng;
+
+fn problem(ds: &TunableDataset, metric: usize) -> TunableProblem {
+    let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+    let ys: Vec<_> = ds.states.iter().map(|s| s.metric(metric)).collect();
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid dataset")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mixer = Mixer::new();
+    let mut rng = seeded_rng(42);
+    println!(
+        "Mixer: {} states (two tunable load resistors), {} variables",
+        mixer.num_states(),
+        mixer.num_variables()
+    );
+    let (r1, r2) = mixer.state_loads(0);
+    let (r1h, r2h) = mixer.state_loads(31);
+    println!("load sweep: ({r1:.0} Ω, {r2:.0} Ω) .. ({r1h:.0} Ω, {r2h:.0} Ω)");
+
+    let test = MonteCarlo::new(50).collect(&mixer, &mut rng)?;
+    let train_somp = MonteCarlo::new(35).collect(&mixer, &mut rng)?;
+    let train_cbmf = MonteCarlo::new(15).collect(&mixer, &mut rng)?;
+
+    for (m, name) in mixer.metric_names().iter().enumerate() {
+        let test_p = problem(&test, m);
+        let somp = Somp::new(SompConfig::default()).fit(&problem(&train_somp, m), &mut rng)?;
+        let cbmf = CbmfFit::new(CbmfConfig::default()).fit(&problem(&train_cbmf, m), &mut rng)?;
+        println!(
+            "{name:12}  S-OMP@1120: {:5.3}%   C-BMF@480: {:5.3}%",
+            100.0 * somp.modeling_error(&test_p)?,
+            100.0 * cbmf.model().modeling_error(&test_p)?
+        );
+    }
+    println!(
+        "simulation cost: S-OMP {:.2} h, C-BMF {:.2} h  ({:.1}x reduction)",
+        train_somp.cost.hours(),
+        train_cbmf.cost.hours(),
+        train_somp.cost.hours() / train_cbmf.cost.hours()
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Integration tests spanning the circuit substrate and the modeling layer:
+//! the actual paper pipeline (simulate → fit → validate) at reduced scale.
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Somp, SompConfig, TunableProblem};
+use cbmf_circuits::{Lna, Mixer, MonteCarlo, Testbench, TunableDataset};
+use cbmf_stats::seeded_rng;
+
+fn problem(ds: &TunableDataset, metric: usize) -> TunableProblem {
+    let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+    let ys: Vec<_> = ds.states.iter().map(|s| s.metric(metric)).collect();
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid dataset")
+}
+
+/// A quick C-BMF config for CI-speed circuit fits.
+fn quick_config() -> CbmfConfig {
+    let mut cfg = CbmfConfig::small_problem();
+    cfg.grid.theta = vec![8, 16];
+    cfg.em.max_iters = 6;
+    cfg
+}
+
+#[test]
+fn lna_nf_model_beats_somp_at_equal_budget() {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(930);
+    let test = problem(&MonteCarlo::new(20).collect(&lna, &mut rng).expect("mc"), 0);
+    let train_ds = MonteCarlo::new(10).collect(&lna, &mut rng).expect("mc");
+    let train = problem(&train_ds, 0);
+
+    let somp = Somp::new(SompConfig {
+        theta_candidates: vec![8, 16],
+        cv_folds: 3,
+    })
+    .fit(&train, &mut rng)
+    .expect("somp");
+    let cbmf = CbmfFit::new(quick_config())
+        .fit(&train, &mut rng)
+        .expect("cbmf");
+
+    let e_somp = somp.modeling_error(&test).expect("eval");
+    let e_cbmf = cbmf.model().modeling_error(&test).expect("eval");
+    assert!(
+        e_cbmf < e_somp,
+        "C-BMF ({:.3}%) must beat S-OMP ({:.3}%) at 10 samples/state",
+        100.0 * e_cbmf,
+        100.0 * e_somp
+    );
+    // And the absolute error is in a usable range for NF in dB.
+    assert!(e_cbmf < 0.05, "NF error {:.3}%", 100.0 * e_cbmf);
+}
+
+#[test]
+fn lna_models_select_interdie_variables() {
+    // The strongest regressors of the LNA are the inter-die globals
+    // (indices < 16); a sane sparse fit must pick some of them.
+    let lna = Lna::new();
+    let mut rng = seeded_rng(931);
+    let train_ds = MonteCarlo::new(12).collect(&lna, &mut rng).expect("mc");
+    let train = problem(&train_ds, 1); // voltage gain
+    let fit = CbmfFit::new(quick_config())
+        .fit(&train, &mut rng)
+        .expect("cbmf");
+    let interdie_hits = fit.model().support().iter().filter(|&&m| m < 16).count();
+    assert!(
+        interdie_hits >= 3,
+        "expected several inter-die globals in the support, got {:?}",
+        fit.model().support()
+    );
+}
+
+#[test]
+fn mixer_pipeline_runs_and_predicts_sane_values() {
+    let mixer = Mixer::new();
+    let mut rng = seeded_rng(932);
+    let train_ds = MonteCarlo::new(10).collect(&mixer, &mut rng).expect("mc");
+    let train = problem(&train_ds, 0); // NF
+    let fit = CbmfFit::new(quick_config())
+        .fit(&train, &mut rng)
+        .expect("cbmf");
+    // Predictions at the nominal corner must be close to the simulator.
+    let x = vec![0.0; mixer.num_variables()];
+    for state in [0usize, 31] {
+        let simulated = mixer.simulate(state, &x).expect("sim")[0];
+        let predicted = fit.model().predict(state, &x).expect("predict");
+        assert!(
+            (simulated - predicted).abs() < 0.2,
+            "state {state}: {simulated:.3} vs {predicted:.3} dB"
+        );
+    }
+}
+
+#[test]
+fn virtual_cost_accounting_flows_through_the_pipeline() {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(933);
+    let ds = MonteCarlo::new(5).collect(&lna, &mut rng).expect("mc");
+    assert_eq!(ds.cost.samples(), 5 * 32);
+    // 160 samples at the Table-1 rate of ~8.74 s each.
+    let expected_hours = 160.0 * (2.72 * 3600.0 / 1120.0) / 3600.0;
+    assert!((ds.cost.hours() - expected_hours).abs() < 1e-9);
+}
+
+#[test]
+fn per_state_models_track_the_knob_dependence() {
+    // The fitted intercepts must follow the simulator's state dependence
+    // (gain rises with bias state on the LNA).
+    let lna = Lna::new();
+    let mut rng = seeded_rng(934);
+    let train_ds = MonteCarlo::new(12).collect(&lna, &mut rng).expect("mc");
+    let train = problem(&train_ds, 1); // VG
+    let fit = CbmfFit::new(quick_config())
+        .fit(&train, &mut rng)
+        .expect("cbmf");
+    let x = vec![0.0; lna.num_variables()];
+    let vg0 = fit.model().predict(0, &x).expect("predict");
+    let vg31 = fit.model().predict(31, &x).expect("predict");
+    assert!(
+        vg31 > vg0,
+        "modelled gain must rise with bias state: {vg0:.2} -> {vg31:.2}"
+    );
+}

@@ -1,0 +1,164 @@
+//! Integration tests: the full C-BMF pipeline against the baselines on
+//! synthetic tunable problems (spanning cbmf + stats + linalg).
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Omp, OmpConfig, Somp, SompConfig, TunableProblem};
+use cbmf_linalg::Matrix;
+use cbmf_stats::{normal, seeded_rng, SeededRng};
+
+/// K states, shared sparse template, smooth magnitude drift, Gaussian noise.
+fn tunable_synthetic(
+    k: usize,
+    n: usize,
+    d: usize,
+    noise: f64,
+    rng: &mut SeededRng,
+) -> TunableProblem {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for state in 0..k {
+        let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
+        let w = 1.0 + 0.04 * state as f64;
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                5.0 + w * (2.0 * x[(i, 2)] - 1.5 * x[(i, 7)] + 0.9 * x[(i, 11)])
+                    + noise * normal::sample(rng)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid synthetic")
+}
+
+#[test]
+fn method_ordering_in_the_scarce_sample_regime() {
+    // With few samples per state the paper's ordering must hold on average
+    // (individual seeds can tie between the two best methods):
+    // C-BMF < S-OMP < per-state OMP (error, lower is better).
+    let (mut e_omp, mut e_somp, mut e_cbmf) = (0.0, 0.0, 0.0);
+    for seed in [900u64, 9001, 9002] {
+        let mut rng = seeded_rng(seed);
+        let train = tunable_synthetic(8, 9, 30, 0.25, &mut rng);
+        let test = tunable_synthetic(8, 80, 30, 0.0, &mut rng);
+
+        // All methods cross-validate the sparsity level over the same
+        // candidate grid, as in the paper's protocol.
+        let omp = Omp::new(OmpConfig {
+            theta_candidates: vec![2, 4, 8],
+            cv_folds: 3,
+        })
+        .fit(&train, &mut rng)
+        .expect("omp fit");
+        let somp = Somp::new(SompConfig {
+            theta_candidates: vec![2, 4, 8],
+            cv_folds: 3,
+        })
+        .fit(&train, &mut rng)
+        .expect("somp fit");
+        let cbmf = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .expect("cbmf fit");
+
+        e_omp += omp.modeling_error(&test).expect("eval");
+        e_somp += somp.modeling_error(&test).expect("eval");
+        e_cbmf += cbmf.model().modeling_error(&test).expect("eval");
+    }
+    assert!(
+        e_cbmf < e_somp && e_somp < e_omp,
+        "expected C-BMF < S-OMP < OMP on average, got {e_cbmf:.4} / {e_somp:.4} / {e_omp:.4}"
+    );
+}
+
+#[test]
+fn cbmf_needs_fewer_samples_for_equal_accuracy() {
+    // The headline claim, on synthetic data and averaged over seeds:
+    // C-BMF at n samples/state is at least as accurate as S-OMP at 1.5n.
+    // (The paper's full 2x shows up on the high-dimensional circuit
+    // problems — see tests/circuits_end_to_end.rs and the bench binaries —
+    // where basis selection, not coefficient variance, is the bottleneck.)
+    let (mut e_cbmf, mut e_somp) = (0.0, 0.0);
+    for seed in [901u64, 9011, 9012] {
+        let mut rng = seeded_rng(seed);
+        let test = tunable_synthetic(8, 80, 25, 0.0, &mut rng);
+        let train_small = tunable_synthetic(8, 8, 25, 0.2, &mut rng);
+        let train_big = tunable_synthetic(8, 12, 25, 0.2, &mut rng);
+
+        let cbmf_small = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train_small, &mut rng)
+            .expect("cbmf fit");
+        let somp_big = Somp::new(SompConfig {
+            theta_candidates: vec![2, 4, 8],
+            cv_folds: 4,
+        })
+        .fit(&train_big, &mut rng)
+        .expect("somp fit");
+
+        e_cbmf += cbmf_small.model().modeling_error(&test).expect("eval");
+        e_somp += somp_big.modeling_error(&test).expect("eval");
+    }
+    assert!(
+        e_cbmf <= e_somp * 1.2,
+        "C-BMF@8 ({e_cbmf:.4}) should match S-OMP@12 ({e_somp:.4})"
+    );
+}
+
+#[test]
+fn em_refinement_does_not_hurt_and_usually_helps() {
+    let mut rng = seeded_rng(902);
+    let train = tunable_synthetic(6, 10, 20, 0.3, &mut rng);
+    let test = tunable_synthetic(6, 60, 20, 0.0, &mut rng);
+    let fit = CbmfFit::new(CbmfConfig::small_problem())
+        .fit(&train, &mut rng)
+        .expect("cbmf fit");
+    // Compare the final model against a model assembled from the
+    // initializer alone.
+    let init = fit.init();
+    let intercepts: Vec<f64> = (0..train.num_states())
+        .map(|k| train.intercept_for(k, &init.support, init.coeffs.row(k)))
+        .collect();
+    let init_model = cbmf::PerStateModel::new(
+        BasisSpec::Linear,
+        20,
+        init.support.clone(),
+        init.coeffs.clone(),
+        intercepts,
+    )
+    .expect("assemble");
+    let e_init = init_model.modeling_error(&test).expect("eval");
+    let e_full = fit.model().modeling_error(&test).expect("eval");
+    assert!(
+        e_full <= e_init * 1.1,
+        "EM refinement must not materially hurt: {e_init:.4} -> {e_full:.4}"
+    );
+}
+
+#[test]
+fn fitted_models_are_cloneable_and_debuggable() {
+    let mut rng = seeded_rng(903);
+    let train = tunable_synthetic(4, 12, 15, 0.1, &mut rng);
+    let fit = CbmfFit::new(CbmfConfig::small_problem())
+        .fit(&train, &mut rng)
+        .expect("cbmf fit");
+    let cloned = fit.model().clone();
+    assert!(!format!("{cloned:?}").is_empty());
+    // Predictions of the clone match the original bit-for-bit.
+    let x = vec![0.25; 15];
+    assert_eq!(
+        fit.model().predict(1, &x).expect("predict").to_bits(),
+        cloned.predict(1, &x).expect("predict").to_bits()
+    );
+}
+
+#[test]
+fn deterministic_given_equal_seeds() {
+    let run = || {
+        let mut rng = seeded_rng(904);
+        let train = tunable_synthetic(4, 10, 15, 0.2, &mut rng);
+        let test = tunable_synthetic(4, 40, 15, 0.0, &mut rng);
+        let fit = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .expect("cbmf fit");
+        fit.model().modeling_error(&test).expect("eval")
+    };
+    assert_eq!(run().to_bits(), run().to_bits());
+}
