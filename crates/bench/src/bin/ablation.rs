@@ -1,18 +1,17 @@
 //! Ablations of the C-BMF design choices (DESIGN.md experiment ABL):
 //!
-//! 1. `full`          — the complete pipeline (learned R + EM).
-//! 2. `fixed_r`       — EM with R frozen at the initializer's R(r0): what
-//!                      does *learning* the magnitude correlation buy?
-//! 3. `identity_r`    — R forced to I throughout (template sharing only,
-//!                      S-OMP's assumption, inside the Bayesian solver).
-//! 4. `init_only`     — Algorithm-1 steps 1–17 without EM refinement.
-//! 5. `somp`          — the S-OMP baseline for reference, plus two
-//!                      related-work baselines: multi-task `group_lasso`
-//!                      ([20]-[21]) and `sequential_bmf` (classic BMF [18]
-//!                      chained along the knob axis).
-//! 6. `clustered`     — the §5 extension on a deliberately heterogeneous
-//!                      two-family synthetic (homogeneous circuits don't
-//!                      need it; this shows when it matters).
+//! 1. `full` — the complete pipeline (learned R + EM).
+//! 2. `fixed_r` — EM with R frozen at the initializer's R(r0): what does
+//!    *learning* the magnitude correlation buy?
+//! 3. `identity_r` — R forced to I throughout (template sharing only,
+//!    S-OMP's assumption, inside the Bayesian solver).
+//! 4. `init_only` — Algorithm-1 steps 1–17 without EM refinement.
+//! 5. `somp` — the S-OMP baseline for reference, plus two related-work
+//!    baselines: multi-task `group_lasso` ([20]-[21]) and `sequential_bmf`
+//!    (classic BMF [18] chained along the knob axis).
+//! 6. `clustered` — the §5 extension on a deliberately heterogeneous
+//!    two-family synthetic (homogeneous circuits don't need it; this shows
+//!    when it matters).
 //!
 //! Emits CSV.
 

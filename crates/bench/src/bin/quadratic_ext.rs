@@ -24,7 +24,7 @@ fn main() {
 
     println!("metric,linear_err_pct,quadratic_err_pct");
     for (m, name) in lna.metric_names().iter().enumerate() {
-        let mut row = format!("{name}");
+        let mut row = name.to_string();
         for basis in [BasisSpec::Linear, BasisSpec::LinearSquares] {
             let train = problem(&train_ds, m, basis);
             let test = problem(&test_ds, m, basis);

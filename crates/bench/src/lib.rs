@@ -116,7 +116,7 @@ pub fn run_cbmf(train: &TunableProblem, test: &TunableProblem, rng: &mut SeededR
 ///
 /// Panics on simulation failure (deterministic testbenches; cannot happen
 /// for in-range inputs).
-pub fn collect_datasets<T: Testbench>(
+pub fn collect_datasets<T: Testbench + Sync>(
     tb: &T,
     test_per_state: usize,
     train_per_state: &[usize],
@@ -144,7 +144,7 @@ pub fn collect_datasets<T: Testbench>(
 /// # Panics
 ///
 /// Panics on harness-level failures (invalid generated data).
-pub fn figure_sweep<T: Testbench>(tb: &T, train_sizes: &[usize], seed: u64) {
+pub fn figure_sweep<T: Testbench + Sync>(tb: &T, train_sizes: &[usize], seed: u64) {
     let (test_ds, train_ds) = collect_datasets(tb, 50, train_sizes, seed);
     let mut rng = cbmf_stats::seeded_rng(seed ^ 0x5eed);
     println!("circuit,metric,samples_per_state,total_samples,somp_err_pct,cbmf_err_pct");
@@ -175,7 +175,7 @@ pub fn figure_sweep<T: Testbench>(tb: &T, train_sizes: &[usize], seed: u64) {
 /// # Panics
 ///
 /// Panics on harness-level failures.
-pub fn table_comparison<T: Testbench>(
+pub fn table_comparison<T: Testbench + Sync>(
     tb: &T,
     somp_per_state: usize,
     cbmf_per_state: usize,

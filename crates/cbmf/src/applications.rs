@@ -197,7 +197,7 @@ impl<'m> YieldEstimator<'m> {
         for _ in 0..dies {
             let x = cbmf_stats::normal::sample_vec(rng, d);
             let mut any = false;
-            for state in 0..k {
+            for (state, hits) in fixed.iter_mut().enumerate() {
                 let pass = self.specs.iter().try_fold(true, |acc, spec| {
                     if !acc {
                         return Ok::<bool, CbmfError>(false);
@@ -206,7 +206,7 @@ impl<'m> YieldEstimator<'m> {
                     Ok(acc && spec.passes(v))
                 })?;
                 if pass {
-                    fixed[state] += 1;
+                    *hits += 1;
                     any = true;
                 }
             }

@@ -1,3 +1,5 @@
+use std::sync::OnceLock;
+
 use cbmf_linalg::Matrix;
 use cbmf_stats::describe;
 
@@ -22,6 +24,22 @@ pub struct StateData {
     pub y_mean: f64,
     /// Mean removed from each basis column, length `M`.
     pub basis_means: Vec<f64>,
+    caches: StateCaches,
+}
+
+/// Lazily computed per-state products shared by every fitting algorithm.
+///
+/// The greedy selectors, the cross-validation sweeps, and the incremental
+/// Bayesian solver all consume `B_kᵀB_k`, `B_kᵀy_k`, and the column norms;
+/// keeping them here means each is computed at most once per problem no
+/// matter how many sparsity candidates or greedy iterations touch the same
+/// training split. Cloning a [`StateData`] clones any already-computed
+/// values, which stay valid because the data fields are cloned with them.
+#[derive(Debug, Clone, Default)]
+struct StateCaches {
+    t_gram: OnceLock<Matrix>,
+    bty: OnceLock<Vec<f64>>,
+    col_norms: OnceLock<Vec<f64>>,
 }
 
 impl StateData {
@@ -33,6 +51,43 @@ impl StateData {
     /// True if the state holds no samples.
     pub fn is_empty(&self) -> bool {
         self.y.is_empty()
+    }
+
+    /// Cached Gram matrix `B_kᵀ B_k` (`M × M`), computed on first use.
+    ///
+    /// The cached products assume `basis` and `y` are not mutated after
+    /// construction; every constructor in this crate upholds that.
+    pub fn t_gram(&self) -> &Matrix {
+        self.caches
+            .t_gram
+            .get_or_init(|| self.basis.transpose().gram())
+    }
+
+    /// Cached correlation vector `B_kᵀ y_k` (length `M`), computed on first
+    /// use.
+    pub fn bty(&self) -> &[f64] {
+        self.caches.bty.get_or_init(|| {
+            self.basis
+                .t_matvec(&self.y)
+                .expect("response length equals basis rows by construction")
+        })
+    }
+
+    /// Cached basis column norms `‖b_m‖` (floored away from zero), used to
+    /// normalize greedy correlation scores.
+    pub fn col_norms(&self) -> &[f64] {
+        self.caches.col_norms.get_or_init(|| {
+            let mut norms = vec![0.0; self.basis.cols()];
+            for i in 0..self.len() {
+                for (nj, bij) in norms.iter_mut().zip(self.basis.row(i)) {
+                    *nj += bij * bij;
+                }
+            }
+            for n in &mut norms {
+                *n = n.sqrt().max(1e-300);
+            }
+            norms
+        })
     }
 }
 
@@ -125,6 +180,7 @@ impl TunableProblem {
                 y: centered,
                 y_mean,
                 basis_means,
+                caches: StateCaches::default(),
             });
         }
         Ok(TunableProblem {
@@ -213,6 +269,7 @@ impl TunableProblem {
                 y,
                 y_mean,
                 basis_means,
+                caches: StateCaches::default(),
             });
         }
         Ok(TunableProblem {
@@ -327,11 +384,19 @@ mod tests {
     fn construction_validation() {
         let x = Matrix::zeros(2, 2);
         assert!(TunableProblem::from_samples(&[], &[], BasisSpec::Linear).is_err());
-        assert!(
-            TunableProblem::from_samples(&[x.clone()], &[vec![1.0]], BasisSpec::Linear).is_err()
-        );
+        assert!(TunableProblem::from_samples(
+            std::slice::from_ref(&x),
+            &[vec![1.0]],
+            BasisSpec::Linear
+        )
+        .is_err());
         let bad_y = vec![f64::NAN, 0.0];
-        assert!(TunableProblem::from_samples(&[x.clone()], &[bad_y], BasisSpec::Linear).is_err());
+        assert!(TunableProblem::from_samples(
+            std::slice::from_ref(&x),
+            &[bad_y],
+            BasisSpec::Linear
+        )
+        .is_err());
         let x3 = Matrix::zeros(2, 3);
         assert!(TunableProblem::from_samples(
             &[x, x3],

@@ -2,13 +2,13 @@ use cbmf_linalg::Matrix;
 use cbmf_stats::describe;
 use rand::Rng;
 
-use crate::dataset::TunableProblem;
+use crate::dataset::{StateData, TunableProblem};
 use crate::error::CbmfError;
 use crate::model::PerStateModel;
 use crate::ols::dictionary_dim;
-use cbmf_linalg::{Cholesky, SymEigen};
+use cbmf_linalg::Cholesky;
 
-use crate::omp::{build_folds, column_norms, split_problem};
+use crate::omp::{best_unselected, build_folds, materialize_splits, selection_scores};
 use crate::prior::{toeplitz_r, CbmfPrior};
 
 /// Candidate hyper-parameter grid for the Algorithm-1 initializer
@@ -125,24 +125,40 @@ impl SompInitializer {
             / k as f64;
         let sigma_base = sigma_base.max(1e-12);
 
+        // The fold splits are hoisted out of the candidate sweep: every
+        // (r0, σ0, θ) candidate shares the same materialized sub-problems,
+        // and with them the cached per-state Gram products.
         let folds = build_folds(problem, self.grid.cv_folds, rng)?;
-        let mut best: Option<(f64, f64, f64, usize)> = None; // (err, r0, σ0, θ)
+        let splits = materialize_splits(problem, &folds, self.grid.cv_folds)?;
+        let mut cands: Vec<(f64, f64, usize)> = Vec::new();
         for &r0 in &self.grid.r0 {
             for &srel in &self.grid.sigma_rel {
-                let sigma0 = srel * sigma_base;
                 for &theta in &self.grid.theta {
-                    let mut err_sum = 0.0;
-                    for c in 0..self.grid.cv_folds {
-                        let (train, test) = split_problem(problem, &folds, c)?;
-                        let (support, coeffs) = select_with_bayes(&train, theta, r0, sigma0)?;
-                        let model = assemble_model(&train, support, coeffs)?;
-                        err_sum += model.modeling_error(&test)?;
-                    }
-                    let err = err_sum / self.grid.cv_folds as f64;
-                    if best.is_none_or(|(e, ..)| err < e) {
-                        best = Some((err, r0, sigma0, theta));
-                    }
+                    cands.push((r0, srel * sigma_base, theta));
                 }
+            }
+        }
+        // One greedy selection per (candidate, fold), all independent. The
+        // reduction walks the results in grid order, so the winning
+        // candidate (ties included) is the same at any thread count.
+        let cf = self.grid.cv_folds;
+        let errs = cbmf_parallel::par_map_indexed(cands.len() * cf, 1, |idx| {
+            let (r0, sigma0, theta) = cands[idx / cf];
+            let (train, test) = &splits[idx % cf];
+            let (support, coeffs) = select_with_bayes(train, theta, r0, sigma0)?;
+            let model = assemble_model(train, support, coeffs)?;
+            model.modeling_error(test)
+        });
+        let mut errs = errs.into_iter();
+        let mut best: Option<(f64, f64, f64, usize)> = None; // (err, r0, σ0, θ)
+        for &(r0, sigma0, theta) in &cands {
+            let mut err_sum = 0.0;
+            for _ in 0..cf {
+                err_sum += errs.next().expect("one result per (candidate, fold)")?;
+            }
+            let err = err_sum / cf as f64;
+            if best.is_none_or(|(e, ..)| err < e) {
+                best = Some((err, r0, sigma0, theta));
             }
         }
         let (cv_error, r0, sigma0, theta) = best.expect("grid verified non-empty");
@@ -188,13 +204,6 @@ impl SompInitializer {
 /// (Algorithm 1 steps 5–11): at every step the coefficients over the
 /// current support come from the MAP posterior under R(r0) with λ = 1 on
 /// the selected bases.
-///
-/// Implementation note: adding one basis `m` to the active set perturbs the
-/// observation-space covariance by `λ·R ∘ (b_m·b_mᵀ)`, which decomposes
-/// over the eigenpairs `(w_j, u_j)` of R into at most K rank-one terms
-/// `(√(λ·w_j)·u_j ⊙ b_m)·(…)ᵀ`. The Cholesky factor of C is therefore
-/// maintained by K rank-one updates per greedy step (`O(θ·K·(NK)²)`)
-/// instead of refactored from scratch (`O(θ·(NK)³)`).
 fn select_with_bayes(
     problem: &TunableProblem,
     theta: usize,
@@ -207,41 +216,20 @@ fn select_with_bayes(
     let cap = theta.max(1).min(m);
 
     let mut solver = IncrementalBayes::new(problem, &r, sigma0)?;
-    let norms: Vec<Vec<f64>> = problem.states().iter().map(column_norms).collect();
-    let mut residuals: Vec<Vec<f64>> = problem.states().iter().map(|s| s.y.clone()).collect();
+    let states: Vec<&StateData> = problem.states().iter().collect();
     let mut support: Vec<usize> = Vec::with_capacity(cap);
     let mut coeffs = Matrix::zeros(k, 0);
     for _ in 0..cap {
-        // ξ summed over states (eq. 33), per-state normalized.
-        let mut score = vec![0.0_f64; m];
-        for (st, (res, nrm)) in problem.states().iter().zip(residuals.iter().zip(&norms)) {
-            let corr = st.basis.t_matvec(res)?;
-            for ((sj, cj), nj) in score.iter_mut().zip(&corr).zip(nrm) {
-                *sj += (cj / nj).abs();
-            }
-        }
-        let mut best = (0.0_f64, usize::MAX);
-        for (j, &s) in score.iter().enumerate() {
-            if support.contains(&j) {
-                continue;
-            }
-            if s > best.0 {
-                best = (s, j);
-            }
-        }
-        if best.1 == usize::MAX || best.0 == 0.0 {
+        // ξ summed over states (eq. 33), per-state normalized, with the
+        // residual correlations expanded through the cached Gram products.
+        let coeff_rows: Vec<&[f64]> = (0..k).map(|ki| coeffs.row(ki)).collect();
+        let score = selection_scores(m, &states, &support, &coeff_rows);
+        let Some(best) = best_unselected(&score, &support) else {
             break;
-        }
-        support.push(best.1);
-        solver.add_basis(best.1, 1.0)?;
-        coeffs = solver.coefficients(&support, 1.0)?;
-        // Residual update (eq. 34).
-        for (ki, st) in problem.states().iter().enumerate() {
-            let fitted = st.basis.select_cols(&support).matvec(coeffs.row(ki))?;
-            for (rres, (yv, fv)) in residuals[ki].iter_mut().zip(st.y.iter().zip(&fitted)) {
-                *rres = yv - fv;
-            }
-        }
+        };
+        support.push(best);
+        solver.add_basis(best, 1.0)?;
+        coeffs = solver.coefficients()?;
     }
     // Sort support ascending and permute coefficient columns along.
     let mut order: Vec<usize> = (0..support.len()).collect();
@@ -251,90 +239,92 @@ fn select_with_bayes(
     Ok((sorted_support, sorted_coeffs))
 }
 
-/// Incrementally factored observation-space system for the greedy loop.
+/// Incrementally factored *support-space* posterior for the greedy loop.
+///
+/// With every selected basis at prior variance λ, the MAP coefficients on
+/// support S solve the `K·|S|`-dimensional normal equations (basis-major
+/// ordering, states contiguous within a basis block)
+///
+/// ```text
+/// [ δ_{jj'}·λ⁻¹R⁻¹ + σ0⁻²·diag_k( (B_kᵀB_k)[m_j, m_j'] ) ] · α = σ0⁻²·Bᵀy,
+/// ```
+///
+/// which is eq. 22 pulled back from observation space through the matrix
+/// inversion lemma. Appending one basis appends exactly one K-wide block
+/// row/column to this system, so the Cholesky factor is extended in place
+/// by [`Cholesky::append_block`] at `O(K·(K·|S|)² + K³)` per greedy step —
+/// versus `O((NK)³)` for refactoring the observation-space covariance from
+/// scratch, or `O(K·(NK)²)` for rank-one updating it. All matrix entries
+/// come from the cached per-state products of [`StateData`]; the raw basis
+/// matrices are never touched after the caches are warm.
 struct IncrementalBayes<'a> {
     problem: &'a TunableProblem,
-    r: &'a Matrix,
-    /// Eigenpairs of R with non-negligible eigenvalues.
-    r_modes: Vec<(f64, Vec<f64>)>,
-    chol: Cholesky,
-    offsets: Vec<usize>,
-    y: Vec<f64>,
+    /// R⁻¹ (K × K), shared by every diagonal block.
+    r_inv: Matrix,
+    sigma0_sq_inv: f64,
+    /// Factor of the growing `K·|S|` system; `None` until a basis is added.
+    chol: Option<Cholesky>,
+    /// Selected bases in insertion order (matches the block order).
+    support: Vec<usize>,
+    /// Right-hand side σ0⁻²·(B_kᵀy_k)[m_j], basis-major.
+    rhs: Vec<f64>,
 }
 
 impl<'a> IncrementalBayes<'a> {
-    fn new(problem: &'a TunableProblem, r: &'a Matrix, sigma0: f64) -> Result<Self, CbmfError> {
-        let counts: Vec<usize> = problem.states().iter().map(|s| s.len()).collect();
-        let mut offsets = Vec::with_capacity(counts.len());
-        let mut total = 0;
-        for &n in &counts {
-            offsets.push(total);
-            total += n;
-        }
-        let eig = SymEigen::new(r)?;
-        let wmax = eig
-            .eigenvalues()
-            .iter()
-            .fold(0.0_f64, |a, w| a.max(w.abs()))
-            .max(1e-300);
-        let mut r_modes = Vec::new();
-        for (j, &w) in eig.eigenvalues().iter().enumerate() {
-            if w > 1e-12 * wmax {
-                r_modes.push((w, eig.eigenvectors().col(j)));
-            }
-        }
-        let chol = Cholesky::new(&Matrix::from_diag(&vec![sigma0 * sigma0; total]))?;
-        let y: Vec<f64> = problem.states().iter().flat_map(|s| s.y.clone()).collect();
+    fn new(problem: &'a TunableProblem, r: &Matrix, sigma0: f64) -> Result<Self, CbmfError> {
+        let r_inv = Cholesky::new_with_jitter(r, 1e-10, 8)?.inverse();
         Ok(IncrementalBayes {
             problem,
-            r,
-            r_modes,
-            chol,
-            offsets,
-            y,
+            r_inv,
+            sigma0_sq_inv: 1.0 / (sigma0 * sigma0).max(1e-300),
+            chol: None,
+            support: Vec::new(),
+            rhs: Vec::new(),
         })
     }
 
-    /// Folds basis `m` with prior variance `lambda` into the factored C.
+    /// Appends basis `m` (prior variance `lambda`) as one K-wide block
+    /// row/column of the support-space system.
     fn add_basis(&mut self, m: usize, lambda: f64) -> Result<(), CbmfError> {
-        let total = self.y.len();
-        let mut v = vec![0.0; total];
-        for (w, u) in &self.r_modes.clone() {
-            let scale = (lambda * w).sqrt();
-            for (ki, st) in self.problem.states().iter().enumerate() {
-                let off = self.offsets[ki];
-                for n in 0..st.len() {
-                    v[off + n] = scale * u[ki] * st.basis[(n, m)];
-                }
-            }
-            self.chol.rank_one_update(&v)?;
+        let k = self.problem.num_states();
+        let states = self.problem.states();
+        let s2i = self.sigma0_sq_inv;
+        // New diagonal block: λ⁻¹·R⁻¹ + σ0⁻²·diag_k(‖b_{k,m}‖²).
+        let mut a22 = self.r_inv.scaled(1.0 / lambda);
+        for (ki, st) in states.iter().enumerate() {
+            a22[(ki, ki)] += s2i * st.t_gram()[(m, m)];
         }
+        // Cross block against each basis already in the factor: states do
+        // not mix in the likelihood, so block j is the diagonal matrix
+        // σ0⁻²·diag_k((B_kᵀB_k)[m_j, m]).
+        let mut a21 = Matrix::zeros(k, self.support.len() * k);
+        for (j, &sj) in self.support.iter().enumerate() {
+            for (ki, st) in states.iter().enumerate() {
+                a21[(ki, j * k + ki)] = s2i * st.t_gram()[(sj, m)];
+            }
+        }
+        match &mut self.chol {
+            Some(chol) => chol.append_block(&a21, &a22)?,
+            None => self.chol = Some(Cholesky::new(&a22)?),
+        }
+        for st in states {
+            self.rhs.push(s2i * st.bty()[m]);
+        }
+        self.support.push(m);
         Ok(())
     }
 
-    /// MAP coefficients on `support` (eq. 22), all bases at variance
-    /// `lambda`.
-    fn coefficients(&self, support: &[usize], lambda: f64) -> Result<Matrix, CbmfError> {
+    /// MAP coefficients (eq. 22) on the bases added so far, `K × |S|` with
+    /// columns in insertion order.
+    fn coefficients(&self) -> Result<Matrix, CbmfError> {
         let k = self.problem.num_states();
-        let z = self.chol.solve_vec(&self.y)?;
-        let mut coeffs = Matrix::zeros(k, support.len());
-        for (j, &m) in support.iter().enumerate() {
-            // g[k] = b_{m,k}ᵀ z_k
-            let mut g = vec![0.0; k];
-            for (ki, st) in self.problem.states().iter().enumerate() {
-                let off = self.offsets[ki];
-                let mut acc = 0.0;
-                for n in 0..st.len() {
-                    acc += st.basis[(n, m)] * z[off + n];
-                }
-                g[ki] = acc;
-            }
+        let t = self.support.len();
+        let chol = self.chol.as_ref().expect("at least one basis added");
+        let sol = chol.solve_vec(&self.rhs)?;
+        let mut coeffs = Matrix::zeros(k, t);
+        for j in 0..t {
             for ki in 0..k {
-                let mut acc = 0.0;
-                for (kj, gv) in g.iter().enumerate() {
-                    acc += self.r[(ki, kj)] * gv;
-                }
-                coeffs[(ki, j)] = lambda * acc;
+                coeffs[(ki, j)] = sol[j * k + ki];
             }
         }
         Ok(coeffs)

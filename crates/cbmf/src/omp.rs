@@ -91,21 +91,44 @@ impl Omp {
         rng: &mut R,
     ) -> Result<usize, CbmfError> {
         let folds = build_folds(problem, self.config.cv_folds, rng)?;
-        let mut best = (f64::INFINITY, self.config.theta_candidates[0]);
-        for &theta in &self.config.theta_candidates {
+        let splits = materialize_splits(problem, &folds, self.config.cv_folds)?;
+        let thetas = &self.config.theta_candidates;
+        // One fit per (θ, fold) pair, all independent: fan them out and
+        // reduce sequentially in candidate order so error sums (and the
+        // winning θ on ties) never depend on the thread count.
+        let cf = self.config.cv_folds;
+        let errs = cbmf_parallel::par_map_indexed(thetas.len() * cf, 1, |idx| {
+            let (train, test) = &splits[idx % cf];
+            let model = fit_with_theta(train, thetas[idx / cf])?;
+            model.modeling_error(test)
+        });
+        let mut errs = errs.into_iter();
+        let mut best = (f64::INFINITY, thetas[0]);
+        for &theta in thetas {
             let mut err_sum = 0.0;
-            for c in 0..self.config.cv_folds {
-                let (train, test) = split_problem(problem, &folds, c)?;
-                let model = fit_with_theta(&train, theta)?;
-                err_sum += model.modeling_error(&test)?;
+            for _ in 0..cf {
+                err_sum += errs.next().expect("one result per (theta, fold)")?;
             }
-            let err = err_sum / self.config.cv_folds as f64;
+            let err = err_sum / cf as f64;
             if err < best.0 {
                 best = (err, theta);
             }
         }
         Ok(best.1)
     }
+}
+
+/// Materializes every fold's (train, test) split once, so all sparsity and
+/// hyper-parameter candidates reuse the same sub-problems — and with them
+/// the per-state caches of [`StateData`].
+pub(crate) fn materialize_splits(
+    problem: &TunableProblem,
+    folds: &[KFold],
+    cv_folds: usize,
+) -> Result<Vec<(TunableProblem, TunableProblem)>, CbmfError> {
+    (0..cv_folds)
+        .map(|c| split_problem(problem, folds, c))
+        .collect()
 }
 
 /// Builds one K-fold partition per state.
@@ -146,20 +169,57 @@ pub(crate) fn split_problem(
     Ok((problem.subset(&train_keep)?, problem.subset(&test_keep)?))
 }
 
-/// Per-state unit-normalized column norms of the basis matrix, used to turn
-/// raw inner products into correlations.
-pub(crate) fn column_norms(st: &StateData) -> Vec<f64> {
-    let m = st.basis.cols();
-    let mut norms = vec![0.0; m];
-    for i in 0..st.len() {
-        for (nj, bij) in norms.iter_mut().zip(st.basis.row(i)) {
-            *nj += bij * bij;
+/// Greedy selection scores over the dictionary: `Σ_k |b_mᵀ r_k| / ‖b_m‖_k`
+/// with `r_k = y_k − B_{k,S}·c_k` (eq. 33; one state reproduces plain OMP).
+///
+/// The residual correlation is expanded through the cached per-state
+/// products, `b_mᵀ r_k = (B_kᵀy_k)[m] − Σ_j (B_kᵀB_k)[m, s_j]·c_{k,j}`, so
+/// one greedy step costs `O(M·|S|·K)` instead of `O(N·M·K)` and no residual
+/// vector is ever formed. The dictionary loop is chunk-parallel; each score
+/// is computed independently and stitched back in index order, so the
+/// result is bitwise identical at any thread count.
+pub(crate) fn selection_scores(
+    num_basis: usize,
+    states: &[&StateData],
+    support: &[usize],
+    coeff_rows: &[&[f64]],
+) -> Vec<f64> {
+    assert_eq!(
+        states.len(),
+        coeff_rows.len(),
+        "one coefficient row per state"
+    );
+    // Aim for ~128k flops per spawned chunk; each index costs about
+    // K·(|S| + 2) fused multiply-adds.
+    let per_index = states.len() * (support.len() + 2);
+    let grain = (128 * 1024 / per_index.max(1)).max(1);
+    cbmf_parallel::par_map_indexed(num_basis, grain, |mi| {
+        let mut score = 0.0;
+        for (st, crow) in states.iter().zip(coeff_rows) {
+            let mut corr = st.bty()[mi];
+            let gram = st.t_gram();
+            for (&sj, c) in support.iter().zip(*crow) {
+                corr -= gram[(mi, sj)] * c;
+            }
+            score += (corr / st.col_norms()[mi]).abs();
+        }
+        score
+    })
+}
+
+/// Index of the best-scoring basis not yet selected; `None` when every
+/// remaining score is zero (residual orthogonal to the dictionary).
+pub(crate) fn best_unselected(scores: &[f64], support: &[usize]) -> Option<usize> {
+    let mut best = (0.0_f64, usize::MAX);
+    for (j, &s) in scores.iter().enumerate() {
+        if support.contains(&j) {
+            continue;
+        }
+        if s > best.0 {
+            best = (s, j);
         }
     }
-    for n in &mut norms {
-        *n = n.sqrt().max(1e-300);
-    }
-    norms
+    (best.1 != usize::MAX && best.0 > 0.0).then_some(best.1)
 }
 
 /// Least-squares coefficients of `y` on the selected columns of `basis`.
@@ -180,33 +240,17 @@ fn fit_with_theta(problem: &TunableProblem, theta: usize) -> Result<PerStateMode
     let mut per_state_coef: Vec<Vec<f64>> = Vec::with_capacity(k);
     for st in problem.states() {
         let cap = theta.min(st.len().saturating_sub(1)).max(1).min(m);
-        let norms = column_norms(st);
         let mut support: Vec<usize> = Vec::with_capacity(cap);
-        let mut residual = st.y.clone();
         let mut coefs = Vec::new();
         for _ in 0..cap {
-            // Correlation of each unused column with the residual.
-            let corr = st.basis.t_matvec(&residual)?;
-            let mut best = (0.0_f64, usize::MAX);
-            for (j, (c, n)) in corr.iter().zip(&norms).enumerate() {
-                if support.contains(&j) {
-                    continue;
-                }
-                let v = (c / n).abs();
-                if v > best.0 {
-                    best = (v, j);
-                }
-            }
-            if best.1 == usize::MAX || best.0 == 0.0 {
+            // Correlation of each column with the residual, from the cached
+            // Gram products (residual update of eq. 34 folded in).
+            let scores = selection_scores(m, &[st], &support, &[&coefs]);
+            let Some(best) = best_unselected(&scores, &support) else {
                 break; // residual orthogonal to every remaining column
-            }
-            support.push(best.1);
+            };
+            support.push(best);
             coefs = ls_on_support(&st.basis, &st.y, &support)?;
-            // Residual update (paper eq. 34, per state).
-            let fitted = st.basis.select_cols(&support).matvec(&coefs)?;
-            for (r, (yv, fv)) in residual.iter_mut().zip(st.y.iter().zip(&fitted)) {
-                *r = yv - fv;
-            }
         }
         per_state_support.push(support);
         per_state_coef.push(coefs);

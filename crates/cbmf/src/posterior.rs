@@ -162,11 +162,18 @@ impl MapPosterior {
         let s2 = prior.sigma0() * prior.sigma0();
         let mut p = ctx.c.clone();
         p.add_diag_mut(-s2);
+        // The per-column substitutions are independent; the final trace adds
+        // the per-column sums sequentially in column order, so the reduction
+        // order — and hence the result, bitwise — matches the serial loop at
+        // any thread count.
+        let grain = (256 * 1024 / (nk * nk).max(1)).max(1);
+        let col_sums = cbmf_parallel::par_map_indexed(nk, grain, |j| {
+            let w = ctx.chol.forward_solve(&p.col(j))?;
+            Ok::<f64, CbmfError>(w.iter().map(|v| v * v).sum::<f64>())
+        });
         let mut tr_pcp = 0.0;
-        for j in 0..nk {
-            let col = p.col(j);
-            let w = ctx.chol.forward_solve(&col)?;
-            tr_pcp += w.iter().map(|v| v * v).sum::<f64>();
+        for s in col_sums {
+            tr_pcp += s?;
         }
         let resid_trace = (p.trace() - tr_pcp).max(0.0);
 
@@ -403,13 +410,21 @@ impl Context {
             scaled.push(g);
         }
 
-        // Assemble C blockwise.
+        // Assemble C blockwise. Diagonal blocks B_k Λ B_kᵀ go through the
+        // symmetric gram kernel, which mirrors its lower triangle exactly;
+        // off-diagonal blocks are mirrored explicitly below. C is therefore
+        // symmetric to the bit with no whole-matrix symmetrization pass.
         let s2 = prior.sigma0() * prior.sigma0();
         let r = prior.r();
+        let lam_active: Vec<f64> = active.iter().map(|&mi| lambda[mi]).collect();
         let mut c = Matrix::zeros(total, total);
         for ka in 0..k {
             for kb in ka..k {
-                let gram = scaled[ka].matmul_t(&plain[kb])?; // B_a Λ B_bᵀ
+                let gram = if ka == kb {
+                    plain[ka].weighted_gram(&lam_active)? // B_k Λ B_kᵀ
+                } else {
+                    scaled[ka].matmul_t(&plain[kb])? // B_a Λ B_bᵀ
+                };
                 let rho = r[(ka, kb)];
                 let (oa, ob) = (offsets[ka], offsets[kb]);
                 for i in 0..counts[ka] {
@@ -423,9 +438,6 @@ impl Context {
                 }
             }
         }
-        // Symmetrize the diagonal blocks (gram of a block with itself is
-        // already symmetric up to round-off) and add the noise.
-        c = c.symmetrized();
         c.add_diag_mut(s2);
 
         let chol = Cholesky::new_with_jitter(&c, 1e-10, 8)?;
@@ -450,14 +462,19 @@ impl Context {
         let m = problem.num_basis();
         let lambda = prior.lambda();
         let r = prior.r();
-        // g[m][k] = b_{m,k}ᵀ (C⁻¹y)_k
-        let mut g = Matrix::zeros(m, k);
-        for (ki, st) in problem.states().iter().enumerate() {
+        // g[m][k] = b_{m,k}ᵀ (C⁻¹y)_k — one independent basis projection per
+        // state, fanned out across threads (each costs O(N_k·M) flops).
+        let per_state = self.counts.iter().max().copied().unwrap_or(0) * m;
+        let grain = (128 * 1024 / per_state.max(1)).max(1);
+        let g_cols = cbmf_parallel::par_map_indexed(k, grain, |ki| {
             let slice = &self.ciy[self.offsets[ki]..self.offsets[ki] + self.counts[ki]];
-            let gm = st
+            problem.states()[ki]
                 .basis
                 .t_matvec(slice)
-                .expect("slice length equals state rows");
+                .expect("slice length equals state rows")
+        });
+        let mut g = Matrix::zeros(m, k);
+        for (ki, gm) in g_cols.iter().enumerate() {
             for (mi, v) in gm.iter().enumerate() {
                 g[(mi, ki)] = *v;
             }
@@ -707,18 +724,18 @@ mod tests {
         for m in 0..d {
             let z: Vec<f64> = (0..k).map(|_| normal::sample(&mut rng)).collect();
             let a = rl.l_matvec(&z).unwrap();
-            for ki in 0..k {
-                alpha[ki][m] = a[ki];
+            for (alpha_k, &ak) in alpha.iter_mut().zip(&a) {
+                alpha_k[m] = ak;
             }
         }
         let gen = |n: usize, rng: &mut cbmf_stats::SeededRng, alpha: &Vec<Vec<f64>>| {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
-            for ki in 0..k {
+            for alpha_k in alpha.iter().take(k) {
                 let x = Matrix::from_fn(n, d, |_, _| normal::sample(rng));
                 let y: Vec<f64> = (0..n)
                     .map(|i| {
-                        alpha[ki]
+                        alpha_k
                             .iter()
                             .zip(x.row(i))
                             .map(|(a, xv)| a * xv)

@@ -1,11 +1,14 @@
 use cbmf_linalg::Matrix;
 use rand::Rng;
 
+use crate::dataset::StateData;
 use crate::dataset::TunableProblem;
 use crate::error::CbmfError;
 use crate::model::PerStateModel;
 use crate::ols::dictionary_dim;
-use crate::omp::{build_folds, column_norms, ls_on_support, split_problem};
+use crate::omp::{
+    best_unselected, build_folds, ls_on_support, materialize_splits, selection_scores,
+};
 
 /// Configuration for the S-OMP baseline.
 #[derive(Debug, Clone)]
@@ -90,15 +93,25 @@ impl Somp {
             self.config.theta_candidates[0]
         } else {
             let folds = build_folds(problem, self.config.cv_folds, rng)?;
-            let mut best = (f64::INFINITY, self.config.theta_candidates[0]);
-            for &theta in &self.config.theta_candidates {
+            let splits = materialize_splits(problem, &folds, self.config.cv_folds)?;
+            let thetas = &self.config.theta_candidates;
+            // Independent (θ, fold) fits run in parallel; the reduction
+            // walks them in candidate order, so the winner is the same at
+            // any thread count.
+            let cf = self.config.cv_folds;
+            let errs = cbmf_parallel::par_map_indexed(thetas.len() * cf, 1, |idx| {
+                let (train, test) = &splits[idx % cf];
+                let model = fit_with_theta(train, thetas[idx / cf])?;
+                model.modeling_error(test)
+            });
+            let mut errs = errs.into_iter();
+            let mut best = (f64::INFINITY, thetas[0]);
+            for &theta in thetas {
                 let mut err_sum = 0.0;
-                for c in 0..self.config.cv_folds {
-                    let (train, test) = split_problem(problem, &folds, c)?;
-                    let model = fit_with_theta(&train, theta)?;
-                    err_sum += model.modeling_error(&test)?;
+                for _ in 0..cf {
+                    err_sum += errs.next().expect("one result per (theta, fold)")?;
                 }
-                let err = err_sum / self.config.cv_folds as f64;
+                let err = err_sum / cf as f64;
                 if err < best.0 {
                     best = (err, theta);
                 }
@@ -137,41 +150,21 @@ where
         theta.max(1).min(m)
     };
 
-    let norms: Vec<Vec<f64>> = problem.states().iter().map(column_norms).collect();
-    let mut residuals: Vec<Vec<f64>> = problem.states().iter().map(|s| s.y.clone()).collect();
+    let states: Vec<&StateData> = problem.states().iter().collect();
     let mut support: Vec<usize> = Vec::with_capacity(cap);
     let mut coeffs = Matrix::zeros(k, 0);
     for _ in 0..cap {
-        // ξ_{k,m} summed over states (eq. 33), with per-state normalization.
-        let mut score = vec![0.0_f64; m];
-        for (st, (res, nrm)) in problem.states().iter().zip(residuals.iter().zip(&norms)) {
-            let corr = st.basis.t_matvec(res)?;
-            for ((sj, cj), nj) in score.iter_mut().zip(&corr).zip(nrm) {
-                *sj += (cj / nj).abs();
-            }
-        }
-        let mut best = (0.0_f64, usize::MAX);
-        for (j, &s) in score.iter().enumerate() {
-            if support.contains(&j) {
-                continue;
-            }
-            if s > best.0 {
-                best = (s, j);
-            }
-        }
-        if best.1 == usize::MAX || best.0 == 0.0 {
+        // ξ_{k,m} summed over states (eq. 33) with per-state normalization;
+        // the residual update of eq. 34 lives inside the cached-Gram
+        // identity of `selection_scores`.
+        let coeff_rows: Vec<&[f64]> = (0..k).map(|ki| coeffs.row(ki)).collect();
+        let score = selection_scores(m, &states, &support, &coeff_rows);
+        let Some(best) = best_unselected(&score, &support) else {
             break;
-        }
-        support.push(best.1);
-        // Solve the coefficients on the current (unsorted) support...
+        };
+        support.push(best);
+        // Solve the coefficients on the current (unsorted) support.
         coeffs = solve(problem, &support)?;
-        // ...and update the residuals (eq. 34).
-        for (ki, st) in problem.states().iter().enumerate() {
-            let fitted = st.basis.select_cols(&support).matvec(coeffs.row(ki))?;
-            for (r, (yv, fv)) in residuals[ki].iter_mut().zip(st.y.iter().zip(&fitted)) {
-                *r = yv - fv;
-            }
-        }
     }
     // Sort the support ascending and permute the coefficient columns along.
     let mut order: Vec<usize> = (0..support.len()).collect();

@@ -108,12 +108,20 @@ impl MonteCarlo {
         self.samples_per_state
     }
 
-    /// Runs the Monte Carlo collection.
+    /// Runs the Monte Carlo collection, fanning the independent
+    /// (state, sample) simulations out across threads.
+    ///
+    /// One base seed is drawn from the caller's generator, and every
+    /// (state, sample) pair derives its own private RNG from a hash of
+    /// `(base, state, index)`. The drawn variations therefore depend only
+    /// on the caller's stream position — never on how pairs are scheduled —
+    /// so the dataset is byte-identical at any thread count (including 1).
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures from the testbench.
-    pub fn collect<T: Testbench + ?Sized, R: Rng + ?Sized>(
+    /// Propagates simulation failures from the testbench; with several
+    /// failures in flight, the one at the lowest (state, sample) index wins.
+    pub fn collect<T: Testbench + Sync + ?Sized, R: Rng + ?Sized>(
         &self,
         tb: &T,
         rng: &mut R,
@@ -122,17 +130,25 @@ impl MonteCarlo {
         let k = tb.num_states();
         let p = tb.metric_names().len();
         let n = self.samples_per_state;
+        let base = rng.next_u64();
+        let sims = cbmf_parallel::par_map_indexed(k * n, 8, |idx| {
+            let mut srng = cbmf_stats::seeded_rng(sample_seed(base, idx / n, idx % n));
+            let x: Vec<f64> = (0..d)
+                .map(|_| cbmf_stats::normal::sample(&mut srng))
+                .collect();
+            let metrics = tb.simulate(idx / n, &x)?;
+            debug_assert_eq!(metrics.len(), p);
+            Ok::<_, CircuitError>((x, metrics))
+        });
+        let mut sims = sims.into_iter();
         let mut states = Vec::with_capacity(k);
-        for state in 0..k {
+        for _ in 0..k {
             let mut x = Matrix::zeros(n, d);
             let mut y = Matrix::zeros(n, p);
             for i in 0..n {
-                for v in x.row_mut(i) {
-                    *v = cbmf_stats::normal::sample(rng);
-                }
-                let metrics = tb.simulate(state, x.row(i))?;
-                debug_assert_eq!(metrics.len(), p);
-                y.row_mut(i).copy_from_slice(&metrics);
+                let (xr, yr) = sims.next().expect("one result per (state, sample)")?;
+                x.row_mut(i).copy_from_slice(&xr);
+                y.row_mut(i).copy_from_slice(&yr);
             }
             states.push(StateSamples { x, y });
         }
@@ -144,6 +160,19 @@ impl MonteCarlo {
             cost,
         })
     }
+}
+
+/// Derives the private RNG seed of one (state, sample) pair: a SplitMix64
+/// finalizer over the triple, so neighbouring pairs get decorrelated
+/// streams while the mapping stays pure — the scheduling of the parallel
+/// collection can never influence the drawn values.
+fn sample_seed(base: u64, state: usize, index: usize) -> u64 {
+    let mut z = base
+        .wrapping_add((state as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((index as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -218,6 +247,25 @@ mod tests {
         let d2 = MonteCarlo::new(3).collect(&Toy, &mut r2).unwrap();
         assert_eq!(d1.states[2].x, d2.states[2].x);
         assert_eq!(d1.states[2].y, d2.states[2].y);
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        let collect_at = |threads: usize| {
+            cbmf_parallel::with_threads(threads, || {
+                let mut rng = seeded_rng(11);
+                MonteCarlo::new(7).collect(&Toy, &mut rng).unwrap()
+            })
+        };
+        let one = collect_at(1);
+        for threads in [2, 3, 8] {
+            let many = collect_at(threads);
+            assert_eq!(one.states.len(), many.states.len());
+            for (k, (a, b)) in one.states.iter().zip(&many.states).enumerate() {
+                assert_eq!(a.x, b.x, "x of state {k} at {threads} threads");
+                assert_eq!(a.y, b.y, "y of state {k} at {threads} threads");
+            }
+        }
     }
 
     #[test]

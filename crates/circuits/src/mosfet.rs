@@ -327,8 +327,10 @@ mod tests {
     fn vth_mismatch_moves_gm() {
         let m = Mosfet::rf_nmos(1, 0.0);
         let base = m.small_signal(1e-4, &MosfetDeltas::default(), 2.4e9).gm;
-        let mut d = MosfetDeltas::default();
-        d.dvth = 3.0; // +3σ
+        let d = MosfetDeltas {
+            dvth: 3.0, // +3σ
+            ..Default::default()
+        };
         let shifted = m.small_signal(1e-4, &d, 2.4e9).gm;
         let rel = (shifted - base).abs() / base;
         assert!(rel > 1e-3, "3σ VTH shift must move gm measurably: {rel}");
@@ -339,8 +341,10 @@ mod tests {
     fn beta_mismatch_moves_gm_in_expected_direction() {
         let m = Mosfet::rf_nmos(1, 0.0);
         let base = m.small_signal(1e-4, &MosfetDeltas::default(), 2.4e9).gm;
-        let mut d = MosfetDeltas::default();
-        d.dbeta = 2.0;
+        let d = MosfetDeltas {
+            dbeta: 2.0,
+            ..Default::default()
+        };
         let up = m.small_signal(1e-4, &d, 2.4e9).gm;
         // At fixed Id, higher β lowers Vov: gm = 2Id/Vov-ish rises.
         assert!(up > base);

@@ -203,8 +203,8 @@ mod tests {
     fn every_index_is_owned_exactly_once() {
         let m = model();
         let mut hits = vec![0usize; m.dim()];
-        for i in 0..m.inter_die_count() {
-            hits[i] += 1;
+        for h in hits.iter_mut().take(m.inter_die_count()) {
+            *h += 1;
         }
         for (ci, c) in m.classes().iter().enumerate() {
             for f in 0..c.fingers {

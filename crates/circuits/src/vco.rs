@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         let vco = Vco::new();
-        assert!(vco.simulate(32, &vec![0.0; 1008]).is_err());
-        assert!(vco.simulate(0, &vec![0.0; 7]).is_err());
+        assert!(vco.simulate(32, &[0.0; 1008]).is_err());
+        assert!(vco.simulate(0, &[0.0; 7]).is_err());
     }
 }

@@ -168,9 +168,17 @@ impl Cholesky {
             });
         }
         // Solve on the transpose so the inner loops walk contiguous rows.
+        // Right-hand sides are independent, so they are dispatched in
+        // parallel chunks; each solve is unchanged, so results match the
+        // sequential loop bitwise.
         let mut xt = b.transpose();
-        for j in 0..xt.rows() {
-            self.solve_in_place(xt.row_mut(j));
+        if n > 0 {
+            let grain = crate::mat::grain_rows(2 * n * n);
+            cbmf_parallel::par_rows_mut(xt.as_mut_slice(), n, grain, |_, chunk| {
+                for row in chunk.chunks_mut(n) {
+                    self.solve_in_place(row);
+                }
+            });
         }
         Ok(xt.transpose())
     }
@@ -178,17 +186,19 @@ impl Cholesky {
     /// Computes the full inverse `A⁻¹` (symmetric).
     pub fn inverse(&self) -> Matrix {
         let n = self.dim();
-        let mut inv = Matrix::zeros(n, n);
-        let mut col = vec![0.0; n];
-        for j in 0..n {
-            col.iter_mut().for_each(|x| *x = 0.0);
-            col[j] = 1.0;
-            self.solve_in_place(&mut col);
-            for i in 0..n {
-                inv[(i, j)] = col[i];
-            }
+        // Row j of `inv_t` is A⁻¹ e_j; the unit columns are independent
+        // solves, run in parallel chunks.
+        let mut inv_t = Matrix::zeros(n, n);
+        if n > 0 {
+            let grain = crate::mat::grain_rows(2 * n * n);
+            cbmf_parallel::par_rows_mut(inv_t.as_mut_slice(), n, grain, |j0, chunk| {
+                for (lj, row) in chunk.chunks_mut(n).enumerate() {
+                    row[j0 + lj] = 1.0;
+                    self.solve_in_place(row);
+                }
+            });
         }
-        inv.symmetrized()
+        inv_t.symmetrized()
     }
 
     /// Forward/back substitution in place: overwrites `x` (initially `b`)
@@ -245,6 +255,67 @@ impl Cholesky {
                 self.l[(i, j)] = lij;
             }
         }
+        Ok(())
+    }
+
+    /// Grows the factorization from `A` to the bordered matrix
+    /// `[[A, A₂₁ᵀ], [A₂₁, A₂₂]]`, appending `p = a21.rows()` rows/columns.
+    ///
+    /// The existing factor is reused unchanged: the new rows are
+    /// `L₂₁ = A₂₁ L⁻ᵀ` (one forward solve per appended row, `O(p·n²)`) and
+    /// `L₂₂ = chol(A₂₂ − L₂₁ L₂₁ᵀ)` (`O(p³)`), instead of refactoring the
+    /// whole `(n+p)`-dimensional system in `O((n+p)³)`. This is what makes
+    /// the C-BMF initializer's greedy loop cheap: admitting one basis appends
+    /// one K-dimensional block to the support-space posterior precision.
+    ///
+    /// On error the factor is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `a21` is not `p x dim()` or `a22`
+    ///   is not `p x p`.
+    /// * [`LinalgError::NotPositiveDefinite`] if the Schur complement
+    ///   `A₂₂ − A₂₁ A⁻¹ A₂₁ᵀ` is not positive definite (the bordered matrix
+    ///   is not PD).
+    pub fn append_block(&mut self, a21: &Matrix, a22: &Matrix) -> Result<(), LinalgError> {
+        let n = self.dim();
+        let p = a21.rows();
+        if a21.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "append_block",
+                lhs: (n, n),
+                rhs: a21.shape(),
+            });
+        }
+        if a22.shape() != (p, p) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "append_block",
+                lhs: (p, n),
+                rhs: a22.shape(),
+            });
+        }
+        let l21: Vec<Vec<f64>> = (0..p)
+            .map(|r| self.forward_solve(a21.row(r)))
+            .collect::<Result<_, _>>()?;
+        // Schur complement S = A₂₂ − L₂₁ L₂₁ᵀ, factored before any mutation
+        // so a non-PD border leaves `self` intact.
+        let mut schur = a22.clone();
+        for i in 0..p {
+            for j in 0..p {
+                schur[(i, j)] -= vecops::dot(&l21[i], &l21[j]);
+            }
+        }
+        let l22 = Self::factor(&schur, 0.0)?;
+        let mut l = Matrix::zeros(n + p, n + p);
+        for i in 0..n {
+            l.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        for i in 0..p {
+            let row = l.row_mut(n + i);
+            row[..n].copy_from_slice(&l21[i]);
+            row[n..n + p].copy_from_slice(l22.l.row(i));
+        }
+        self.l = l;
         Ok(())
     }
 
@@ -442,6 +513,124 @@ mod tests {
     fn rank_one_update_shape_mismatch() {
         let mut chol = Cholesky::new(&spd3()).unwrap();
         assert!(chol.rank_one_update(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn append_block_matches_full_refactorization() {
+        // Grow a 3x3 factor to 5x5 in one call and compare against factoring
+        // the bordered matrix from scratch.
+        let a = spd3();
+        let a21 = Matrix::from_rows(&[&[0.3, -0.2, 0.5], &[0.1, 0.4, -0.1]]).unwrap();
+        let mut a22 = a21.matmul_t(&a21).unwrap();
+        a22.add_diag_mut(2.0);
+
+        let mut grown = Cholesky::new(&a).unwrap();
+        grown.append_block(&a21, &a22).unwrap();
+        assert_eq!(grown.dim(), 5);
+
+        let mut full = Matrix::zeros(5, 5);
+        for i in 0..3 {
+            for j in 0..3 {
+                full[(i, j)] = a[(i, j)];
+            }
+        }
+        for i in 0..2 {
+            for j in 0..3 {
+                full[(3 + i, j)] = a21[(i, j)];
+                full[(j, 3 + i)] = a21[(i, j)];
+            }
+            for j in 0..2 {
+                full[(3 + i, 3 + j)] = a22[(i, j)];
+            }
+        }
+        let reference = Cholesky::new(&full).unwrap();
+        assert!((&grown.l().clone() - reference.l()).max_abs() < 1e-12);
+
+        let b = [1.0, -1.0, 0.5, 2.0, -0.3];
+        let x1 = grown.solve_vec(&b).unwrap();
+        let x2 = reference.solve_vec(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn append_block_repeated_growth_stays_accurate() {
+        // Start from 1x1 and append 2-wide blocks five times, mirroring the
+        // greedy initializer's usage pattern.
+        let mut full = Matrix::from_diag(&[2.0]);
+        let mut chol = Cholesky::new(&full).unwrap();
+        for step in 0..5 {
+            let n = full.rows();
+            let a21 = Matrix::from_fn(2, n, |i, j| {
+                ((step * 7 + i * 3 + j) as f64 * 0.41).sin() * 0.3
+            });
+            let mut a22 = a21.matmul_t(&a21).unwrap();
+            a22.add_diag_mut(1.5 + step as f64 * 0.1);
+            chol.append_block(&a21, &a22).unwrap();
+
+            let mut next = Matrix::zeros(n + 2, n + 2);
+            for i in 0..n {
+                for j in 0..n {
+                    next[(i, j)] = full[(i, j)];
+                }
+            }
+            for i in 0..2 {
+                for j in 0..n {
+                    next[(n + i, j)] = a21[(i, j)];
+                    next[(j, n + i)] = a21[(i, j)];
+                }
+                for j in 0..2 {
+                    next[(n + i, n + j)] = a22[(i, j)];
+                }
+            }
+            full = next;
+        }
+        let rec = chol.l().matmul_t(chol.l()).unwrap();
+        assert!((&rec - &full).max_abs() < 1e-11 * full.max_abs().max(1.0));
+    }
+
+    #[test]
+    fn append_block_rejects_bad_shapes_and_non_pd() {
+        let mut chol = Cholesky::new(&spd3()).unwrap();
+        let before = chol.l().clone();
+        assert!(chol
+            .append_block(&Matrix::zeros(1, 2), &Matrix::zeros(1, 1))
+            .is_err());
+        assert!(chol
+            .append_block(&Matrix::zeros(1, 3), &Matrix::zeros(2, 2))
+            .is_err());
+        // A zero diagonal border makes the Schur complement singular.
+        assert!(matches!(
+            chol.append_block(&Matrix::zeros(1, 3), &Matrix::zeros(1, 1)),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        // Failed appends must not corrupt the factor.
+        assert!((&chol.l().clone() - &before).max_abs() == 0.0);
+        assert_eq!(chol.dim(), 3);
+    }
+
+    #[test]
+    fn solve_mat_and_inverse_match_across_thread_counts() {
+        // 40-dim factor with 48 right-hand sides crosses the parallel gate.
+        let m = Matrix::from_fn(40, 40, |i, j| ((i * 13 + j * 7) % 9) as f64 * 0.1);
+        let mut a = m.matmul_t(&m).unwrap();
+        a.add_diag_mut(40.0 * 0.5);
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(40, 48, |i, j| ((i + 3 * j) % 11) as f64 - 5.0);
+        let (x1, inv1) =
+            cbmf_parallel::with_threads(1, || (chol.solve_mat(&b).unwrap(), chol.inverse()));
+        let (x8, inv8) =
+            cbmf_parallel::with_threads(8, || (chol.solve_mat(&b).unwrap(), chol.inverse()));
+        for (p, q) in x1.as_slice().iter().zip(x8.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for (p, q) in inv1.as_slice().iter().zip(inv8.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // And the parallel solve is still a correct solve.
+        let ax = a.matmul(&x8).unwrap();
+        assert!((&ax - &b).max_abs() < 1e-8);
     }
 
     #[test]

@@ -144,6 +144,8 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Division by reciprocal multiplication is the intended formula.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }

@@ -32,6 +32,9 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Triangular solves and factor updates index several arrays by one running
+// index with offset bounds; iterator rewrites obscure the recurrences.
+#![allow(clippy::needless_range_loop)]
 
 mod cholesky;
 mod cmat;

@@ -6,6 +6,18 @@ use serde::{Deserialize, Serialize};
 use crate::error::LinalgError;
 use crate::vecops;
 
+/// Flop budget below which a matrix product is not worth a thread spawn; at
+/// ~1 ns/flop sequential, 128k flops ≈ 100 µs of work per worker, comfortably
+/// above `std::thread::scope` spawn-and-join overhead (single-digit µs).
+const MIN_PAR_FLOPS: usize = 128 * 1024;
+
+/// Minimum output rows per worker chunk for a product whose per-row cost is
+/// `row_flops`; [`cbmf_parallel::par_rows_mut`] runs sequentially below twice
+/// this, so small test-sized matrices never pay thread overhead.
+pub(crate) fn grain_rows(row_flops: usize) -> usize {
+    (MIN_PAR_FLOPS / row_flops.max(1)).max(1)
+}
+
 /// A dense, row-major `f64` matrix.
 ///
 /// This is the workhorse type of the crate: it stores its elements in a
@@ -229,17 +241,23 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // ikj loop order: the innermost loop walks contiguous rows of `rhs`
         // and `out`, which is dramatically faster than the naive ijk order.
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
+        // Output rows are independent, so they are computed in parallel row
+        // chunks; each row accumulates in the same k order as the sequential
+        // loop, keeping results bitwise identical at any thread count.
+        let p = rhs.cols;
+        cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.cols * p), |i0, chunk| {
+            for (li, out_row) in chunk.chunks_mut(p).enumerate() {
+                let i = i0 + li;
+                let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                for (k, &aik) in a_row.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &rhs.data[k * p..(k + 1) * p];
+                    vecops::axpy(aik, b_row, out_row);
                 }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                vecops::axpy(aik, b_row, out_row);
             }
-        }
+        });
         Ok(out)
     }
 
@@ -257,17 +275,24 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
+        // Partition the *output* rows (columns of self): each worker streams
+        // all of `rhs` once and scatters into its own disjoint row chunk.
+        // Every output row still accumulates in ascending k, so the result is
+        // bitwise identical to the sequential k-outer loop.
+        let p = rhs.cols;
+        cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.rows * p), |i0, chunk| {
+            let chunk_rows = chunk.len() / p;
+            for k in 0..self.rows {
+                let a_seg = &self.data[k * self.cols + i0..k * self.cols + i0 + chunk_rows];
+                let b_row = &rhs.data[k * p..(k + 1) * p];
+                for (li, &aki) in a_seg.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    vecops::axpy(aki, b_row, &mut chunk[li * p..(li + 1) * p]);
                 }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                vecops::axpy(aki, b_row, out_row);
             }
-        }
+        });
         Ok(out)
     }
 
@@ -285,13 +310,109 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..rhs.rows {
-                out.data[i * rhs.rows + j] = vecops::dot(a_row, rhs.row(j));
+        // Four output entries per pass over a_row: the dot4 kernel reads each
+        // a_row element once for four rhs rows instead of re-streaming it per
+        // element, and output rows are computed in parallel chunks.
+        let p = rhs.rows;
+        cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.cols * p), |i0, chunk| {
+            for (li, out_row) in chunk.chunks_mut(p).enumerate() {
+                let a_row = self.row(i0 + li);
+                let mut j = 0;
+                while j + 4 <= p {
+                    let s = vecops::dot4(
+                        a_row,
+                        rhs.row(j),
+                        rhs.row(j + 1),
+                        rhs.row(j + 2),
+                        rhs.row(j + 3),
+                    );
+                    out_row[j..j + 4].copy_from_slice(&s);
+                    j += 4;
+                }
+                while j < p {
+                    out_row[j] = vecops::dot(a_row, rhs.row(j));
+                    j += 1;
+                }
+            }
+        });
+        Ok(out)
+    }
+
+    /// Symmetric product `self * selfᵀ` (a syrk-style Gram kernel).
+    ///
+    /// Computes only the lower triangle — entry `(i, j)` for `j ≤ i` is the
+    /// dot of rows `i` and `j` — and mirrors it, roughly halving the work of
+    /// `self.matmul_t(&self)` while guaranteeing exact symmetry with no
+    /// follow-up `symmetrized()` pass.
+    pub fn gram(&self) -> Matrix {
+        self.gram_with(None)
+    }
+
+    /// Weighted symmetric product `self * diag(w) * selfᵀ`.
+    ///
+    /// This is the diagonal `B Λ Bᵀ` block of the C-BMF observation
+    /// covariance computed without materializing `B Λ` or the upper triangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `w.len() != self.cols()`.
+    pub fn weighted_gram(&self, w: &[f64]) -> Result<Matrix, LinalgError> {
+        if w.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "weighted_gram",
+                lhs: self.shape(),
+                rhs: (w.len(), 1),
+            });
+        }
+        Ok(self.gram_with(Some(w)))
+    }
+
+    fn gram_with(&self, w: Option<&[f64]>) -> Matrix {
+        let n = self.rows;
+        // With weights, row i is pre-scaled once into `scaled_i` and dotted
+        // against the *unscaled* rows j ≤ i; dot(w ⊙ rᵢ, rⱼ) = rᵢᵀ diag(w) rⱼ.
+        let mut out = Matrix::zeros(n, n);
+        let scratch_proto = w.map(|_| vec![0.0; self.cols]);
+        // Lower-triangle rows grow linearly in cost, so halve the flops
+        // estimate when sizing chunks.
+        let grain = grain_rows(self.cols * n / 2);
+        cbmf_parallel::par_rows_mut(&mut out.data, n, grain, |i0, chunk| {
+            let mut scratch = scratch_proto.clone();
+            for (li, out_row) in chunk.chunks_mut(n).enumerate() {
+                let i = i0 + li;
+                let a_row = match (&mut scratch, w) {
+                    (Some(buf), Some(w)) => {
+                        for ((b, &r), &wi) in buf.iter_mut().zip(self.row(i)).zip(w) {
+                            *b = r * wi;
+                        }
+                        buf.as_slice()
+                    }
+                    _ => self.row(i),
+                };
+                let mut j = 0;
+                while j + 4 <= i + 1 {
+                    let s = vecops::dot4(
+                        a_row,
+                        self.row(j),
+                        self.row(j + 1),
+                        self.row(j + 2),
+                        self.row(j + 3),
+                    );
+                    out_row[j..j + 4].copy_from_slice(&s);
+                    j += 4;
+                }
+                while j <= i {
+                    out_row[j] = vecops::dot(a_row, self.row(j));
+                    j += 1;
+                }
+            }
+        });
+        for i in 0..n {
+            for j in i + 1..n {
+                out.data[i * n + j] = out.data[j * n + i];
             }
         }
-        Ok(out)
+        out
     }
 
     /// Matrix–vector product `self * v`.
@@ -660,6 +781,72 @@ mod tests {
         let u1 = a.matmul_t(&c).unwrap();
         let u2 = a.matmul(&c.transpose()).unwrap();
         assert!((&u1 - &u2).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn gram_matches_matmul_t_and_is_symmetric() {
+        // 37 rows: exercises the dot4 block, the scalar tail, and (with
+        // enough threads) the parallel chunking.
+        let a = Matrix::from_fn(37, 19, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let g = a.gram();
+        let reference = a.matmul_t(&a).unwrap();
+        assert!((&g - &reference).max_abs() < 1e-12);
+        for i in 0..g.rows() {
+            for j in 0..g.rows() {
+                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_gram_matches_explicit_scaling() {
+        let a = Matrix::from_fn(23, 9, |i, j| ((i * 5 + j) % 7) as f64 * 0.5 - 1.0);
+        let w: Vec<f64> = (0..9).map(|j| 0.1 + j as f64 * 0.3).collect();
+        let g = a.weighted_gram(&w).unwrap();
+        let mut scaled = a.clone();
+        for i in 0..scaled.rows() {
+            for j in 0..scaled.cols() {
+                scaled[(i, j)] *= w[j];
+            }
+        }
+        let reference = scaled.matmul_t(&a).unwrap();
+        assert!((&g - &reference).max_abs() < 1e-12);
+        assert!(a.weighted_gram(&w[..3]).is_err());
+    }
+
+    #[test]
+    fn products_are_identical_across_thread_counts() {
+        // Large enough to cross the parallel gate; the row-chunked kernels
+        // must reproduce the single-thread result bit for bit.
+        let a = Matrix::from_fn(70, 90, |i, j| ((i * 13 + j * 29) % 17) as f64 / 17.0 - 0.4);
+        let b = Matrix::from_fn(90, 70, |i, j| ((i * 11 + j * 5) % 13) as f64 / 13.0);
+        let serial = cbmf_parallel::with_threads(1, || {
+            (
+                a.matmul(&b).unwrap(),
+                a.t_matmul(&a.matmul(&b).unwrap().transpose()).unwrap(),
+                a.matmul_t(&b.transpose()).unwrap(),
+                a.gram(),
+            )
+        });
+        let parallel = cbmf_parallel::with_threads(8, || {
+            (
+                a.matmul(&b).unwrap(),
+                a.t_matmul(&a.matmul(&b).unwrap().transpose()).unwrap(),
+                a.matmul_t(&b.transpose()).unwrap(),
+                a.gram(),
+            )
+        });
+        for (s, p) in [
+            (&serial.0, &parallel.0),
+            (&serial.1, &parallel.1),
+            (&serial.2, &parallel.2),
+            (&serial.3, &parallel.3),
+        ] {
+            assert_eq!(s.shape(), p.shape());
+            for (x, y) in s.data.iter().zip(&p.data) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

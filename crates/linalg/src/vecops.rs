@@ -29,6 +29,33 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     (s0 + s1) + (s2 + s3) + tail
 }
 
+/// Dot products of `a` against four equal-length slices in one pass.
+///
+/// Sharing the single traversal of `a` across four accumulator streams keeps
+/// `a` in registers/L1 and gives the CPU four independent FMA chains — the
+/// cache-friendly inner kernel of [`crate::Matrix::matmul_t`] and the `gram`
+/// products.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `a`'s.
+pub fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    let n = a.len();
+    assert!(
+        b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+        "dot4 length mismatch"
+    );
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..n {
+        let ai = a[i];
+        s0 += ai * b0[i];
+        s1 += ai * b1[i];
+        s2 += ai * b2[i];
+        s3 += ai * b3[i];
+    }
+    [s0, s1, s2, s3]
+}
+
 /// `y += alpha * x` in place.
 ///
 /// # Panics
@@ -102,6 +129,20 @@ mod tests {
     #[should_panic(expected = "dot length mismatch")]
     fn dot_panics_on_mismatch() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot4_matches_four_dots() {
+        for n in [0usize, 1, 5, 8, 13] {
+            let a: Vec<f64> = (0..n).map(|i| 0.5 * i as f64 - 1.0).collect();
+            let bs: Vec<Vec<f64>> = (0..4)
+                .map(|s| (0..n).map(|i| ((i + s) % 5) as f64 - 2.0).collect())
+                .collect();
+            let got = dot4(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (s, b) in bs.iter().enumerate() {
+                assert!((got[s] - dot(&a, b)).abs() < 1e-12, "n = {n}, s = {s}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Deterministic scoped-thread parallelism for the C-BMF workspace.
+//!
+//! The registry this environment builds against has no `rayon`, so this crate
+//! supplies the small parallel vocabulary the fitting stack needs, built on
+//! `std::thread::scope`:
+//!
+//! - [`max_threads`] — the pool width, from `RAYON_NUM_THREADS` (the env var
+//!   rayon users already know) or the machine's available parallelism;
+//! - [`with_threads`] — a scoped in-process override so benches and the
+//!   determinism test can compare thread counts without re-exec'ing;
+//! - [`par_map_indexed`] / [`par_for_each_chunk`] — statically partitioned
+//!   maps whose outputs are concatenated in index order.
+//!
+//! # Determinism policy
+//!
+//! Work is split into *contiguous index chunks*, one per worker, and results
+//! are stitched back in index order. Each index is computed independently, so
+//! a parallel map is **bitwise identical** to its sequential counterpart at
+//! any thread count. Only kernels that change the *order of floating-point
+//! reduction* (none in this crate) can deviate; callers that reduce must
+//! either reduce sequentially over the map output (exact) or document their
+//! tolerance.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+use std::thread;
+
+thread_local! {
+    /// In-process override installed by [`with_threads`]; 0 = no override.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Process-wide default width, resolved once. `available_parallelism()` reads
+/// cgroup files on Linux (tens of µs per call), and [`max_threads`] sits on
+/// the hot path of every kernel — re-resolving per call costs more than many
+/// of the small products it gates.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Returns the number of worker threads parallel helpers may use.
+///
+/// Resolution order: [`with_threads`] override, then `RAYON_NUM_THREADS`
+/// (values `< 1` are treated as unset), then
+/// `std::thread::available_parallelism()`, then 1. The environment variable
+/// and machine width are read once per process (as rayon does); only the
+/// scoped override is consulted per call.
+pub fn max_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|c| c.get());
+    if over > 0 {
+        return over;
+    }
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` with [`max_threads`] forced to `n` on the current thread.
+///
+/// Parallel helpers called transitively from `f` observe the override; other
+/// threads are unaffected. Benches use this to time serial vs parallel
+/// kernels in one process, and the determinism test uses it to prove results
+/// match across thread counts.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    assert!(n >= 1, "with_threads requires n >= 1");
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n));
+    // Restore on unwind too, so a panicking closure cannot leak the override
+    // into later tests on the same thread.
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(prev);
+    f()
+}
+
+/// Splits `n` items over `workers` as contiguous `[start, end)` chunks, the
+/// first `n % workers` chunks one longer. Returns an empty vec when `n == 0`.
+pub fn chunk_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let base = n / workers;
+    let extra = n % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let len = base + usize::from(w < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+/// Maps `f` over `0..n`, in parallel when `n` crosses `grain` and more than
+/// one thread is available; output order is always `f(0), f(1), …, f(n-1)`.
+///
+/// `grain` is the minimum number of indices per worker worth a thread spawn;
+/// below `2 * grain` the map runs inline on the caller's thread.
+pub fn par_map_indexed<T, F>(n: usize, grain: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads();
+    if threads <= 1 || n < 2 * grain.max(1) {
+        return (0..n).map(f).collect();
+    }
+    let workers = threads.min(n / grain.max(1)).max(1);
+    let ranges = chunk_ranges(n, workers);
+    let mut pieces: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
+    thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<T>>()))
+            .collect();
+        for h in handles {
+            pieces.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for piece in pieces {
+        out.extend(piece);
+    }
+    out
+}
+
+/// Runs `f(start, end)` over disjoint contiguous chunks of `0..n`, in
+/// parallel when worthwhile. `f` must only touch state owned by its chunk
+/// (callers typically hand out disjoint `&mut` slices via raw parts or
+/// `chunks_mut` outside this helper).
+pub fn par_for_each_chunk<F>(n: usize, grain: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = max_threads();
+    if threads <= 1 || n < 2 * grain.max(1) {
+        if n > 0 {
+            f(0, n);
+        }
+        return;
+    }
+    let workers = threads.min(n / grain.max(1)).max(1);
+    let ranges = chunk_ranges(n, workers);
+    thread::scope(|scope| {
+        for &(start, end) in &ranges {
+            let f = &f;
+            scope.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Maps `f` over disjoint mutable row-chunks of `data`, which holds `n`
+/// logical rows of `stride` elements each. Chunk boundaries fall on whole
+/// rows; `f(row_start, rows)` receives the slice for rows
+/// `[row_start, row_start + rows.len() / stride)`.
+pub fn par_rows_mut<F>(data: &mut [f64], stride: usize, grain_rows: usize, f: F)
+where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(stride > 0, "stride must be positive");
+    assert_eq!(
+        data.len() % stride,
+        0,
+        "data length not a multiple of stride"
+    );
+    let n = data.len() / stride;
+    let threads = max_threads();
+    if threads <= 1 || n < 2 * grain_rows.max(1) {
+        if n > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let workers = threads.min(n / grain_rows.max(1)).max(1);
+    let ranges = chunk_ranges(n, workers);
+    thread::scope(|scope| {
+        let mut rest = data;
+        let mut consumed = 0;
+        for &(start, end) in &ranges {
+            let (head, tail) = rest.split_at_mut((end - start) * stride);
+            rest = tail;
+            debug_assert_eq!(consumed, start);
+            consumed = end;
+            let f = &f;
+            scope.spawn(move || f(start, head));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 16, 33] {
+            for w in [1usize, 2, 3, 8, 40] {
+                let ranges = chunk_ranges(n, w);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.first().unwrap().0, 0);
+                assert_eq!(ranges.last().unwrap().1, n);
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0);
+                    assert!(pair[0].1 > pair[0].0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_at_any_thread_count() {
+        let serial: Vec<u64> = (0..1000)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B9))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let got = with_threads(threads, || {
+                par_map_indexed(1000, 1, |i| (i as u64).wrapping_mul(0x9E3779B9))
+            });
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_small_input_runs_inline() {
+        let got = with_threads(8, || par_map_indexed(3, 64, |i| i * i));
+        assert_eq!(got, vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit_and_panic() {
+        let outer = max_threads();
+        with_threads(3, || assert_eq!(max_threads(), 3));
+        assert_eq!(max_threads(), outer);
+        let result = std::panic::catch_unwind(|| with_threads(2, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(max_threads(), outer);
+    }
+
+    #[test]
+    fn par_rows_mut_writes_every_row_once() {
+        let stride = 4;
+        let mut data = vec![0.0; 32 * stride];
+        with_threads(4, || {
+            par_rows_mut(&mut data, stride, 1, |row_start, rows| {
+                for (r, row) in rows.chunks_mut(stride).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (row_start + r) as f64;
+                    }
+                }
+            });
+        });
+        for (r, row) in data.chunks(stride).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f64), "row {r}");
+        }
+    }
+
+    #[test]
+    fn par_for_each_chunk_covers_all_indices() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 100]);
+        with_threads(5, || {
+            par_for_each_chunk(100, 1, |start, end| {
+                let mut h = hits.lock().unwrap();
+                for i in start..end {
+                    h[i] += 1;
+                }
+            });
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&c| c == 1));
+    }
+}

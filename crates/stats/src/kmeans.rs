@@ -110,9 +110,9 @@ impl KMeans {
         for _ in 0..self.max_iters {
             // Assignment step.
             let mut new_inertia = 0.0;
-            for i in 0..n {
+            for (i, label) in labels.iter_mut().enumerate() {
                 let (lbl, dist) = nearest(points.row(i), &centroids);
-                labels[i] = lbl;
+                *label = lbl;
                 new_inertia += dist;
             }
             // Update step.
@@ -126,8 +126,8 @@ impl KMeans {
                     *s += x;
                 }
             }
-            for c in 0..self.k {
-                if counts[c] == 0 {
+            for (c, &count) in counts.iter().enumerate() {
+                if count == 0 {
                     // Re-seed an empty cluster at the point farthest from its
                     // centroid to keep k clusters alive.
                     let far = (0..n)
@@ -139,7 +139,7 @@ impl KMeans {
                         .expect("n >= k >= 1");
                     centroids.row_mut(c).copy_from_slice(points.row(far));
                 } else {
-                    let inv = 1.0 / counts[c] as f64;
+                    let inv = 1.0 / count as f64;
                     let src = sums.row(c).to_vec();
                     for (cd, s) in centroids.row_mut(c).iter_mut().zip(src) {
                         *cd = s * inv;

@@ -46,12 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..dies {
         let x = lna.variation_model().sample(&mut rng);
         let mut any = false;
-        for state in 0..k {
+        for (state, hits) in pass_fixed.iter_mut().enumerate() {
             let nf = models[0].predict(state, &x)?;
             let vg = models[1].predict(state, &x)?;
             let iip3 = models[2].predict(state, &x)?;
             if meets_spec(nf, vg, iip3) {
-                pass_fixed[state] += 1;
+                *hits += 1;
                 any = true;
             }
         }

@@ -1,0 +1,147 @@
+//! Thread-count invariance of the fitting stack.
+//!
+//! Every parallel kernel in the workspace partitions work into contiguous
+//! index chunks and stitches (or reduces) the results in index order, so a
+//! fit is not merely "close" across thread counts — it is **bitwise
+//! identical**. These tests pin that contract end to end: Monte Carlo data
+//! collection, the greedy initializer, the EM refinement, and the final
+//! model coefficients.
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Omp, OmpConfig, Somp, SompConfig, TunableProblem};
+use cbmf_linalg::Matrix;
+use cbmf_parallel::with_threads;
+use cbmf_stats::{normal, seeded_rng};
+
+/// K correlated states with a shared sparse template — the structure the
+/// whole stack is built for.
+fn correlated_problem(k: usize, n: usize, d: usize, noise: f64, seed: u64) -> TunableProblem {
+    let mut rng = seeded_rng(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for state in 0..k {
+        let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+        let w = 1.0 + 0.05 * state as f64;
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                w * (2.0 * x[(i, 2)] - 1.3 * x[(i, 5)] + 0.7 * x[(i, 8)])
+                    + noise * normal::sample(&mut rng)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+}
+
+/// Asserts two coefficient matrices agree to the bit.
+fn assert_bitwise_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x:e} vs {y:e})"
+        );
+    }
+}
+
+/// The full Algorithm-1 pipeline (initializer grid sweep + EM refinement +
+/// posterior solves) must produce bit-identical coefficients whether the
+/// parallel kernels run on one thread or many. Exact equality (not a
+/// tolerance) is intentional: all parallel reductions in the workspace
+/// either concatenate per-index results or sum chunk outputs sequentially
+/// in index order, so no floating-point reassociation ever occurs.
+#[test]
+fn full_fit_is_bitwise_identical_across_thread_counts() {
+    let problem = correlated_problem(4, 18, 10, 0.05, 7);
+    let fit_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(3);
+            CbmfFit::new(CbmfConfig::small_problem())
+                .fit(&problem, &mut rng)
+                .expect("fit")
+        })
+    };
+    let serial = fit_at(1);
+    for threads in [2, 8] {
+        let parallel = fit_at(threads);
+        assert_eq!(
+            serial.model().support(),
+            parallel.model().support(),
+            "support at {threads} threads"
+        );
+        assert_bitwise_eq(
+            serial.model().coefficients(),
+            parallel.model().coefficients(),
+            &format!("coefficients at {threads} threads"),
+        );
+    }
+}
+
+/// The greedy baselines cross-validate θ with parallel (θ, fold) fits; the
+/// selected support and coefficients must not depend on the thread count.
+#[test]
+fn baseline_fits_are_bitwise_identical_across_thread_counts() {
+    let problem = correlated_problem(3, 24, 14, 0.1, 11);
+    let somp_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(5);
+            Somp::new(SompConfig {
+                theta_candidates: vec![2, 3, 6],
+                cv_folds: 3,
+            })
+            .fit(&problem, &mut rng)
+            .expect("somp fit")
+        })
+    };
+    let omp_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(5);
+            Omp::new(OmpConfig {
+                theta_candidates: vec![2, 3, 6],
+                cv_folds: 3,
+            })
+            .fit(&problem, &mut rng)
+            .expect("omp fit")
+        })
+    };
+    let (somp1, omp1) = (somp_at(1), omp_at(1));
+    for threads in [2, 8] {
+        let (somp_n, omp_n) = (somp_at(threads), omp_at(threads));
+        assert_eq!(somp1.support(), somp_n.support());
+        assert_bitwise_eq(
+            somp1.coefficients(),
+            somp_n.coefficients(),
+            &format!("S-OMP at {threads} threads"),
+        );
+        assert_eq!(omp1.support(), omp_n.support());
+        assert_bitwise_eq(
+            omp1.coefficients(),
+            omp_n.coefficients(),
+            &format!("OMP at {threads} threads"),
+        );
+    }
+}
+
+/// Monte Carlo collection splits one base seed into per-(state, sample)
+/// generators, so the collected dataset is byte-identical at any thread
+/// count — and downstream fits consume identical bytes.
+#[test]
+fn monte_carlo_collection_is_byte_identical_across_thread_counts() {
+    use cbmf_circuits::{Lna, MonteCarlo};
+    let collect_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(21);
+            MonteCarlo::new(6)
+                .collect(&Lna::new(), &mut rng)
+                .expect("collect")
+        })
+    };
+    let one = collect_at(1);
+    let many = collect_at(8);
+    assert_eq!(one.num_states(), many.num_states());
+    for (k, (a, b)) in one.states.iter().zip(&many.states).enumerate() {
+        assert_bitwise_eq(&a.x, &b.x, &format!("x of state {k}"));
+        assert_bitwise_eq(&a.y, &b.y, &format!("y of state {k}"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the bench targets use — [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! measured with plain wall-clock timing and reported as the median
+//! nanoseconds per iteration. No statistical analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time per sample; iteration counts are calibrated so a
+/// sample is long enough for `Instant` resolution not to dominate.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Benchmark driver. Each [`Criterion::bench_function`] call runs
+/// `sample_size` timed samples and prints the median ns/iteration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut b);
+        let mut ns = b.samples;
+        if ns.is_empty() {
+            println!("{id:<48} (no samples)");
+            return self;
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = ns[ns.len() / 2];
+        println!(
+            "{id:<48} median {median:>12.1} ns/iter ({} samples)",
+            ns.len()
+        );
+        self
+    }
+
+    /// Report point used by `criterion_main!`; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// How `iter_batched` amortises setup cost; only a sizing hint upstream, and
+/// ignored here beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batches freely.
+    SmallInput,
+    /// Large inputs; smaller batches.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Timing context passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Per-sample cost in ns/iteration.
+    samples: Vec<f64>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine` alone.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Probe once to calibrate how many iterations make a sample exceed
+        // MIN_SAMPLE.
+        let probe = Instant::now();
+        black_box(routine());
+        let iters = calibrate(probe.elapsed());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding setup cost.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let probe_input = setup();
+        let probe = Instant::now();
+        black_box(routine(probe_input));
+        let iters = calibrate(probe.elapsed());
+        for _ in 0..self.target_samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Iterations per sample so one sample spans at least [`MIN_SAMPLE`], capped
+/// to keep pathological fast-routine benches bounded.
+fn calibrate(one: Duration) -> u64 {
+    let one_ns = one.as_nanos().max(1) as u64;
+    (MIN_SAMPLE.as_nanos() as u64 / one_ns).clamp(1, 1_000_000)
+}
+
+/// True when cargo invoked this bench binary in test mode (`cargo test`
+/// passes `--test`); benches then skip measurement and just prove they run.
+pub fn invoked_as_test() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Declares a benchmark group, mirroring both upstream forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 16],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn calibrate_bounds() {
+        assert_eq!(calibrate(Duration::from_secs(1)), 1);
+        assert!(calibrate(Duration::from_nanos(1)) <= 1_000_000);
+    }
+}

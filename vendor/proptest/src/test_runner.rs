@@ -1,0 +1,140 @@
+//! Deterministic case runner and generation source.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite fast while still
+        // sweeping each strategy broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// SplitMix64-backed generation source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Creates a source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// Next 64 uniformly random bits (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. Modulo bias is acceptable here: strategy
+    /// spans in this workspace are ≤ ~10³, vanishing against 2⁶⁴.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// FNV-1a hash of the test name, used as the per-test seed root.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` deterministic cases of `f` over values drawn from
+/// `strat`, panicking with the case index and seed on the first failure.
+pub fn run_cases<S, F>(name: &str, config: &ProptestConfig, strat: &S, mut f: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), String>,
+{
+    let root = fnv1a(name);
+    for case in 0..config.cases {
+        let seed = root ^ (case as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut g = Gen::new(seed);
+        let value = strat.generate(&mut g);
+        if let Err(msg) = f(value) {
+            panic!(
+                "[{name}] case {case}/{cases} (seed {seed:#x}) failed: {msg}",
+                cases = config.cases
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cases_passes_trivially() {
+        run_cases(
+            "trivial",
+            &ProptestConfig::with_cases(8),
+            &(0.0f64..1.0),
+            |x| {
+                if (0.0..1.0).contains(&x) {
+                    Ok(())
+                } else {
+                    Err(format!("out of range: {x}"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forced failure")]
+    fn run_cases_panics_on_error() {
+        run_cases(
+            "failing",
+            &ProptestConfig::with_cases(2),
+            &(0u64..10),
+            |_| Err("forced failure".to_string()),
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for sink in [&mut a, &mut b] {
+            run_cases(
+                "determinism",
+                &ProptestConfig::with_cases(16),
+                &(0u64..1000),
+                |x| {
+                    sink.push(x);
+                    Ok(())
+                },
+            );
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` as forward-looking
+//! annotations; nothing serializes at runtime. These marker traits plus the
+//! re-exported no-op derives keep every annotated type compiling without
+//! pulling syn/quote from a registry this environment cannot reach.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
