@@ -2,111 +2,50 @@
 //! `BENCH_kernels.json` at the repository root.
 //!
 //! Criterion is a dev-dependency (bench targets only), so this binary times
-//! by hand: each kernel is warmed up, then run for a fixed number of
-//! repetitions under `with_threads(1)` and at the machine's full thread
-//! width, and the **median** nanoseconds per repetition is reported. The
-//! parallel kernels are bitwise identical to their serial runs (see the
-//! workspace determinism tests), so the ratio is a pure scheduling speedup.
+//! by hand via the shared suite in [`cbmf_bench::kernels`]: each kernel is
+//! warmed up, then run for a fixed number of repetitions under
+//! `with_threads(1)` and at the machine's full thread width, and the
+//! **median** nanoseconds per repetition is reported. The parallel kernels
+//! are bitwise identical to their serial runs (see the workspace
+//! determinism tests), so the ratio is a pure scheduling speedup.
+//!
+//! The output document is schema-versioned and byte-stable (sorted keys);
+//! the `ci-gate` binary compares fresh re-runs against it. With tracing
+//! enabled (`CBMF_TRACE=1`), a trace report with the suite's kernel
+//! counters is also written to `results/trace_bench_kernels.json`.
 //!
 //! Run with `cargo run --release -p cbmf-bench --bin bench_kernels`.
 
-use std::fmt::Write as _;
-use std::time::Instant;
+use std::path::Path;
 
-use cbmf_linalg::{Cholesky, Matrix};
-
-const REPS: usize = 9;
-
-fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
-    f(); // warm-up: page in buffers, warm caches
-    let mut times: Vec<u128> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_nanos()
-        })
-        .collect();
-    times.sort_unstable();
-    times[times.len() / 2]
-}
-
-struct KernelResult {
-    name: &'static str,
-    serial_ns: u128,
-    parallel_ns: u128,
-}
-
-fn time_kernel(name: &'static str, threads: usize, f: impl Fn()) -> KernelResult {
-    let serial_ns = median_ns(REPS, || cbmf_parallel::with_threads(1, &f));
-    let parallel_ns = median_ns(REPS, || cbmf_parallel::with_threads(threads, &f));
-    let speedup = serial_ns as f64 / parallel_ns.max(1) as f64;
-    println!("{name:32} serial {serial_ns:>12} ns   parallel {parallel_ns:>12} ns   speedup {speedup:.2}x");
-    KernelResult {
-        name,
-        serial_ns,
-        parallel_ns,
-    }
-}
+use cbmf_bench::kernels::{calibration_ns, run_suite, BASELINE_REPS};
+use cbmf_trace::{Json, ReportMeta};
 
 fn main() {
     let threads = cbmf_parallel::max_threads();
     println!("timing kernels at paper scale (M=1300, K=8, n=100) with {threads} threads\n");
 
-    let mut results = Vec::new();
-
-    // Cached per-state Gram BᵀB with B 100×1300 (M ≈ 1300 dictionary).
-    let bt = Matrix::from_fn(1300, 100, |i, j| {
-        ((i * 7 + j * 13) % 29) as f64 / 29.0 - 0.5
-    });
-    results.push(time_kernel("gram_1300x100", threads, || {
-        std::hint::black_box(bt.gram());
-    }));
-
-    // Observation-space products at NK = K·n = 800.
-    let a = Matrix::from_fn(800, 800, |i, j| ((i + 2 * j) % 17) as f64);
-    let b = Matrix::from_fn(800, 800, |i, j| ((3 * i + j) % 13) as f64);
-    results.push(time_kernel("matmul_800", threads, || {
-        std::hint::black_box(a.matmul(&b).expect("shapes"));
-    }));
-    results.push(time_kernel("matmul_t_800", threads, || {
-        std::hint::black_box(a.matmul_t(&b).expect("shapes"));
-    }));
-    results.push(time_kernel("t_matmul_800", threads, || {
-        std::hint::black_box(a.t_matmul(&b).expect("shapes"));
-    }));
-
-    // Multi-RHS solve against the factored NK-dimensional covariance.
-    let mut spd = a.matmul_t(&a).expect("square");
-    spd.add_diag_mut(800.0 * 0.1);
-    let chol = Cholesky::new(&spd).expect("spd");
-    let rhs = Matrix::from_fn(800, 128, |i, j| ((i * 5 + j * 11) % 19) as f64 - 9.0);
-    results.push(time_kernel("cholesky_solve_mat_800x128", threads, || {
-        std::hint::black_box(chol.solve_mat(&rhs).expect("solve"));
-    }));
-
-    // Hand-rolled JSON: the vendored serde stand-in has no serialization.
-    let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"threads\": {threads},");
-    let _ = writeln!(json, "  \"reps\": {REPS},");
-    if threads <= 1 {
-        let _ = writeln!(
-            json,
-            "  \"note\": \"single-core host: serial and parallel paths are the same code path, so speedups are ~1.0 by construction; re-run on a multi-core machine to measure scaling\","
-        );
-    }
-    let _ = writeln!(json, "  \"kernels\": {{");
-    for (i, r) in results.iter().enumerate() {
+    let calibration = calibration_ns();
+    let results = run_suite(BASELINE_REPS, threads, |r| {
         let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "    \"{}\": {{ \"serial_median_ns\": {}, \"parallel_median_ns\": {}, \"speedup\": {:.3} }}{}",
-            r.name, r.serial_ns, r.parallel_ns, speedup, comma
+        println!(
+            "{:32} serial {:>12} ns   parallel {:>12} ns   speedup {speedup:.2}x",
+            r.name, r.serial_ns, r.parallel_ns
         );
-    }
-    json.push_str("  }\n}\n");
+    });
 
+    let doc =
+        cbmf_bench::kernels::render_bench_report(&results, BASELINE_REPS, threads, calibration);
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
-    std::fs::write(out, &json).expect("write BENCH_kernels.json");
+    std::fs::write(out, format!("{}\n", doc.to_pretty())).expect("write BENCH_kernels.json");
     println!("\nwrote {out}");
+
+    if cbmf_trace::enabled() {
+        let meta = ReportMeta::new("bench_kernels")
+            .with("reps", Json::Num(BASELINE_REPS as f64))
+            .with("calibration_ns", Json::Num(calibration as f64));
+        let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+        let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
+        println!("wrote {}", path.display());
+    }
 }

@@ -1,0 +1,92 @@
+//! Instrumented single-fit run report: collects a reduced-scale tunable-LNA
+//! dataset, fits one metric with C-BMF under tracing, and writes the
+//! versioned trace report to `results/trace_<run>.json` plus one compact
+//! NDJSON line to `results/trace_runs.ndjson`.
+//!
+//! This is the quickest way to see where a fit spends its time and whether
+//! the incremental paths are engaged (Gram-cache hits, `append_block` steps
+//! vs refactorizations, EM iteration counts):
+//!
+//! ```text
+//! CBMF_TRACE=1 cargo run --release -p cbmf-bench --bin cbmf_report
+//! ```
+//!
+//! Tracing defaults off; without `CBMF_TRACE=1` (or the `trace` feature
+//! disabled) the report still has valid structure but empty sections, and
+//! the binary says so. Arguments: `--metric <idx>` picks the LNA metric
+//! (default 1 = voltage gain), `--samples <n>` the training samples per
+//! state (default 10).
+
+use std::path::Path;
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, TunableProblem};
+use cbmf_circuits::{Lna, MonteCarlo, Testbench, TunableDataset};
+use cbmf_stats::seeded_rng;
+use cbmf_trace::{Json, ReportMeta};
+
+fn problem(ds: &TunableDataset, metric: usize) -> TunableProblem {
+    let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+    let ys: Vec<_> = ds.states.iter().map(|s| s.metric(metric)).collect();
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid dataset")
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metric = arg_value(&args, "--metric").unwrap_or(1);
+    let samples = arg_value(&args, "--samples").unwrap_or(10);
+
+    if !cbmf_trace::enabled() {
+        println!("note: tracing is disabled; run with CBMF_TRACE=1 for populated sections");
+    }
+
+    let lna = Lna::new();
+    let metric_name = lna.metric_names()[metric];
+    println!("fitting LNA {metric_name} at {samples} samples/state");
+
+    let mut rng = seeded_rng(930);
+    let test_ds = MonteCarlo::new(20).collect(&lna, &mut rng).expect("mc");
+    let train_ds = MonteCarlo::new(samples)
+        .collect(&lna, &mut rng)
+        .expect("mc");
+    let test = problem(&test_ds, metric);
+    let train = problem(&train_ds, metric);
+
+    let mut cfg = CbmfConfig::small_problem();
+    cfg.grid.theta = vec![8, 16];
+    cfg.em.max_iters = 6;
+    let out = CbmfFit::new(cfg).fit(&train, &mut rng).expect("cbmf fit");
+    let error_pct = 100.0 * out.model().modeling_error(&test).expect("same shape");
+    println!(
+        "error {error_pct:.3}%  support {}  fit {:.2}s",
+        out.model().support().len(),
+        out.fitting_seconds()
+    );
+
+    let run = format!("lna_{}", metric_name.to_lowercase().replace(' ', "_"));
+    let meta = ReportMeta::new(run)
+        .with("circuit", Json::Str("lna".to_string()))
+        .with("metric", Json::Str(metric_name.to_string()))
+        .with("samples_per_state", Json::Num(samples as f64))
+        .with("error_pct", Json::Num(error_pct))
+        .with(
+            "support_size",
+            Json::Num(out.model().support().len() as f64),
+        )
+        .with("em_iterations", Json::Num(out.em().iterations as f64))
+        .with("fit_seconds", Json::Num(out.fitting_seconds()));
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
+    println!("wrote {}", path.display());
+
+    let doc = cbmf_trace::report::render_report(&meta, &cbmf_trace::snapshot());
+    let ndjson = dir.join("trace_runs.ndjson");
+    cbmf_trace::report::append_ndjson(&ndjson, &doc).expect("append ndjson");
+    println!("appended {}", ndjson.display());
+}

@@ -1,0 +1,196 @@
+//! The CI regression gate: re-times the kernel suite, re-runs the accuracy
+//! smoke fits, and compares both against the committed baselines
+//! (`BENCH_kernels.json`, `BASELINE_accuracy.json`). Exits nonzero on any
+//! regression beyond the tolerance.
+//!
+//! ```text
+//! cargo run --release -p cbmf-bench --bin ci_gate
+//! ```
+//!
+//! Thresholds are explicit and relative (default 20%, `--tol 0.3` to
+//! widen); kernel thresholds are additionally scaled by the ratio of the
+//! two hosts' `calibration_ns` so a slower CI runner does not trip the
+//! perf gate (see `cbmf_bench::gate`). Fresh candidate documents are
+//! written under `target/ci-gate/` for artifact upload.
+//!
+//! Flags:
+//! * `--tol <f64>` — relative tolerance for both gates (default 0.20).
+//! * `--skip-bench` / `--skip-accuracy` — run only one gate.
+//! * `--candidate-bench <path>` / `--candidate-accuracy <path>` — gate a
+//!   pre-recorded candidate document instead of running fresh (used by the
+//!   gate's own CI self-test to prove doctored regressions are caught).
+//! * `--write-accuracy-baseline` — regenerate `BASELINE_accuracy.json`
+//!   from a fresh smoke run and exit (no gating).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cbmf_bench::gate::{gate_accuracy, gate_kernels, GateOutcome, DEFAULT_TOL};
+use cbmf_bench::kernels::{calibration_ns, merge_min, render_bench_report, run_suite, QUICK_REPS};
+use cbmf_bench::smoke::{render_accuracy_report, run_accuracy_smoke};
+use cbmf_trace::Json;
+
+const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+
+fn load_json(path: &Path) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn arg_path(args: &[String], flag: &str) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+fn save_candidate(dir: &Path, name: &str, doc: &Json) {
+    std::fs::create_dir_all(dir).expect("create candidate dir");
+    let path = dir.join(name);
+    std::fs::write(&path, format!("{}\n", doc.to_pretty())).expect("write candidate");
+    println!("candidate written to {}", path.display());
+}
+
+fn report_outcome(label: &str, outcome: &GateOutcome) -> bool {
+    if outcome.passed() {
+        println!("{label}: PASS ({} comparisons)", outcome.checked);
+        true
+    } else {
+        println!("{label}: FAIL ({} comparisons)", outcome.checked);
+        for f in &outcome.failures {
+            println!("  {f}");
+        }
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tol = args
+        .iter()
+        .position(|a| a == "--tol")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_TOL);
+    let root = Path::new(REPO_ROOT);
+    let out_dir = root.join("target/ci-gate");
+
+    if args.iter().any(|a| a == "--write-accuracy-baseline") {
+        let doc = render_accuracy_report(&run_accuracy_smoke());
+        let path = root.join("BASELINE_accuracy.json");
+        std::fs::write(&path, format!("{}\n", doc.to_pretty())).expect("write baseline");
+        println!("wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut all_passed = true;
+
+    if !args.iter().any(|a| a == "--skip-bench") {
+        let baseline = match load_json(&root.join("BENCH_kernels.json")) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match arg_path(&args, "--candidate-bench") {
+            Some(p) => {
+                // Pre-recorded candidate: gate it once, no retries.
+                match load_json(&p).and_then(|cand| gate_kernels(&baseline, &cand, tol)) {
+                    Ok(outcome) => all_passed &= report_outcome("perf gate", &outcome),
+                    Err(e) => {
+                        eprintln!("perf gate: {e}");
+                        all_passed = false;
+                    }
+                }
+            }
+            None => {
+                // Fresh run, with retries on failure: re-running and merging
+                // element-wise minima filters scheduling noise (which only
+                // ever adds time) while a genuine slowdown fails every
+                // attempt.
+                let threads = cbmf_parallel::max_threads();
+                let mut merged: Vec<cbmf_bench::kernels::KernelResult> = Vec::new();
+                let mut cal = u128::MAX;
+                let mut perf_ok = false;
+                const MAX_ATTEMPTS: usize = 3;
+                for attempt in 1..=MAX_ATTEMPTS {
+                    println!(
+                        "perf gate: quick suite ({QUICK_REPS} reps, {threads} threads, \
+                         attempt {attempt}/{MAX_ATTEMPTS})..."
+                    );
+                    cal = cal.min(calibration_ns());
+                    let results = run_suite(QUICK_REPS, threads, |r| {
+                        println!("  {:32} serial {:>12} ns", r.name, r.serial_ns);
+                    });
+                    if merged.is_empty() {
+                        merged = results;
+                    } else {
+                        merge_min(&mut merged, &results);
+                    }
+                    let doc = render_bench_report(&merged, QUICK_REPS, threads, cal);
+                    save_candidate(&out_dir, "candidate_bench.json", &doc);
+                    match gate_kernels(&baseline, &doc, tol) {
+                        Ok(outcome) => {
+                            let last = attempt == MAX_ATTEMPTS;
+                            if outcome.passed() || last {
+                                perf_ok = report_outcome("perf gate", &outcome);
+                                break;
+                            }
+                            println!(
+                                "perf gate: {} comparison(s) over threshold, retrying...",
+                                outcome.failures.len()
+                            );
+                        }
+                        Err(e) => {
+                            eprintln!("perf gate: {e}");
+                            break;
+                        }
+                    }
+                }
+                all_passed &= perf_ok;
+            }
+        }
+    }
+
+    if !args.iter().any(|a| a == "--skip-accuracy") {
+        let baseline = match load_json(&root.join("BASELINE_accuracy.json")) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("accuracy gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let candidate = match arg_path(&args, "--candidate-accuracy") {
+            Some(p) => match load_json(&p) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("accuracy gate: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => {
+                println!("accuracy gate: running smoke fits...");
+                let doc = render_accuracy_report(&run_accuracy_smoke());
+                save_candidate(&out_dir, "candidate_accuracy.json", &doc);
+                doc
+            }
+        };
+        match gate_accuracy(&baseline, &candidate, tol) {
+            Ok(outcome) => all_passed &= report_outcome("accuracy gate", &outcome),
+            Err(e) => {
+                eprintln!("accuracy gate: {e}");
+                all_passed = false;
+            }
+        }
+    }
+
+    if all_passed {
+        println!("ci-gate: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("ci-gate: regression detected");
+        ExitCode::FAILURE
+    }
+}

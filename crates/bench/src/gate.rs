@@ -1,0 +1,256 @@
+//! The CI regression gates: perf (kernel medians vs `BENCH_kernels.json`)
+//! and accuracy (smoke-fit errors vs `BASELINE_accuracy.json`).
+//!
+//! The gate logic lives here as plain functions over parsed [`Json`]
+//! documents so it is unit-testable without running any benchmark; the
+//! `ci-gate` binary is a thin wrapper that produces fresh candidate
+//! documents and feeds them through these checks.
+//!
+//! # Thresholds
+//!
+//! Both gates use an explicit *relative* tolerance, default
+//! [`DEFAULT_TOL`] = 0.20: a kernel fails when its candidate **minimum**
+//! time exceeds `baseline_minimum · host_scale · (1 + tol)` (scheduling
+//! noise only ever adds time, so minima are the noise-robust statistic —
+//! medians on a busy runner flap), and a smoke case fails when its
+//! candidate error exceeds `baseline_error · (1 + tol) + 0.01` (the small
+//! absolute floor keeps near-zero baselines from rejecting round-off).
+//! `host_scale` is the ratio of the two documents' `calibration_ns`
+//! fields — a fixed small workload timed on each host — which lets a CI
+//! runner of different single-core speed compare against a baseline
+//! recorded elsewhere.
+
+use cbmf_trace::Json;
+
+use crate::kernels::validate_bench_report;
+use crate::smoke::validate_accuracy_report;
+
+/// Default relative tolerance of both gates (20 %).
+pub const DEFAULT_TOL: f64 = 0.20;
+
+/// Absolute slack added to accuracy thresholds, in error-percent units.
+pub const ACCURACY_ABS_SLACK: f64 = 0.01;
+
+/// Outcome of one gate: every comparison that ran, with its failures.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Human-readable failure lines; empty means the gate passed.
+    pub failures: Vec<String>,
+    /// Number of individual comparisons performed.
+    pub checked: usize,
+}
+
+impl GateOutcome {
+    /// True when every comparison passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares a fresh kernel-suite run against the committed baseline.
+///
+/// Every kernel present in the *baseline* must exist in the candidate and
+/// beat the scaled threshold on both its serial and parallel minimum
+/// times. Kernels only present in the candidate are ignored (additions are
+/// not regressions).
+///
+/// # Errors
+///
+/// Returns a reason string when either document fails schema validation or
+/// lacks a usable `calibration_ns`.
+pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
+    validate_bench_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_bench_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let base_cal = baseline
+        .get("calibration_ns")
+        .and_then(Json::as_f64)
+        .expect("validated above");
+    let cand_cal = candidate
+        .get("calibration_ns")
+        .and_then(Json::as_f64)
+        .expect("validated above");
+    let host_scale = cand_cal / base_cal;
+
+    let base_kernels = baseline.get("kernels").and_then(Json::as_obj).unwrap();
+    let cand_kernels = candidate.get("kernels").and_then(Json::as_obj).unwrap();
+    let mut out = GateOutcome::default();
+    for (name, base) in base_kernels {
+        let Some(cand) = cand_kernels.get(name) else {
+            out.checked += 1;
+            out.failures
+                .push(format!("kernel '{name}': missing from candidate run"));
+            continue;
+        };
+        for field in ["serial_min_ns", "parallel_min_ns"] {
+            out.checked += 1;
+            let b = base.get(field).and_then(Json::as_f64).expect("validated");
+            let c = cand.get(field).and_then(Json::as_f64).expect("validated");
+            let allowed = b * host_scale * (1.0 + tol);
+            if c > allowed {
+                out.failures.push(format!(
+                    "kernel '{name}' {field}: {c:.0} ns > allowed {allowed:.0} ns \
+                     (baseline {b:.0} ns x host_scale {host_scale:.3} x {:.2})",
+                    1.0 + tol
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compares a fresh accuracy-smoke run against the committed baseline.
+///
+/// Every case in the baseline must exist in the candidate with an
+/// `error_pct` within the relative tolerance (plus [`ACCURACY_ABS_SLACK`])
+/// and an identical `support_size` — the fits are bitwise deterministic, so
+/// a support change is a real behavioral change that warrants regenerating
+/// the baseline deliberately.
+///
+/// # Errors
+///
+/// Returns a reason string when either document fails schema validation.
+pub fn gate_accuracy(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
+    validate_accuracy_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_accuracy_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let base_cases = baseline.get("cases").and_then(Json::as_obj).unwrap();
+    let cand_cases = candidate.get("cases").and_then(Json::as_obj).unwrap();
+    let mut out = GateOutcome::default();
+    for (name, base) in base_cases {
+        let Some(cand) = cand_cases.get(name) else {
+            out.checked += 1;
+            out.failures
+                .push(format!("case '{name}': missing from candidate run"));
+            continue;
+        };
+        out.checked += 1;
+        let b = base.get("error_pct").and_then(Json::as_f64).expect("valid");
+        let c = cand.get("error_pct").and_then(Json::as_f64).expect("valid");
+        let allowed = b * (1.0 + tol) + ACCURACY_ABS_SLACK;
+        if c > allowed {
+            out.failures.push(format!(
+                "case '{name}' error_pct: {c:.4} > allowed {allowed:.4} (baseline {b:.4})"
+            ));
+        }
+        out.checked += 1;
+        let bs = base
+            .get("support_size")
+            .and_then(Json::as_u64)
+            .expect("valid");
+        let cs = cand
+            .get("support_size")
+            .and_then(Json::as_u64)
+            .expect("valid");
+        if bs != cs {
+            out.failures.push(format!(
+                "case '{name}' support_size: {cs} != baseline {bs} \
+                 (fits are deterministic; regenerate BASELINE_accuracy.json if intended)"
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_doc(serial: f64, parallel: f64, cal: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-bench-kernels/2", "reps": 3, "calibration_ns": {cal},
+                "host": {{"threads": 1}},
+                "kernels": {{"matmul_800": {{"serial_median_ns": {serial},
+                                            "parallel_median_ns": {parallel},
+                                            "serial_min_ns": {serial},
+                                            "parallel_min_ns": {parallel}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn accuracy_doc(err: f64, support: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-accuracy-smoke/1",
+                "host": {{"threads": 1}},
+                "cases": {{"synthetic_linear": {{"error_pct": {err},
+                                                "support_size": {support}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn kernel_gate_passes_identical_runs() {
+        let base = bench_doc(1000.0, 900.0, 100.0);
+        let out = gate_kernels(&base, &base, DEFAULT_TOL).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 2);
+    }
+
+    #[test]
+    fn kernel_gate_fails_beyond_tolerance() {
+        let base = bench_doc(1000.0, 900.0, 100.0);
+        // 25% serial slowdown on an identical host: over the 20% gate.
+        let cand = bench_doc(1250.0, 900.0, 100.0);
+        let out = gate_kernels(&base, &cand, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("serial_min_ns"));
+        // ...but within tolerance passes.
+        let cand = bench_doc(1190.0, 1050.0, 100.0);
+        assert!(gate_kernels(&base, &cand, DEFAULT_TOL).unwrap().passed());
+    }
+
+    #[test]
+    fn kernel_gate_scales_thresholds_by_calibration() {
+        let base = bench_doc(1000.0, 900.0, 100.0);
+        // Candidate host is 2x slower: calibration 200, kernels 2x slower —
+        // no regression after scaling.
+        let cand = bench_doc(2000.0, 1800.0, 200.0);
+        assert!(gate_kernels(&base, &cand, DEFAULT_TOL).unwrap().passed());
+        // Same slow host but a genuine 2x algorithmic slowdown on top.
+        let cand = bench_doc(4000.0, 3600.0, 200.0);
+        let out = gate_kernels(&base, &cand, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 2);
+    }
+
+    #[test]
+    fn kernel_gate_flags_missing_kernels_and_bad_docs() {
+        let base = bench_doc(1000.0, 900.0, 100.0);
+        let mut cand = bench_doc(1000.0, 900.0, 100.0);
+        if let Json::Obj(map) = &mut cand {
+            let other = r#"{"other": {"serial_median_ns": 1, "parallel_median_ns": 1,
+                                      "serial_min_ns": 1, "parallel_min_ns": 1}}"#;
+            map.insert("kernels".to_string(), Json::parse(other).unwrap());
+        }
+        let out = gate_kernels(&base, &cand, DEFAULT_TOL).unwrap();
+        assert!(out.failures[0].contains("missing from candidate"));
+        assert!(gate_kernels(&Json::Null, &base, DEFAULT_TOL).is_err());
+        assert!(gate_kernels(&base, &Json::Null, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn accuracy_gate_passes_identical_and_improved_runs() {
+        let base = accuracy_doc(2.5, 8);
+        assert!(gate_accuracy(&base, &base, DEFAULT_TOL).unwrap().passed());
+        let better = accuracy_doc(1.9, 8);
+        assert!(gate_accuracy(&base, &better, DEFAULT_TOL).unwrap().passed());
+    }
+
+    #[test]
+    fn accuracy_gate_fails_on_degradation_or_support_change() {
+        let base = accuracy_doc(2.5, 8);
+        let worse = accuracy_doc(3.2, 8); // 28% worse: over the 20% gate
+        let out = gate_accuracy(&base, &worse, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("error_pct"));
+        let drifted = accuracy_doc(2.5, 9);
+        let out = gate_accuracy(&base, &drifted, DEFAULT_TOL).unwrap();
+        assert!(out.failures[0].contains("support_size"));
+    }
+
+    #[test]
+    fn accuracy_gate_absolute_slack_covers_near_zero_baselines() {
+        let base = accuracy_doc(0.0, 3);
+        let tiny = accuracy_doc(0.005, 3); // within the absolute slack
+        assert!(gate_accuracy(&base, &tiny, DEFAULT_TOL).unwrap().passed());
+        let real = accuracy_doc(0.05, 3);
+        assert!(!gate_accuracy(&base, &real, DEFAULT_TOL).unwrap().passed());
+    }
+}

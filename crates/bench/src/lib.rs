@@ -8,6 +8,10 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+pub mod kernels;
+pub mod smoke;
+
 use std::time::Instant;
 
 use cbmf::{

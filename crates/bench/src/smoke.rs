@@ -1,0 +1,233 @@
+//! The accuracy smoke suite behind `BASELINE_accuracy.json` and the CI
+//! accuracy gate.
+//!
+//! Two CI-speed fits with pinned seeds: a synthetic tunable problem with a
+//! known sparse template, and a reduced-scale LNA gain model through the
+//! full circuit substrate. Every stage — Monte Carlo collection, the
+//! Algorithm-1 initializer, EM — is bitwise deterministic at any thread
+//! count (see `tests/determinism.rs`), so on one toolchain the smoke
+//! numbers are exactly reproducible and any drift the gate sees is a real
+//! behavioral change.
+
+use std::collections::BTreeMap;
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, TunableProblem};
+use cbmf_circuits::{Lna, MonteCarlo};
+use cbmf_linalg::Matrix;
+use cbmf_stats::{normal, seeded_rng};
+use cbmf_trace::Json;
+
+/// Schema identifier of `BASELINE_accuracy.json`.
+pub const ACCURACY_SCHEMA: &str = "cbmf-accuracy-smoke/1";
+
+/// One smoke case's result.
+#[derive(Debug, Clone)]
+pub struct SmokeCase {
+    /// Case name (stable across runs; the baseline is keyed on it).
+    pub name: &'static str,
+    /// Relative-RMS modeling error on the held-out set, in percent.
+    pub error_pct: f64,
+    /// Number of basis functions in the fitted support.
+    pub support_size: usize,
+}
+
+/// The synthetic tunable problem of the smoke suite: K states sharing a
+/// sparse template with smooth magnitude drift, plus noise.
+fn synthetic(k: usize, n: usize, d: usize, noise: f64, seed: u64) -> TunableProblem {
+    let mut rng = seeded_rng(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for state in 0..k {
+        let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+        let w = 1.0 + 0.05 * state as f64;
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                10.0 + w * (2.0 * x[(i, 1)] - 1.2 * x[(i, 4)] + 0.6 * x[(i, 9)])
+                    + noise * normal::sample(&mut rng)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("well-formed synthetic")
+}
+
+/// A quick C-BMF config for CI-speed fits (mirrors the end-to-end tests).
+fn quick_config() -> CbmfConfig {
+    let mut cfg = CbmfConfig::small_problem();
+    cfg.grid.theta = vec![8, 16];
+    cfg.em.max_iters = 6;
+    cfg
+}
+
+/// Runs the full smoke suite. Takes tens of seconds at most; every case is
+/// deterministic for fixed seeds.
+///
+/// # Panics
+///
+/// Panics on fitting or simulation failure — the inputs are generated here
+/// and must be valid, so a failure is a harness bug.
+pub fn run_accuracy_smoke() -> Vec<SmokeCase> {
+    let mut cases = Vec::new();
+
+    // Case 1: synthetic sparse-template recovery.
+    {
+        let train = synthetic(4, 14, 15, 0.1, 70);
+        let test = synthetic(4, 60, 15, 0.0, 71);
+        let mut rng = seeded_rng(1);
+        let out = CbmfFit::new(CbmfConfig::small_problem())
+            .fit(&train, &mut rng)
+            .expect("synthetic fit");
+        cases.push(SmokeCase {
+            name: "synthetic_linear",
+            error_pct: 100.0 * out.model().modeling_error(&test).expect("same shape"),
+            support_size: out.model().support().len(),
+        });
+    }
+
+    // Case 2: LNA voltage gain through the circuit substrate.
+    {
+        let lna = Lna::new();
+        let mut rng = seeded_rng(930);
+        let to_problem = |ds: &cbmf_circuits::TunableDataset| {
+            let xs: Vec<_> = ds.states.iter().map(|s| s.x.clone()).collect();
+            let ys: Vec<_> = ds.states.iter().map(|s| s.metric(1)).collect();
+            TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid dataset")
+        };
+        let test = to_problem(&MonteCarlo::new(20).collect(&lna, &mut rng).expect("mc"));
+        let train = to_problem(&MonteCarlo::new(10).collect(&lna, &mut rng).expect("mc"));
+        let out = CbmfFit::new(quick_config())
+            .fit(&train, &mut rng)
+            .expect("lna fit");
+        cases.push(SmokeCase {
+            name: "lna_gain",
+            error_pct: 100.0 * out.model().modeling_error(&test).expect("same shape"),
+            support_size: out.model().support().len(),
+        });
+    }
+
+    cases
+}
+
+/// Renders smoke results as a schema-versioned, sorted-key document — the
+/// exact layout of the committed `BASELINE_accuracy.json`.
+pub fn render_accuracy_report(cases: &[SmokeCase]) -> Json {
+    let cases: BTreeMap<String, Json> = cases
+        .iter()
+        .map(|c| {
+            (
+                c.name.to_string(),
+                Json::obj([
+                    (
+                        "error_pct".to_string(),
+                        // 6 decimals: stable under text round-trip, far finer
+                        // than the gate's tolerance.
+                        Json::Num((c.error_pct * 1e6).round() / 1e6),
+                    ),
+                    ("support_size".to_string(), Json::Num(c.support_size as f64)),
+                ]),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("schema".to_string(), Json::Str(ACCURACY_SCHEMA.to_string())),
+        ("host".to_string(), cbmf_trace::report::host_meta()),
+        ("cases".to_string(), Json::Obj(cases)),
+    ])
+}
+
+/// Validates the fixed skeleton of an accuracy report. Returns a
+/// human-readable reason on failure.
+pub fn validate_accuracy_report(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == ACCURACY_SCHEMA => {}
+        Some(s) => return Err(format!("schema '{s}' != '{ACCURACY_SCHEMA}'")),
+        None => return Err("missing 'schema' field".to_string()),
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(Json::as_obj)
+        .ok_or("missing 'cases' object")?;
+    if cases.is_empty() {
+        return Err("empty 'cases' object".to_string());
+    }
+    for (name, c) in cases {
+        match c.get("error_pct").and_then(Json::as_f64) {
+            Some(e) if e.is_finite() && e >= 0.0 => {}
+            _ => return Err(format!("case '{name}': bad 'error_pct'")),
+        }
+        if c.get("support_size").and_then(Json::as_u64).is_none() {
+            return Err(format!("case '{name}': bad 'support_size'"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_report_validates_and_round_trips() {
+        let cases = vec![
+            SmokeCase {
+                name: "synthetic_linear",
+                error_pct: 2.3456789,
+                support_size: 8,
+            },
+            SmokeCase {
+                name: "lna_gain",
+                error_pct: 1.25,
+                support_size: 12,
+            },
+        ];
+        let doc = render_accuracy_report(&cases);
+        validate_accuracy_report(&doc).unwrap();
+        let parsed = Json::parse(&doc.to_pretty()).unwrap();
+        assert_eq!(parsed, doc);
+        let got = parsed
+            .get("cases")
+            .unwrap()
+            .get("synthetic_linear")
+            .unwrap()
+            .get("error_pct")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!((got - 2.345679).abs() < 1e-12, "rounded to 6 decimals");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        assert!(validate_accuracy_report(&Json::Null).is_err());
+        let doc = Json::parse(r#"{"schema": "cbmf-accuracy-smoke/1", "cases": {}}"#).unwrap();
+        assert!(validate_accuracy_report(&doc)
+            .unwrap_err()
+            .contains("empty"));
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-accuracy-smoke/1",
+                "cases": {"x": {"error_pct": -1, "support_size": 2}}}"#,
+        )
+        .unwrap();
+        assert!(validate_accuracy_report(&doc)
+            .unwrap_err()
+            .contains("error_pct"));
+    }
+
+    /// The committed baseline must stay parseable, schema-valid, and in
+    /// canonical sorted-key form. A failure means `BASELINE_accuracy.json`
+    /// needs regenerating via `cargo run --release -p cbmf-bench --bin
+    /// ci_gate -- --write-accuracy-baseline`.
+    #[test]
+    fn committed_accuracy_baseline_is_schema_stable() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BASELINE_accuracy.json");
+        let text = std::fs::read_to_string(path).expect("read BASELINE_accuracy.json");
+        let doc = Json::parse(&text).expect("parse BASELINE_accuracy.json");
+        validate_accuracy_report(&doc).expect("valid accuracy report");
+        assert_eq!(
+            text,
+            format!("{}\n", doc.to_pretty()),
+            "BASELINE_accuracy.json is not in canonical sorted-key form"
+        );
+    }
+}

@@ -2,9 +2,16 @@ use std::sync::OnceLock;
 
 use cbmf_linalg::Matrix;
 use cbmf_stats::describe;
+use cbmf_trace::Counter;
 
 use crate::basis::BasisSpec;
 use crate::error::CbmfError;
+
+/// Cache hits across all three per-state product caches (`BᵀB`, `Bᵀy`,
+/// column norms): calls served from an already-computed value.
+static GRAM_CACHE_HITS: Counter = Counter::new("cbmf.gram_cache.hits");
+/// Cache misses: calls that had to compute (and store) the product.
+static GRAM_CACHE_MISSES: Counter = Counter::new("cbmf.gram_cache.misses");
 
 /// Per-state training data: the basis matrix `B_k` (paper eq. 3) and the
 /// centered response `y_k` (eq. 5) plus the removed means.
@@ -58,6 +65,11 @@ impl StateData {
     /// The cached products assume `basis` and `y` are not mutated after
     /// construction; every constructor in this crate upholds that.
     pub fn t_gram(&self) -> &Matrix {
+        if let Some(g) = self.caches.t_gram.get() {
+            GRAM_CACHE_HITS.inc();
+            return g;
+        }
+        GRAM_CACHE_MISSES.inc();
         self.caches
             .t_gram
             .get_or_init(|| self.basis.transpose().gram())
@@ -66,6 +78,11 @@ impl StateData {
     /// Cached correlation vector `B_kᵀ y_k` (length `M`), computed on first
     /// use.
     pub fn bty(&self) -> &[f64] {
+        if let Some(v) = self.caches.bty.get() {
+            GRAM_CACHE_HITS.inc();
+            return v;
+        }
+        GRAM_CACHE_MISSES.inc();
         self.caches.bty.get_or_init(|| {
             self.basis
                 .t_matvec(&self.y)
@@ -76,6 +93,11 @@ impl StateData {
     /// Cached basis column norms `‖b_m‖` (floored away from zero), used to
     /// normalize greedy correlation scores.
     pub fn col_norms(&self) -> &[f64] {
+        if let Some(v) = self.caches.col_norms.get() {
+            GRAM_CACHE_HITS.inc();
+            return v;
+        }
+        GRAM_CACHE_MISSES.inc();
         self.caches.col_norms.get_or_init(|| {
             let mut norms = vec![0.0; self.basis.cols()];
             for i in 0..self.len() {

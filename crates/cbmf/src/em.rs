@@ -1,9 +1,13 @@
 use cbmf_linalg::{project_pd_relative, Cholesky, Matrix};
+use cbmf_trace::Counter;
 
 use crate::dataset::TunableProblem;
 use crate::error::CbmfError;
 use crate::posterior::{MapPosterior, PosteriorMoments};
 use crate::prior::CbmfPrior;
+
+/// EM iterations performed across all refinement runs.
+static EM_ITERATIONS: Counter = Counter::new("cbmf.em.iterations");
 
 /// Configuration of the EM hyper-parameter refinement (paper §3.3,
 /// Algorithm 1 steps 18–20).
@@ -93,6 +97,7 @@ impl EmRefiner {
         problem: &TunableProblem,
         init: &CbmfPrior,
     ) -> Result<EmOutcome, CbmfError> {
+        let _span = cbmf_trace::span("em");
         let k = problem.num_states();
         let mut prior = init.clone();
         let mut nlml_trace = Vec::with_capacity(self.config.max_iters);
@@ -101,6 +106,7 @@ impl EmRefiner {
 
         for _ in 0..self.config.max_iters {
             iterations += 1;
+            EM_ITERATIONS.inc();
             // E-step (eqs. 19–21 via the observation-space identities).
             let moments = MapPosterior.solve_moments(problem, &prior)?;
             nlml_trace.push(moments.neg_log_marginal);

@@ -118,6 +118,7 @@ impl CbmfFit {
         rng: &mut R,
     ) -> Result<FitOutcome, CbmfError> {
         let t0 = Instant::now();
+        let _fit_span = cbmf_trace::span("fit");
         let init = SompInitializer::new(self.config.grid.clone()).initialize(problem, rng)?;
         let em = EmRefiner::new(self.config.em.clone()).refine(problem, &init.prior)?;
 

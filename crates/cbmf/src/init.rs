@@ -1,5 +1,6 @@
 use cbmf_linalg::Matrix;
 use cbmf_stats::describe;
+use cbmf_trace::Counter;
 use rand::Rng;
 
 use crate::dataset::{StateData, TunableProblem};
@@ -10,6 +11,16 @@ use cbmf_linalg::Cholesky;
 
 use crate::omp::{best_unselected, build_folds, materialize_splits, selection_scores};
 use crate::prior::{toeplitz_r, CbmfPrior};
+
+/// Greedy steps that extended the support-space factor incrementally via
+/// `Cholesky::append_block` — the Algorithm-1 fast path.
+static INIT_APPEND_STEPS: Counter = Counter::new("cbmf.init.append_block_steps");
+/// Greedy steps that built the factor from scratch (the first basis of each
+/// selection run; anything beyond that signals a lost incremental reuse).
+static INIT_REFACTOR_STEPS: Counter = Counter::new("cbmf.init.refactor_steps");
+/// Full greedy selection runs (one per (candidate, fold) plus the final
+/// full-train re-selection).
+static INIT_SELECTIONS: Counter = Counter::new("cbmf.init.selection_runs");
 
 /// Candidate hyper-parameter grid for the Algorithm-1 initializer
 /// (the paper's set {(r0⁽q⁾, σ0⁽q⁾, θ⁽q⁾)}).
@@ -110,6 +121,7 @@ impl SompInitializer {
         problem: &TunableProblem,
         rng: &mut R,
     ) -> Result<InitOutcome, CbmfError> {
+        let _span = cbmf_trace::span("init");
         if self.grid.r0.is_empty() || self.grid.sigma_rel.is_empty() || self.grid.theta.is_empty() {
             return Err(CbmfError::InvalidInput {
                 what: "empty candidate grid".to_string(),
@@ -210,6 +222,7 @@ fn select_with_bayes(
     r0: f64,
     sigma0: f64,
 ) -> Result<(Vec<usize>, Matrix), CbmfError> {
+    INIT_SELECTIONS.inc();
     let k = problem.num_states();
     let m = problem.num_basis();
     let r = toeplitz_r(k, r0)?;
@@ -304,8 +317,14 @@ impl<'a> IncrementalBayes<'a> {
             }
         }
         match &mut self.chol {
-            Some(chol) => chol.append_block(&a21, &a22)?,
-            None => self.chol = Some(Cholesky::new(&a22)?),
+            Some(chol) => {
+                chol.append_block(&a21, &a22)?;
+                INIT_APPEND_STEPS.inc();
+            }
+            None => {
+                self.chol = Some(Cholesky::new(&a22)?);
+                INIT_REFACTOR_STEPS.inc();
+            }
         }
         for st in states {
             self.rhs.push(s2i * st.bty()[m]);

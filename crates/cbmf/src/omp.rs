@@ -1,11 +1,16 @@
 use cbmf_linalg::{Matrix, Qr};
 use cbmf_stats::KFold;
+use cbmf_trace::Counter;
 use rand::Rng;
 
 use crate::dataset::{StateData, TunableProblem};
 use crate::error::CbmfError;
 use crate::model::PerStateModel;
 use crate::ols::dictionary_dim;
+
+/// Greedy selection steps scored across every OMP/S-OMP/initializer loop
+/// (one `selection_scores` sweep over the dictionary per step).
+static GREEDY_STEPS: Counter = Counter::new("cbmf.greedy.steps");
 
 /// Configuration for the per-state OMP baseline.
 #[derive(Debug, Clone)]
@@ -72,6 +77,7 @@ impl Omp {
         problem: &TunableProblem,
         rng: &mut R,
     ) -> Result<PerStateModel, CbmfError> {
+        let _span = cbmf_trace::span("omp_fit");
         if self.config.theta_candidates.is_empty() {
             return Err(CbmfError::InvalidInput {
                 what: "no sparsity candidates".to_string(),
@@ -189,6 +195,7 @@ pub(crate) fn selection_scores(
         coeff_rows.len(),
         "one coefficient row per state"
     );
+    GREEDY_STEPS.inc();
     // Aim for ~128k flops per spawned chunk; each index costs about
     // K·(|S| + 2) fused multiply-adds.
     let per_index = states.len() * (support.len() + 2);

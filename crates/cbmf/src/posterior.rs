@@ -1,8 +1,14 @@
 use cbmf_linalg::{Cholesky, Matrix};
+use cbmf_trace::Counter;
 
 use crate::dataset::TunableProblem;
 use crate::error::CbmfError;
 use crate::prior::CbmfPrior;
+
+/// Coefficient-only posterior solves (the initializer's cheap path).
+static POSTERIOR_COEFF_SOLVES: Counter = Counter::new("cbmf.posterior.coeff_solves");
+/// Full-moment posterior solves (one per EM iteration).
+static POSTERIOR_MOMENT_SOLVES: Counter = Counter::new("cbmf.posterior.moment_solves");
 
 /// The MAP posterior of the C-BMF model (paper eqs. 19–22), evaluated with
 /// structure-exploiting algebra.
@@ -72,6 +78,8 @@ impl MapPosterior {
         problem: &TunableProblem,
         prior: &CbmfPrior,
     ) -> Result<Matrix, CbmfError> {
+        let _span = cbmf_trace::span("posterior_coeffs");
+        POSTERIOR_COEFF_SOLVES.inc();
         let ctx = Context::build(problem, prior)?;
         Ok(ctx.coefficients(problem, prior))
     }
@@ -87,6 +95,8 @@ impl MapPosterior {
         problem: &TunableProblem,
         prior: &CbmfPrior,
     ) -> Result<PosteriorMoments, CbmfError> {
+        let _span = cbmf_trace::span("posterior_moments");
+        POSTERIOR_MOMENT_SOLVES.inc();
         let ctx = Context::build(problem, prior)?;
         let k = problem.num_states();
         let m = problem.num_basis();

@@ -84,6 +84,7 @@ impl Somp {
         problem: &TunableProblem,
         rng: &mut R,
     ) -> Result<PerStateModel, CbmfError> {
+        let _span = cbmf_trace::span("somp_fit");
         if self.config.theta_candidates.is_empty() {
             return Err(CbmfError::InvalidInput {
                 what: "no sparsity candidates".to_string(),

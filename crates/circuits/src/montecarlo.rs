@@ -1,9 +1,14 @@
 use cbmf_linalg::Matrix;
+use cbmf_trace::Counter;
 use rand::Rng;
 
 use crate::cost::VirtualCost;
 use crate::error::CircuitError;
 use crate::testbench::Testbench;
+
+/// Circuit simulations executed by Monte Carlo collection (one per
+/// (state, sample) pair, successful or not).
+static MC_SIMULATIONS: Counter = Counter::new("circuits.montecarlo.simulations");
 
 /// Monte Carlo samples collected for one knob state.
 #[derive(Debug, Clone)]
@@ -126,10 +131,12 @@ impl MonteCarlo {
         tb: &T,
         rng: &mut R,
     ) -> Result<TunableDataset, CircuitError> {
+        let _span = cbmf_trace::span("monte_carlo");
         let d = tb.num_variables();
         let k = tb.num_states();
         let p = tb.metric_names().len();
         let n = self.samples_per_state;
+        MC_SIMULATIONS.add((k * n) as u64);
         let base = rng.next_u64();
         let sims = cbmf_parallel::par_map_indexed(k * n, 8, |idx| {
             let mut srng = cbmf_stats::seeded_rng(sample_seed(base, idx / n, idx % n));

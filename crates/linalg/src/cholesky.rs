@@ -1,6 +1,16 @@
+use cbmf_trace::Counter;
+
 use crate::error::LinalgError;
 use crate::mat::Matrix;
 use crate::vecops;
+
+/// Full `O(n³/6)` factorizations performed (including jitter retries).
+static CHOL_FACTORS: Counter = Counter::new("linalg.cholesky.factorizations");
+/// Triangular solves performed, counted per right-hand side (a `solve_mat`
+/// with `k` columns counts `k`).
+static CHOL_SOLVES: Counter = Counter::new("linalg.cholesky.rhs_solves");
+/// `O(p·n²)` incremental block appends that *avoided* a full refactorization.
+static CHOL_APPENDS: Counter = Counter::new("linalg.cholesky.block_appends");
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
 ///
@@ -93,6 +103,7 @@ impl Cholesky {
             });
         }
         let n = a.rows();
+        CHOL_FACTORS.inc();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
@@ -148,6 +159,7 @@ impl Cholesky {
                 rhs: (b.len(), 1),
             });
         }
+        CHOL_SOLVES.inc();
         let mut x = b.to_vec();
         self.solve_in_place(&mut x);
         Ok(x)
@@ -167,6 +179,7 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
+        CHOL_SOLVES.add(b.cols() as u64);
         // Solve on the transpose so the inner loops walk contiguous rows.
         // Right-hand sides are independent, so they are dispatched in
         // parallel chunks; each solve is unchanged, so results match the
@@ -306,6 +319,7 @@ impl Cholesky {
             }
         }
         let l22 = Self::factor(&schur, 0.0)?;
+        CHOL_APPENDS.inc();
         let mut l = Matrix::zeros(n + p, n + p);
         for i in 0..n {
             l.row_mut(i)[..n].copy_from_slice(self.l.row(i));

@@ -1,10 +1,19 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
+use cbmf_trace::Counter;
 use serde::{Deserialize, Serialize};
 
 use crate::error::LinalgError;
 use crate::vecops;
+
+/// Multiply-add pairs executed by the dense product kernels (`matmul`,
+/// `t_matmul`, `matmul_t`, `gram`/`weighted_gram`); one unit = one fused
+/// multiply + add, so ~2 flops in the usual convention.
+static PRODUCT_MACS: Counter = Counter::new("linalg.product_macs");
+/// `f64` elements read or written by the product kernels, assuming each
+/// operand is streamed once (cache reuse makes the true traffic lower).
+static PRODUCT_F64S: Counter = Counter::new("linalg.product_f64s");
 
 /// Flop budget below which a matrix product is not worth a thread spawn; at
 /// ~1 ns/flop sequential, 128k flops ≈ 100 µs of work per worker, comfortably
@@ -239,6 +248,8 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        PRODUCT_MACS.add((self.rows * self.cols * rhs.cols) as u64);
+        PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
         // ikj loop order: the innermost loop walks contiguous rows of `rhs`
         // and `out`, which is dramatically faster than the naive ijk order.
         // Output rows are independent, so they are computed in parallel row
@@ -275,6 +286,8 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
+        PRODUCT_MACS.add((self.rows * self.cols * rhs.cols) as u64);
+        PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
         // Partition the *output* rows (columns of self): each worker streams
         // all of `rhs` once and scatters into its own disjoint row chunk.
         // Every output row still accumulates in ascending k, so the result is
@@ -310,6 +323,8 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
+        PRODUCT_MACS.add((self.rows * self.cols * rhs.rows) as u64);
+        PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
         // Four output entries per pass over a_row: the dot4 kernel reads each
         // a_row element once for four rhs rows instead of re-streaming it per
         // element, and output rows are computed in parallel chunks.
@@ -372,6 +387,10 @@ impl Matrix {
         // With weights, row i is pre-scaled once into `scaled_i` and dotted
         // against the *unscaled* rows j ≤ i; dot(w ⊙ rᵢ, rⱼ) = rᵢᵀ diag(w) rⱼ.
         let mut out = Matrix::zeros(n, n);
+        // Lower triangle only: n(n+1)/2 dots of length `cols`, mirrored for
+        // free (the mirror pass is counted as output traffic, not MACs).
+        PRODUCT_MACS.add((n * (n + 1) / 2 * self.cols) as u64);
+        PRODUCT_F64S.add((self.data.len() + out.data.len()) as u64);
         let scratch_proto = w.map(|_| vec![0.0; self.cols]);
         // Lower-triangle rows grow linearly in cost, so halve the flops
         // estimate when sizing chunks.

@@ -25,6 +25,15 @@ use std::cell::Cell;
 use std::sync::OnceLock;
 use std::thread;
 
+use cbmf_trace::Counter;
+
+/// Fork-joins that actually spawned scoped workers.
+static FORK_JOINS: Counter = Counter::new("parallel.fork_joins");
+/// Worker chunks spawned across all fork-joins.
+static CHUNKS_SPAWNED: Counter = Counter::new("parallel.chunks_spawned");
+/// Calls that ran inline (single thread available or input below grain).
+static INLINE_RUNS: Counter = Counter::new("parallel.inline_runs");
+
 thread_local! {
     /// In-process override installed by [`with_threads`]; 0 = no override.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
@@ -114,10 +123,13 @@ where
 {
     let threads = max_threads();
     if threads <= 1 || n < 2 * grain.max(1) {
+        INLINE_RUNS.inc();
         return (0..n).map(f).collect();
     }
     let workers = threads.min(n / grain.max(1)).max(1);
     let ranges = chunk_ranges(n, workers);
+    FORK_JOINS.inc();
+    CHUNKS_SPAWNED.add(ranges.len() as u64);
     let mut pieces: Vec<Vec<T>> = Vec::with_capacity(ranges.len());
     thread::scope(|scope| {
         let f = &f;
@@ -146,6 +158,7 @@ where
 {
     let threads = max_threads();
     if threads <= 1 || n < 2 * grain.max(1) {
+        INLINE_RUNS.inc();
         if n > 0 {
             f(0, n);
         }
@@ -153,6 +166,8 @@ where
     }
     let workers = threads.min(n / grain.max(1)).max(1);
     let ranges = chunk_ranges(n, workers);
+    FORK_JOINS.inc();
+    CHUNKS_SPAWNED.add(ranges.len() as u64);
     thread::scope(|scope| {
         for &(start, end) in &ranges {
             let f = &f;
@@ -178,6 +193,7 @@ where
     let n = data.len() / stride;
     let threads = max_threads();
     if threads <= 1 || n < 2 * grain_rows.max(1) {
+        INLINE_RUNS.inc();
         if n > 0 {
             f(0, data);
         }
@@ -185,6 +201,8 @@ where
     }
     let workers = threads.min(n / grain_rows.max(1)).max(1);
     let ranges = chunk_ranges(n, workers);
+    FORK_JOINS.inc();
+    CHUNKS_SPAWNED.add(ranges.len() as u64);
     thread::scope(|scope| {
         let mut rest = data;
         let mut consumed = 0;

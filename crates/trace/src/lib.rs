@@ -1,0 +1,492 @@
+//! Dependency-free observability core for the C-BMF workspace.
+//!
+//! The paper's headline claim is a *cost* claim — C-BMF reaches S-OMP
+//! accuracy with ≥2× fewer simulations — so the workspace needs to attribute
+//! where time and samples go, and to hold that attribution stable in CI.
+//! This crate supplies the vocabulary, in the same style as `cbmf-parallel`:
+//! std-only, no registry dependencies, safe to call from any thread.
+//!
+//! - [`span`] — hierarchical wall-clock timing scopes. Nested spans build a
+//!   `/`-separated path per thread (`fit/init`, `fit/em/iter`, …) and
+//!   aggregate count/total/min/max nanoseconds per path.
+//! - [`Counter`] — named monotone `u64` counters declared as statics at the
+//!   use site (`static HITS: Counter = Counter::new("cbmf.gram_cache.hit");`)
+//!   so the hot path is one relaxed atomic add, with lazy registration into
+//!   the global registry on first use.
+//! - [`Gauge`] — named `f64` values with `set`/`maximize` semantics, for
+//!   sizes and one-shot measurements.
+//! - [`snapshot`] / [`report`] — a consistent view of everything recorded,
+//!   and a versioned JSON run report for `results/trace_*.json`.
+//!
+//! # Enabling
+//!
+//! Two switches gate collection:
+//!
+//! 1. The compile-time `trace` cargo feature (default on). With the feature
+//!    off, every call in this crate compiles to a no-op and the guard types
+//!    are inert — zero overhead by construction.
+//! 2. The `CBMF_TRACE` environment variable (`1`/`true`/`on`), read once per
+//!    process, or an in-process [`set_enabled`] override (used by report
+//!    binaries and tests). When disabled at runtime the fast path is one
+//!    relaxed atomic load and **no allocation** — cheap enough to leave the
+//!    instrumentation in release kernels.
+//!
+//! # Threading model
+//!
+//! Counters and gauges are global atomics: increments from worker threads
+//! spawned by `cbmf-parallel` fork-joins land in the same cells as main-
+//! thread increments, so aggregation across a scoped fan-out is automatic.
+//! Span paths are per-thread (a worker's spans form their own root), which
+//! keeps the guard free of cross-thread handoff; the fitting stack opens its
+//! coarse spans on the orchestrating thread.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod json;
+pub mod report;
+
+pub use json::Json;
+pub use report::{write_report, ReportMeta, REPORT_SCHEMA};
+
+// ---------------------------------------------------------------------------
+// Enablement
+// ---------------------------------------------------------------------------
+
+/// Runtime override state: 0 = consult `CBMF_TRACE`, 1 = forced on,
+/// 2 = forced off.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `CBMF_TRACE` resolved once per process.
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+
+/// True when trace collection is active: the `trace` feature is compiled in
+/// *and* either [`set_enabled`]`(true)` is in force or `CBMF_TRACE` is set to
+/// `1`/`true`/`on`.
+///
+/// This is the gate every recording call checks first; when it returns false
+/// no allocation and no shared-state write happens.
+#[inline]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "trace") {
+        return false;
+    }
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => *ENV_ENABLED.get_or_init(|| {
+            std::env::var("CBMF_TRACE")
+                .map(|v| {
+                    let v = v.trim();
+                    v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on")
+                })
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Forces collection on or off for the whole process, overriding
+/// `CBMF_TRACE`. Report binaries call `set_enabled(true)` before fitting;
+/// tests use it to exercise both paths deterministically.
+pub fn set_enabled(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+}
+
+/// Clears the [`set_enabled`] override, returning to the `CBMF_TRACE`
+/// environment setting.
+pub fn clear_enabled_override() {
+    OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Completed activations of this path.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single activation.
+    pub min_ns: u64,
+    /// Slowest single activation.
+    pub max_ns: u64,
+}
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
+        spans: Mutex::new(BTreeMap::new()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A named monotone counter, declared as a `static` at its use site.
+///
+/// ```
+/// use cbmf_trace::Counter;
+/// static CACHE_HITS: Counter = Counter::new("cbmf.gram_cache.hit");
+/// CACHE_HITS.inc();
+/// ```
+///
+/// The first effective `add` registers the counter in the global registry so
+/// [`snapshot`] can find it; subsequent adds are a single relaxed
+/// `fetch_add`. Counter values survive [`reset`] as zeros (the taxonomy
+/// stays visible in reports).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates an unregistered counter. `name` should be a dotted path,
+    /// e.g. `"linalg.matmul.flops"` — the report sorts lexicographically.
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when tracing is enabled; no-op (one relaxed load) otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().counters.lock().unwrap().push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value (0 until the first enabled add).
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A named `f64` gauge with last-write (`set`) and running-max (`maximize`)
+/// semantics, stored as atomic bits. Like [`Counter`], gauges are statics
+/// that lazily self-register.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    is_set: AtomicBool,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Creates an unregistered gauge.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            is_set: AtomicBool::new(false),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().gauges.lock().unwrap().push(self);
+        }
+    }
+
+    /// Overwrites the gauge when tracing is enabled.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+        self.is_set.store(true, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (or the gauge is unset).
+    #[inline]
+    pub fn maximize(&'static self, v: f64) {
+        if !enabled() {
+            return;
+        }
+        self.ensure_registered();
+        if !self.is_set.swap(true, Ordering::Relaxed) {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+            return;
+        }
+        // CAS loop: concurrent maximize calls keep the largest value.
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value, `None` until the first enabled write.
+    pub fn get(&self) -> Option<f64> {
+        self.is_set
+            .load(Ordering::Relaxed)
+            .then(|| f64::from_bits(self.bits.load(Ordering::Relaxed)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one span activation; created by [`span`]. Dropping it
+/// records the elapsed time under the thread's current span path.
+#[must_use = "a span measures the scope it is bound to; bind it to a named local"]
+pub struct SpanGuard {
+    /// `Some` only when tracing was enabled at creation (the name was pushed
+    /// onto the thread's stack and must be popped on drop).
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` on the current thread. While the returned guard
+/// lives, nested spans extend the path: `span("fit")` then `span("init")`
+/// aggregates under `"fit/init"`.
+///
+/// When tracing is disabled this allocates nothing and records nothing.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut spans = registry().spans.lock().unwrap();
+        let agg = spans.entry(path).or_insert(SpanStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        });
+        agg.count += 1;
+        agg.total_ns = agg.total_ns.saturating_add(elapsed);
+        agg.min_ns = agg.min_ns.min(elapsed);
+        agg.max_ns = agg.max_ns.max(elapsed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / reset
+// ---------------------------------------------------------------------------
+
+/// A consistent copy of everything recorded so far.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Aggregated spans keyed by `/`-separated path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Registered counters and their values.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Registered gauges that have been written at least once.
+    pub gauges: BTreeMap<&'static str, f64>,
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+/// Captures the current spans, counters and gauges.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let spans = reg.spans.lock().unwrap().clone();
+    let counters = reg
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| (c.name, c.get()))
+        .collect();
+    let gauges = reg
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .filter_map(|g| g.get().map(|v| (g.name, v)))
+        .collect();
+    Snapshot {
+        spans,
+        counters,
+        gauges,
+    }
+}
+
+/// Zeroes every registered counter, unsets every gauge, and clears all span
+/// aggregates. Registration is kept, so previously-seen counters report as 0
+/// rather than disappearing.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.lock().unwrap().iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in reg.gauges.lock().unwrap().iter() {
+        g.is_set.store(false, Ordering::Relaxed);
+        g.bits.store(0, Ordering::Relaxed);
+    }
+    reg.spans.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and the enable override are process-global, so the unit
+    // tests of this module serialize on one lock to avoid interleaving.
+    pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = test_lock();
+        set_enabled(false);
+        reset();
+        static C: Counter = Counter::new("test.disabled.counter");
+        static G: Gauge = Gauge::new("test.disabled.gauge");
+        C.add(5);
+        G.set(1.5);
+        {
+            let _s = span("test_disabled_span");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters.get("test.disabled.counter"), None);
+        assert_eq!(snap.gauges.get("test.disabled.gauge"), None);
+        assert!(!snap.spans.contains_key("test_disabled_span"));
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn counters_and_gauges_record_when_enabled() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        static C: Counter = Counter::new("test.enabled.counter");
+        static G: Gauge = Gauge::new("test.enabled.gauge");
+        C.add(3);
+        C.inc();
+        G.set(2.0);
+        G.maximize(1.0); // lower: ignored
+        G.maximize(7.5); // higher: kept
+        let snap = snapshot();
+        assert_eq!(snap.counters["test.enabled.counter"], 4);
+        assert_eq!(snap.gauges["test.enabled.gauge"], 7.5);
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn nested_spans_build_paths() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer/inner"].count, 2);
+        assert!(snap.spans["outer/inner"].total_ns >= 1_000_000);
+        assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
+        assert!(snap.spans["outer/inner"].min_ns <= snap.spans["outer/inner"].max_ns);
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn reset_zeroes_but_keeps_registration() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        static C: Counter = Counter::new("test.reset.counter");
+        C.add(9);
+        assert_eq!(snapshot().counters["test.reset.counter"], 9);
+        reset();
+        assert_eq!(snapshot().counters["test.reset.counter"], 0);
+        clear_enabled_override();
+    }
+}
