@@ -79,7 +79,10 @@ fn main() {
             "support_size",
             Json::Num(out.model().support().len() as f64),
         )
-        .with("em_iterations", Json::Num(out.em().iterations as f64))
+        .with(
+            "em_iterations",
+            Json::Num(out.em().map_or(0, |em| em.iterations) as f64),
+        )
         .with("fit_seconds", Json::Num(out.fitting_seconds()));
     let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
     let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");

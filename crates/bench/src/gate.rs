@@ -147,6 +147,22 @@ pub fn gate_accuracy(baseline: &Json, candidate: &Json, tol: f64) -> Result<Gate
             ));
         }
     }
+    // Recovery counters: a fallback or jitter rescue that starts firing on
+    // the baseline problems is a silent numerical regression even when the
+    // resulting accuracy still clears the error tolerance.
+    let base_rec = baseline.get("recovery").and_then(Json::as_obj).unwrap();
+    let cand_rec = candidate.get("recovery").and_then(Json::as_obj).unwrap();
+    for name in crate::smoke::RECOVERY_COUNTERS {
+        out.checked += 1;
+        let b = base_rec.get(name).and_then(Json::as_u64).expect("valid");
+        let c = cand_rec.get(name).and_then(Json::as_u64).expect("valid");
+        if c > b {
+            out.failures.push(format!(
+                "recovery '{name}': {c} > baseline {b} \
+                 (a degradation/rescue path fired silently on a baseline problem)"
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -167,11 +183,18 @@ mod tests {
     }
 
     fn accuracy_doc(err: f64, support: u64) -> Json {
+        accuracy_doc_with_recovery(err, support, 0, 0)
+    }
+
+    fn accuracy_doc_with_recovery(err: f64, support: u64, jitter: u64, fixed_r: u64) -> Json {
         Json::parse(&format!(
-            r#"{{"schema": "cbmf-accuracy-smoke/1",
+            r#"{{"schema": "cbmf-accuracy-smoke/2",
                 "host": {{"threads": 1}},
                 "cases": {{"synthetic_linear": {{"error_pct": {err},
-                                                "support_size": {support}}}}}}}"#
+                                                "support_size": {support}}}}},
+                "recovery": {{"recovery.jitter_retries": {jitter},
+                             "recovery.fallback_fixed_r": {fixed_r},
+                             "recovery.fallback_somp": 0}}}}"#
         ))
         .unwrap()
     }
@@ -243,6 +266,25 @@ mod tests {
         let drifted = accuracy_doc(2.5, 9);
         let out = gate_accuracy(&base, &drifted, DEFAULT_TOL).unwrap();
         assert!(out.failures[0].contains("support_size"));
+    }
+
+    #[test]
+    fn accuracy_gate_fails_when_recovery_counters_grow() {
+        let base = accuracy_doc(2.5, 8);
+        // Identical accuracy, but a fallback fired during the candidate run.
+        let silent_fallback = accuracy_doc_with_recovery(2.5, 8, 0, 1);
+        let out = gate_accuracy(&base, &silent_fallback, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("recovery.fallback_fixed_r"));
+        // A jitter rescue is flagged the same way.
+        let rescued = accuracy_doc_with_recovery(2.5, 8, 3, 0);
+        let out = gate_accuracy(&base, &rescued, DEFAULT_TOL).unwrap();
+        assert!(out.failures[0].contains("recovery.jitter_retries"));
+        // A baseline that already records recoveries tolerates the same count.
+        let noisy_base = accuracy_doc_with_recovery(2.5, 8, 3, 0);
+        assert!(gate_accuracy(&noisy_base, &rescued, DEFAULT_TOL)
+            .unwrap()
+            .passed());
     }
 
     #[test]

@@ -18,7 +18,17 @@ use cbmf_stats::{normal, seeded_rng};
 use cbmf_trace::Json;
 
 /// Schema identifier of `BASELINE_accuracy.json`.
-pub const ACCURACY_SCHEMA: &str = "cbmf-accuracy-smoke/1";
+pub const ACCURACY_SCHEMA: &str = "cbmf-accuracy-smoke/2";
+
+/// The `recovery.*` counters pinned by the accuracy gate. On the baseline
+/// problems every one of them must stay zero: a jitter rescue or a ladder
+/// fallback that starts firing silently is a numerical regression even when
+/// the resulting error still passes the tolerance.
+pub const RECOVERY_COUNTERS: [&str; 3] = [
+    "recovery.jitter_retries",
+    "recovery.fallback_fixed_r",
+    "recovery.fallback_somp",
+];
 
 /// One smoke case's result.
 #[derive(Debug, Clone)]
@@ -29,6 +39,17 @@ pub struct SmokeCase {
     pub error_pct: f64,
     /// Number of basis functions in the fitted support.
     pub support_size: usize,
+}
+
+/// Everything one smoke run produces: the per-case accuracy numbers plus
+/// the [`RECOVERY_COUNTERS`] accumulated across all fits.
+#[derive(Debug, Clone)]
+pub struct SmokeOutcome {
+    /// Per-case accuracy results.
+    pub cases: Vec<SmokeCase>,
+    /// Total `recovery.*` counts over the whole suite (one entry per
+    /// [`RECOVERY_COUNTERS`] name, zero-filled).
+    pub recovery: BTreeMap<&'static str, u64>,
 }
 
 /// The synthetic tunable problem of the smoke suite: K states sharing a
@@ -67,7 +88,11 @@ fn quick_config() -> CbmfConfig {
 ///
 /// Panics on fitting or simulation failure — the inputs are generated here
 /// and must be valid, so a failure is a harness bug.
-pub fn run_accuracy_smoke() -> Vec<SmokeCase> {
+pub fn run_accuracy_smoke() -> SmokeOutcome {
+    // Tracing must be live so the recovery counters record: span paths cost
+    // nothing measurable at smoke scale, and the override is cleared below.
+    cbmf_trace::set_enabled(true);
+    cbmf_trace::reset();
     let mut cases = Vec::new();
 
     // Case 1: synthetic sparse-template recovery.
@@ -106,13 +131,20 @@ pub fn run_accuracy_smoke() -> Vec<SmokeCase> {
         });
     }
 
-    cases
+    let snap = cbmf_trace::snapshot();
+    cbmf_trace::clear_enabled_override();
+    let recovery = RECOVERY_COUNTERS
+        .iter()
+        .map(|&name| (name, snap.counters.get(name).copied().unwrap_or(0)))
+        .collect();
+    SmokeOutcome { cases, recovery }
 }
 
 /// Renders smoke results as a schema-versioned, sorted-key document — the
 /// exact layout of the committed `BASELINE_accuracy.json`.
-pub fn render_accuracy_report(cases: &[SmokeCase]) -> Json {
-    let cases: BTreeMap<String, Json> = cases
+pub fn render_accuracy_report(outcome: &SmokeOutcome) -> Json {
+    let cases: BTreeMap<String, Json> = outcome
+        .cases
         .iter()
         .map(|c| {
             (
@@ -129,10 +161,16 @@ pub fn render_accuracy_report(cases: &[SmokeCase]) -> Json {
             )
         })
         .collect();
+    let recovery: BTreeMap<String, Json> = outcome
+        .recovery
+        .iter()
+        .map(|(&name, &count)| (name.to_string(), Json::Num(count as f64)))
+        .collect();
     Json::obj([
         ("schema".to_string(), Json::Str(ACCURACY_SCHEMA.to_string())),
         ("host".to_string(), cbmf_trace::report::host_meta()),
         ("cases".to_string(), Json::Obj(cases)),
+        ("recovery".to_string(), Json::Obj(recovery)),
     ])
 }
 
@@ -160,6 +198,15 @@ pub fn validate_accuracy_report(doc: &Json) -> Result<(), String> {
             return Err(format!("case '{name}': bad 'support_size'"));
         }
     }
+    let recovery = doc
+        .get("recovery")
+        .and_then(Json::as_obj)
+        .ok_or("missing 'recovery' object")?;
+    for name in RECOVERY_COUNTERS {
+        if recovery.get(name).and_then(Json::as_u64).is_none() {
+            return Err(format!("recovery: bad or missing counter '{name}'"));
+        }
+    }
     Ok(())
 }
 
@@ -169,19 +216,22 @@ mod tests {
 
     #[test]
     fn rendered_report_validates_and_round_trips() {
-        let cases = vec![
-            SmokeCase {
-                name: "synthetic_linear",
-                error_pct: 2.3456789,
-                support_size: 8,
-            },
-            SmokeCase {
-                name: "lna_gain",
-                error_pct: 1.25,
-                support_size: 12,
-            },
-        ];
-        let doc = render_accuracy_report(&cases);
+        let outcome = SmokeOutcome {
+            cases: vec![
+                SmokeCase {
+                    name: "synthetic_linear",
+                    error_pct: 2.3456789,
+                    support_size: 8,
+                },
+                SmokeCase {
+                    name: "lna_gain",
+                    error_pct: 1.25,
+                    support_size: 12,
+                },
+            ],
+            recovery: RECOVERY_COUNTERS.iter().map(|&n| (n, 0)).collect(),
+        };
+        let doc = render_accuracy_report(&outcome);
         validate_accuracy_report(&doc).unwrap();
         let parsed = Json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(parsed, doc);
@@ -200,18 +250,41 @@ mod tests {
     #[test]
     fn validation_rejects_malformed_reports() {
         assert!(validate_accuracy_report(&Json::Null).is_err());
+        // The previous schema generation is rejected by name.
         let doc = Json::parse(r#"{"schema": "cbmf-accuracy-smoke/1", "cases": {}}"#).unwrap();
+        assert!(validate_accuracy_report(&doc)
+            .unwrap_err()
+            .contains("schema"));
+        let doc = Json::parse(r#"{"schema": "cbmf-accuracy-smoke/2", "cases": {}}"#).unwrap();
         assert!(validate_accuracy_report(&doc)
             .unwrap_err()
             .contains("empty"));
         let doc = Json::parse(
-            r#"{"schema": "cbmf-accuracy-smoke/1",
+            r#"{"schema": "cbmf-accuracy-smoke/2",
                 "cases": {"x": {"error_pct": -1, "support_size": 2}}}"#,
         )
         .unwrap();
         assert!(validate_accuracy_report(&doc)
             .unwrap_err()
             .contains("error_pct"));
+        // A report without the recovery counters is incomplete.
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-accuracy-smoke/2",
+                "cases": {"x": {"error_pct": 1.5, "support_size": 2}}}"#,
+        )
+        .unwrap();
+        assert!(validate_accuracy_report(&doc)
+            .unwrap_err()
+            .contains("recovery"));
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-accuracy-smoke/2",
+                "cases": {"x": {"error_pct": 1.5, "support_size": 2}},
+                "recovery": {"recovery.jitter_retries": 0}}"#,
+        )
+        .unwrap();
+        assert!(validate_accuracy_report(&doc)
+            .unwrap_err()
+            .contains("recovery.fallback"));
     }
 
     /// The committed baseline must stay parseable, schema-valid, and in

@@ -151,8 +151,9 @@ impl TunableProblem {
     ///
     /// * [`CbmfError::InvalidInput`] if the state lists are empty or
     ///   mismatched, a state has no samples, rows/values disagree in count,
-    ///   the variable dimension differs across states, or values are not
-    ///   finite.
+    ///   or the variable dimension differs across states.
+    /// * [`CbmfError::NonFiniteData`] if any sample or response value is NaN
+    ///   or infinite.
     pub fn from_samples(
         xs: &[Matrix],
         ys: &[Vec<f64>],
@@ -189,9 +190,16 @@ impl TunableProblem {
                     what: format!("state {k}: dimension {} != {d}", x.cols()),
                 });
             }
-            if !x.is_finite() || y.iter().any(|v| !v.is_finite()) {
-                return Err(CbmfError::InvalidInput {
-                    what: format!("state {k}: non-finite sample values"),
+            if y.iter().any(|v| !v.is_finite()) {
+                return Err(CbmfError::NonFiniteData {
+                    state: k,
+                    what: "response values",
+                });
+            }
+            if !x.is_finite() {
+                return Err(CbmfError::NonFiniteData {
+                    state: k,
+                    what: "sample values",
                 });
             }
             let y_mean = describe::mean(y);
@@ -235,6 +243,49 @@ impl TunableProblem {
     /// Total sample count `Σ_k N_k`.
     pub fn total_samples(&self) -> usize {
         self.states.iter().map(StateData::len).sum()
+    }
+
+    /// Re-validates the assembled problem at the fitting boundary: every
+    /// state must be non-empty with finite responses and basis values.
+    ///
+    /// [`TunableProblem::from_samples`] already rejects non-finite *raw*
+    /// inputs; this re-check exists because (a) a finite sample can still
+    /// overflow to infinity through a polynomial basis expansion, and (b) the
+    /// robustness tests flag inputs as corrupted after construction through
+    /// [`cbmf_linalg::faultinject`], which surfaces here as the same typed
+    /// error a genuinely broken dataset would produce.
+    ///
+    /// # Errors
+    ///
+    /// * [`CbmfError::InvalidInput`] if a state holds no samples.
+    /// * [`CbmfError::NonFiniteData`] naming the first offending state and
+    ///   input.
+    pub fn validate(&self) -> Result<(), CbmfError> {
+        let y_corrupt = cbmf_linalg::faultinject::corrupted("dataset.y");
+        let basis_corrupt = cbmf_linalg::faultinject::corrupted("dataset.basis");
+        for (k, st) in self.states.iter().enumerate() {
+            if st.is_empty() {
+                return Err(CbmfError::InvalidInput {
+                    what: format!("state {k} has no samples"),
+                });
+            }
+            if y_corrupt || !st.y_mean.is_finite() || st.y.iter().any(|v| !v.is_finite()) {
+                return Err(CbmfError::NonFiniteData {
+                    state: k,
+                    what: "response values",
+                });
+            }
+            if basis_corrupt
+                || !st.basis.is_finite()
+                || st.basis_means.iter().any(|v| !v.is_finite())
+            {
+                return Err(CbmfError::NonFiniteData {
+                    state: k,
+                    what: "basis values",
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Builds the sub-problem containing only the listed sample indices of
@@ -426,6 +477,55 @@ mod tests {
             BasisSpec::Linear
         )
         .is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_yield_typed_errors() {
+        let x = Matrix::zeros(2, 2);
+        let err = TunableProblem::from_samples(
+            std::slice::from_ref(&x),
+            &[vec![f64::NAN, 0.0]],
+            BasisSpec::Linear,
+        )
+        .expect_err("NaN response");
+        assert!(matches!(
+            err,
+            CbmfError::NonFiniteData {
+                state: 0,
+                what: "response values"
+            }
+        ));
+        let bad_x = Matrix::from_rows(&[&[1.0, f64::INFINITY], &[0.0, 0.0]]).unwrap();
+        let err = TunableProblem::from_samples(&[bad_x], &[vec![1.0, 2.0]], BasisSpec::Linear)
+            .expect_err("Inf sample");
+        assert!(matches!(
+            err,
+            CbmfError::NonFiniteData {
+                state: 0,
+                what: "sample values"
+            }
+        ));
+    }
+
+    // The corrupted-input path of `validate` arms process-global state, so
+    // it is exercised by the serialized integration suite
+    // (`tests/fault_injection.rs`), not here.
+    #[test]
+    fn validate_passes_clean_and_catches_overflowed_basis() {
+        let p = toy_problem();
+        p.validate().expect("clean problem validates");
+        // A finite sample can still overflow through the basis expansion.
+        let huge = Matrix::from_rows(&[&[1e200, 0.0], &[0.0, 2.0], &[1.0, 1.0]]).unwrap();
+        let p =
+            TunableProblem::from_samples(&[huge], &[vec![1.0, 2.0, 3.0]], BasisSpec::LinearSquares)
+                .expect("raw samples are finite");
+        assert!(matches!(
+            p.validate(),
+            Err(CbmfError::NonFiniteData {
+                what: "basis values",
+                ..
+            })
+        ));
     }
 
     #[test]

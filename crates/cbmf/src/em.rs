@@ -142,7 +142,7 @@ impl EmRefiner {
         k: usize,
     ) -> Result<CbmfPrior, CbmfError> {
         let m = prior.num_basis();
-        let r_chol = Cholesky::new_with_jitter(prior.r(), 1e-10, 8)?;
+        let r_chol = Cholesky::new_robust(prior.r())?;
 
         // λ update (eq. 29) for the active bases; pruned bases stay floored.
         let mut lambda_new = vec![CbmfPrior::LAMBDA_FLOOR; m];

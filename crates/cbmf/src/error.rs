@@ -27,6 +27,28 @@ pub enum CbmfError {
         /// What required them.
         r#for: &'static str,
     },
+    /// A sample, response, or basis value was NaN or infinite. The data is
+    /// unusable as-is — unlike a numerical failure, no fallback can help, so
+    /// this always propagates to the caller.
+    NonFiniteData {
+        /// Index of the tuning state holding the offending value.
+        state: usize,
+        /// Which input held it (`"sample values"`, `"response values"`,
+        /// `"basis values"`).
+        what: &'static str,
+    },
+}
+
+impl CbmfError {
+    /// True when the error is a *numerical* failure — a factorization or
+    /// other linear-algebra breakdown on structurally valid data. This is the
+    /// distinction driving the fit degradation ladder: numerical failures
+    /// trigger a simpler-model fallback (the data may still be perfectly
+    /// informative), while input errors propagate unchanged because refitting
+    /// the same broken data cannot succeed.
+    pub fn is_numerical(&self) -> bool {
+        matches!(self, CbmfError::Linalg(_))
+    }
 }
 
 impl fmt::Display for CbmfError {
@@ -37,6 +59,9 @@ impl fmt::Display for CbmfError {
             CbmfError::Stats(e) => write!(f, "statistics failure: {e}"),
             CbmfError::TooFewSamples { have, need, r#for } => {
                 write!(f, "too few samples for {}: have {have}, need {need}", r#for)
+            }
+            CbmfError::NonFiniteData { state, what } => {
+                write!(f, "state {state}: non-finite {what} (NaN or infinity)")
             }
         }
     }
@@ -82,6 +107,13 @@ mod tests {
         };
         assert!(e.to_string().contains("cross-validation"));
 
+        let e = CbmfError::NonFiniteData {
+            state: 2,
+            what: "response values",
+        };
+        assert!(e.to_string().contains("state 2"), "{e}");
+        assert!(e.to_string().contains("non-finite response values"), "{e}");
+
         use std::error::Error;
         let e = CbmfError::from(LinalgError::Singular { pivot: 1 });
         assert!(e.source().is_some());
@@ -89,6 +121,26 @@ mod tests {
             what: "x".to_string(),
         });
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn only_linalg_failures_are_numerical() {
+        assert!(CbmfError::from(LinalgError::Singular { pivot: 0 }).is_numerical());
+        assert!(!CbmfError::InvalidInput {
+            what: "x".to_string()
+        }
+        .is_numerical());
+        assert!(!CbmfError::NonFiniteData {
+            state: 0,
+            what: "response values"
+        }
+        .is_numerical());
+        assert!(!CbmfError::TooFewSamples {
+            have: 1,
+            need: 2,
+            r#for: "cv"
+        }
+        .is_numerical());
     }
 
     #[test]

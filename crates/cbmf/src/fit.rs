@@ -1,5 +1,7 @@
 use std::time::Instant;
 
+use cbmf_linalg::Matrix;
+use cbmf_trace::Counter;
 use rand::Rng;
 
 use crate::dataset::TunableProblem;
@@ -8,6 +10,14 @@ use crate::error::CbmfError;
 use crate::init::{CandidateGrid, InitOutcome, SompInitializer};
 use crate::model::PerStateModel;
 use crate::ols::dictionary_dim;
+use crate::somp::{Somp, SompConfig};
+
+/// Fits that lost EM refinement to a numerical failure and kept the
+/// initializer's model under the parameterized R(r0) prior.
+static FALLBACK_FIXED_R: Counter = Counter::new("recovery.fallback_fixed_r");
+/// Fits that lost the C-BMF initializer itself and degraded to independent
+/// per-state S-OMP (the paper's baseline).
+static FALLBACK_SOMP: Counter = Counter::new("recovery.fallback_somp");
 
 /// End-to-end configuration of the C-BMF pipeline (Algorithm 1).
 #[derive(Debug, Clone, Default)]
@@ -32,14 +42,49 @@ impl CbmfConfig {
     }
 }
 
+/// Which rung of the degradation ladder produced the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitStrategy {
+    /// The full pipeline: S-OMP+CV initialization followed by EM refinement.
+    Full,
+    /// EM refinement failed numerically; the model is the initializer's,
+    /// under the parameterized R(r0) prior, without EM refinement.
+    FixedR,
+    /// The C-BMF initializer itself failed numerically; the model is plain
+    /// independent per-state S-OMP (the paper's baseline).
+    SompFallback,
+}
+
+/// How the model was obtained: the ladder rung plus, for fallbacks, the
+/// numerical failure that forced the downgrade.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Rung of the degradation ladder that produced the returned model.
+    pub strategy: FitStrategy,
+    /// Rendered description of the numerical failure behind a fallback
+    /// (`None` for a full fit) — matrix dimensions, failing pivot, attempted
+    /// jitter.
+    pub fallback_reason: Option<String>,
+}
+
+impl RecoveryReport {
+    fn full() -> Self {
+        RecoveryReport {
+            strategy: FitStrategy::Full,
+            fallback_reason: None,
+        }
+    }
+}
+
 /// Everything a fit run produced: the model plus the diagnostics the
 /// benchmark harness reports (hyper-parameters, iteration counts, wall-clock
 /// fitting cost — the "fitting cost (sec.)" rows of Tables 1–2).
 #[derive(Debug, Clone)]
 pub struct FitOutcome {
     model: PerStateModel,
-    init: InitOutcome,
-    em: EmOutcome,
+    init: Option<InitOutcome>,
+    em: Option<EmOutcome>,
+    recovery: RecoveryReport,
     fitting_seconds: f64,
 }
 
@@ -54,14 +99,28 @@ impl FitOutcome {
         self.model
     }
 
-    /// The initializer's result (winning candidate, support, prior).
-    pub fn init(&self) -> &InitOutcome {
-        &self.init
+    /// The initializer's result (winning candidate, support, prior); `None`
+    /// when the fit degraded to the S-OMP fallback before initialization
+    /// completed.
+    pub fn init(&self) -> Option<&InitOutcome> {
+        self.init.as_ref()
     }
 
-    /// The EM refinement result (final hyper-parameters, traces).
-    pub fn em(&self) -> &EmOutcome {
-        &self.em
+    /// The EM refinement result (final hyper-parameters, traces); `None`
+    /// when the fit took any fallback rung.
+    pub fn em(&self) -> Option<&EmOutcome> {
+        self.em.as_ref()
+    }
+
+    /// How the model was obtained: ladder rung and, for fallbacks, the
+    /// failure that forced it.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Shorthand for `self.recovery().strategy`.
+    pub fn strategy(&self) -> FitStrategy {
+        self.recovery.strategy
     }
 
     /// Wall-clock fitting time in seconds (model fitting only — simulation
@@ -106,12 +165,26 @@ impl CbmfFit {
         CbmfFit { config }
     }
 
-    /// Runs the full Algorithm 1 on a problem.
+    /// Runs the full Algorithm 1 on a problem, degrading gracefully when a
+    /// stage fails numerically.
+    ///
+    /// The degradation ladder is deterministic: (1) the full pipeline; (2) if
+    /// EM refinement fails numerically, the initializer's model under the
+    /// parameterized R(r0) prior without refinement; (3) if the initializer
+    /// itself fails numerically, independent per-state S-OMP. Each fallback
+    /// increments a `recovery.*` trace counter and is reported through
+    /// [`FitOutcome::recovery`]. Only *numerical* failures
+    /// ([`CbmfError::is_numerical`]) trigger a fallback — invalid or
+    /// non-finite input always propagates, since refitting broken data with a
+    /// simpler model cannot succeed.
     ///
     /// # Errors
     ///
-    /// Propagates initializer and EM failures; see [`SompInitializer`] and
-    /// [`EmRefiner`].
+    /// * [`CbmfError::InvalidInput`] / [`CbmfError::NonFiniteData`] /
+    ///   [`CbmfError::TooFewSamples`] for structurally unusable input (never
+    ///   a panic).
+    /// * [`CbmfError::Linalg`] only when the final S-OMP fallback itself
+    ///   fails numerically.
     pub fn fit<R: Rng + ?Sized>(
         &self,
         problem: &TunableProblem,
@@ -119,29 +192,91 @@ impl CbmfFit {
     ) -> Result<FitOutcome, CbmfError> {
         let t0 = Instant::now();
         let _fit_span = cbmf_trace::span("fit");
-        let init = SompInitializer::new(self.config.grid.clone()).initialize(problem, rng)?;
-        let em = EmRefiner::new(self.config.em.clone()).refine(problem, &init.prior)?;
+        problem.validate()?;
+        let init = match SompInitializer::new(self.config.grid.clone()).initialize(problem, rng) {
+            Ok(init) => init,
+            Err(e) if e.is_numerical() => return self.somp_fallback(problem, rng, t0, e),
+            Err(e) => return Err(e),
+        };
+        match EmRefiner::new(self.config.em.clone()).refine(problem, &init.prior) {
+            Ok(em) => {
+                // Final support: bases whose refined λ survived, plus any
+                // basis the EM coefficients still use materially.
+                let support = em.prior.active_basis(Self::SUPPORT_THRESHOLD);
+                let coeffs = em.coeffs.select_cols(&support);
+                let model = Self::assemble(problem, support, coeffs)?;
+                Ok(FitOutcome {
+                    model,
+                    init: Some(init),
+                    em: Some(em),
+                    recovery: RecoveryReport::full(),
+                    fitting_seconds: t0.elapsed().as_secs_f64(),
+                })
+            }
+            Err(e) if e.is_numerical() => {
+                // Rung 2: the initializer's support and coefficients are
+                // already a valid model under the R(r0) prior; assembling
+                // them needs no further factorization.
+                FALLBACK_FIXED_R.inc();
+                let model = Self::assemble(problem, init.support.clone(), init.coeffs.clone())?;
+                Ok(FitOutcome {
+                    model,
+                    init: Some(init),
+                    em: None,
+                    recovery: RecoveryReport {
+                        strategy: FitStrategy::FixedR,
+                        fallback_reason: Some(e.to_string()),
+                    },
+                    fitting_seconds: t0.elapsed().as_secs_f64(),
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
 
-        // Final support: bases whose refined λ survived, plus any basis the
-        // EM coefficients still use materially.
-        let support = em.prior.active_basis(Self::SUPPORT_THRESHOLD);
-        let coeffs = em.coeffs.select_cols(&support);
+    /// Rung 3: independent per-state S-OMP over the same candidate grid.
+    fn somp_fallback<R: Rng + ?Sized>(
+        &self,
+        problem: &TunableProblem,
+        rng: &mut R,
+        t0: Instant,
+        cause: CbmfError,
+    ) -> Result<FitOutcome, CbmfError> {
+        FALLBACK_SOMP.inc();
+        let model = Somp::new(SompConfig {
+            theta_candidates: self.config.grid.theta.clone(),
+            cv_folds: self.config.grid.cv_folds,
+        })
+        .fit(problem, rng)?;
+        Ok(FitOutcome {
+            model,
+            init: None,
+            em: None,
+            recovery: RecoveryReport {
+                strategy: FitStrategy::SompFallback,
+                fallback_reason: Some(cause.to_string()),
+            },
+            fitting_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Wraps a (support, per-state coefficients) pair as a model, recomputing
+    /// intercepts on the raw data.
+    fn assemble(
+        problem: &TunableProblem,
+        support: Vec<usize>,
+        coeffs: Matrix,
+    ) -> Result<PerStateModel, CbmfError> {
         let intercepts = (0..problem.num_states())
             .map(|k| problem.intercept_for(k, &support, coeffs.row(k)))
             .collect();
-        let model = PerStateModel::new(
+        PerStateModel::new(
             problem.basis_spec(),
             dictionary_dim(problem),
             support,
             coeffs,
             intercepts,
-        )?;
-        Ok(FitOutcome {
-            model,
-            init,
-            em,
-            fitting_seconds: t0.elapsed().as_secs_f64(),
-        })
+        )
     }
 }
 
@@ -227,9 +362,13 @@ mod tests {
         let out = CbmfFit::new(CbmfConfig::small_problem())
             .fit(&train, &mut rng)
             .unwrap();
-        assert!(out.init().support.len() <= out.init().theta);
-        assert!(!out.em().nlml_trace.is_empty());
-        assert!(out.em().iterations >= 1);
+        let init = out.init().expect("full pipeline keeps the init outcome");
+        let em = out.em().expect("full pipeline keeps the EM outcome");
+        assert!(init.support.len() <= init.theta);
+        assert!(!em.nlml_trace.is_empty());
+        assert!(em.iterations >= 1);
+        assert_eq!(out.strategy(), FitStrategy::Full);
+        assert!(out.recovery().fallback_reason.is_none());
         let model = out.clone().into_model();
         assert_eq!(model.num_states(), 3);
     }

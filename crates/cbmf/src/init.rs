@@ -186,7 +186,7 @@ impl SompInitializer {
         let (support, coeffs) = select_with_bayes(problem, theta, r0, sigma0)?;
         let m = problem.num_basis();
         let r = toeplitz_r(k, r0)?;
-        let r_chol = Cholesky::new_with_jitter(&r, 1e-10, 8)?;
+        let r_chol = Cholesky::new_robust(&r)?;
         let mut on_levels = Vec::with_capacity(support.len());
         for j in 0..support.len() {
             let alpha = coeffs.col(j);
@@ -285,7 +285,7 @@ struct IncrementalBayes<'a> {
 
 impl<'a> IncrementalBayes<'a> {
     fn new(problem: &'a TunableProblem, r: &Matrix, sigma0: f64) -> Result<Self, CbmfError> {
-        let r_inv = Cholesky::new_with_jitter(r, 1e-10, 8)?.inverse();
+        let r_inv = Cholesky::new_robust(r)?.inverse();
         Ok(IncrementalBayes {
             problem,
             r_inv,
@@ -338,7 +338,9 @@ impl<'a> IncrementalBayes<'a> {
     fn coefficients(&self) -> Result<Matrix, CbmfError> {
         let k = self.problem.num_states();
         let t = self.support.len();
-        let chol = self.chol.as_ref().expect("at least one basis added");
+        let chol = self.chol.as_ref().ok_or_else(|| CbmfError::InvalidInput {
+            what: "coefficient solve requested before any basis was added".to_string(),
+        })?;
         let sol = chol.solve_vec(&self.rhs)?;
         let mut coeffs = Matrix::zeros(k, t);
         for j in 0..t {

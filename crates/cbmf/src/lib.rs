@@ -78,7 +78,7 @@ pub use cluster::{ClusteredCbmf, ClusteredModel};
 pub use dataset::{StateData, TunableProblem};
 pub use em::{EmConfig, EmOutcome, EmRefiner};
 pub use error::CbmfError;
-pub use fit::{CbmfConfig, CbmfFit, FitOutcome};
+pub use fit::{CbmfConfig, CbmfFit, FitOutcome, FitStrategy, RecoveryReport};
 pub use group_lasso::{GroupLasso, GroupLassoConfig};
 pub use init::{CandidateGrid, InitOutcome, SompInitializer};
 pub use model::PerStateModel;

@@ -1,5 +1,5 @@
 use cbmf_linalg::{Cholesky, Matrix};
-use cbmf_trace::Counter;
+use cbmf_trace::{Counter, Gauge};
 
 use crate::dataset::TunableProblem;
 use crate::error::CbmfError;
@@ -9,6 +9,10 @@ use crate::prior::CbmfPrior;
 static POSTERIOR_COEFF_SOLVES: Counter = Counter::new("cbmf.posterior.coeff_solves");
 /// Full-moment posterior solves (one per EM iteration).
 static POSTERIOR_MOMENT_SOLVES: Counter = Counter::new("cbmf.posterior.moment_solves");
+/// Reciprocal-condition estimate of the most recent observation-space
+/// covariance factorization — the pipeline's condition monitor. Values
+/// approaching machine epsilon predict jitter retries and fallbacks.
+static POSTERIOR_RCOND: Gauge = Gauge::new("cbmf.posterior.rcond_estimate");
 
 /// The MAP posterior of the C-BMF model (paper eqs. 19–22), evaluated with
 /// structure-exploiting algebra.
@@ -81,7 +85,7 @@ impl MapPosterior {
         let _span = cbmf_trace::span("posterior_coeffs");
         POSTERIOR_COEFF_SOLVES.inc();
         let ctx = Context::build(problem, prior)?;
-        Ok(ctx.coefficients(problem, prior))
+        ctx.coefficients(problem, prior)
     }
 
     /// Solves the full posterior moments (mean blocks, active covariance
@@ -100,7 +104,7 @@ impl MapPosterior {
         let ctx = Context::build(problem, prior)?;
         let k = problem.num_states();
         let m = problem.num_basis();
-        let coeffs = ctx.coefficients(problem, prior);
+        let coeffs = ctx.coefficients(problem, prior)?;
 
         // mean_blocks[m][k] = coeffs[k][m].
         let mut mean_blocks = Matrix::zeros(m, k);
@@ -143,18 +147,17 @@ impl MapPosterior {
         }
         // Σp^m = λ_m·R − λ_m²·R·T_m·R.
         let r = prior.r();
-        let sigma_blocks: Vec<Option<Matrix>> = t_blocks
-            .into_iter()
-            .enumerate()
-            .map(|(mi, t)| {
-                t.map(|t| {
-                    let rt = r.matmul(&t).expect("K x K shapes");
-                    let rtr = rt.matmul(r).expect("K x K shapes");
-                    let lm = lambda[mi];
-                    (&r.scaled(lm) - &rtr.scaled(lm * lm)).symmetrized()
-                })
-            })
-            .collect();
+        let mut sigma_blocks: Vec<Option<Matrix>> = Vec::with_capacity(m);
+        for (mi, t) in t_blocks.into_iter().enumerate() {
+            let Some(t) = t else {
+                sigma_blocks.push(None);
+                continue;
+            };
+            let rt = r.matmul(&t)?;
+            let rtr = rt.matmul(r)?;
+            let lm = lambda[mi];
+            sigma_blocks.push(Some((&r.scaled(lm) - &rtr.scaled(lm * lm)).symmetrized()));
+        }
 
         // Residual norm ‖y − Dμ‖² per state.
         let mut resid_norm_sq = 0.0;
@@ -450,7 +453,8 @@ impl Context {
         }
         c.add_diag_mut(s2);
 
-        let chol = Cholesky::new_with_jitter(&c, 1e-10, 8)?;
+        let chol = Cholesky::new_robust(&c)?;
+        POSTERIOR_RCOND.set(chol.rcond_estimate());
         let y: Vec<f64> = problem.states().iter().flat_map(|s| s.y.clone()).collect();
         let ciy = chol.solve_vec(&y)?;
         let quad = y.iter().zip(&ciy).map(|(a, b)| a * b).sum();
@@ -467,7 +471,17 @@ impl Context {
 
     /// MAP coefficients for every basis (floored bases get ≈0 coefficients
     /// automatically through their λ factor).
-    fn coefficients(&self, problem: &TunableProblem, prior: &CbmfPrior) -> Matrix {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::Linalg`] if a state's basis disagrees in shape
+    /// with the solved right-hand side (only possible through a corrupted
+    /// problem — the error carries the offending shapes).
+    fn coefficients(
+        &self,
+        problem: &TunableProblem,
+        prior: &CbmfPrior,
+    ) -> Result<Matrix, CbmfError> {
         let k = problem.num_states();
         let m = problem.num_basis();
         let lambda = prior.lambda();
@@ -478,15 +492,12 @@ impl Context {
         let grain = (128 * 1024 / per_state.max(1)).max(1);
         let g_cols = cbmf_parallel::par_map_indexed(k, grain, |ki| {
             let slice = &self.ciy[self.offsets[ki]..self.offsets[ki] + self.counts[ki]];
-            problem.states()[ki]
-                .basis
-                .t_matvec(slice)
-                .expect("slice length equals state rows")
+            problem.states()[ki].basis.t_matvec(slice)
         });
         let mut g = Matrix::zeros(m, k);
-        for (ki, gm) in g_cols.iter().enumerate() {
-            for (mi, v) in gm.iter().enumerate() {
-                g[(mi, ki)] = *v;
+        for (ki, gm) in g_cols.into_iter().enumerate() {
+            for (mi, v) in gm?.into_iter().enumerate() {
+                g[(mi, ki)] = v;
             }
         }
         // α_{k,m} = λ_m · Σ_{k'} R[k,k'] g[m][k'].
@@ -501,7 +512,7 @@ impl Context {
                 coeffs[(ki, mi)] = lambda[mi] * acc;
             }
         }
-        coeffs
+        Ok(coeffs)
     }
 }
 

@@ -1,7 +1,8 @@
 //! Property-based tests on the C-BMF core invariants.
 
 use cbmf::{
-    BasisSpec, CbmfPrior, MapPosterior, PerStateModel, PosteriorPredictive, TunableProblem,
+    BasisSpec, CbmfConfig, CbmfFit, CbmfPrior, MapPosterior, PerStateModel, PosteriorPredictive,
+    TunableProblem,
 };
 use cbmf_linalg::{Cholesky, Matrix};
 use proptest::prelude::*;
@@ -185,6 +186,69 @@ proptest! {
         prop_assert!(Cholesky::new(&mat).is_ok(), "k={k}, r0={r0}");
         // The prior constructor accepts the same matrices.
         prop_assert!(CbmfPrior::with_toeplitz_r(vec![1.0; 2], k, r0, 1.0).is_ok());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The fitting pipeline never panics on adversarial data: corrupted
+    /// inputs are either rejected at construction or surface as typed
+    /// errors (or a degraded-but-valid fit) from `CbmfFit::fit`.
+    #[test]
+    fn fit_never_panics_on_adversarial_data(
+        k in 1usize..=3,
+        n in 1usize..=6,
+        d in 1usize..=4,
+        seed in 0u64..500,
+        corruption in 0usize..6,
+    ) {
+        let mut rng = cbmf_stats::seeded_rng(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for state in 0..k {
+            let x = Matrix::from_fn(n, d, |_, _| cbmf_stats::normal::sample(&mut rng));
+            let w = 1.0 + 0.1 * state as f64;
+            let y: Vec<f64> = (0..n).map(|i| w * x[(i, 0)]).collect();
+            xs.push(x);
+            ys.push(y);
+        }
+        match corruption {
+            1 => ys[0][0] = f64::NAN,
+            2 => xs[0][(0, 0)] = f64::INFINITY,
+            3 if d >= 2 => {
+                // Duplicate column 0 into column 1 (collinear basis).
+                let dup = xs[0].clone();
+                for i in 0..n {
+                    xs[0][(i, 1)] = dup[(i, 0)];
+                }
+            }
+            4 => {
+                // Zero out a whole column (zero variance after centering).
+                for i in 0..n {
+                    xs[0][(i, d - 1)] = 0.0;
+                }
+            }
+            5 => ys[0] = vec![2.5; n],
+            _ => {}
+        }
+
+        // Construction may reject (typed error) — that is a valid outcome.
+        let Ok(problem) = TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear) else {
+            return Ok(());
+        };
+
+        let mut cfg = CbmfConfig::small_problem();
+        cfg.grid.theta = vec![2];
+        cfg.grid.r0 = vec![0.5];
+        cfg.em.max_iters = 3;
+        // The only contract under corruption: return, never panic. On
+        // success the model must at least predict finite values in-sample.
+        if let Ok(out) = CbmfFit::new(cfg).fit(&problem, &mut rng) {
+            let x0 = vec![0.0; problem.num_basis()];
+            let pred = out.model().predict(0, &x0).expect("in-range state");
+            prop_assert!(pred.is_finite(), "prediction must be finite, got {pred}");
+        }
     }
 }
 

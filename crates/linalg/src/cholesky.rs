@@ -11,6 +11,10 @@ static CHOL_FACTORS: Counter = Counter::new("linalg.cholesky.factorizations");
 static CHOL_SOLVES: Counter = Counter::new("linalg.cholesky.rhs_solves");
 /// `O(p·n²)` incremental block appends that *avoided* a full refactorization.
 static CHOL_APPENDS: Counter = Counter::new("linalg.cholesky.block_appends");
+/// Factorizations that failed unloaded but were rescued by a jittered retry
+/// of [`Cholesky::new_with_jitter`]. Nonzero on a healthy problem means some
+/// covariance sat on the PD boundary — the first rung of the recovery ladder.
+static CHOL_JITTER_RETRIES: Counter = Counter::new("recovery.jitter_retries");
 
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
 ///
@@ -43,6 +47,13 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
+    /// Starting relative jitter of [`Cholesky::new_robust`]: the first loaded
+    /// retry adds `1e-10 · mean(diag)` to the diagonal.
+    pub const DEFAULT_JITTER: f64 = 1e-10;
+    /// Retry budget of [`Cholesky::new_robust`]; with the ×10 escalation the
+    /// final attempt loads the diagonal by `1e-3 · mean(diag)`.
+    pub const DEFAULT_JITTER_TRIES: usize = 8;
+
     /// Factors a symmetric positive-definite matrix.
     ///
     /// Only the lower triangle of `a` is read, so callers may pass a matrix
@@ -54,6 +65,19 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         Self::factor(a, 0.0)
+    }
+
+    /// Factors with the default escalating-jitter schedule
+    /// ([`Cholesky::DEFAULT_JITTER`], [`Cholesky::DEFAULT_JITTER_TRIES`]) —
+    /// the one schedule shared by every stage of the C-BMF fitting pipeline,
+    /// so recovery behavior is uniform and centrally tunable.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if all retries fail.
+    pub fn new_robust(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::new_with_jitter(a, Self::DEFAULT_JITTER, Self::DEFAULT_JITTER_TRIES)
     }
 
     /// Factors `a`, retrying with escalating diagonal jitter on failure.
@@ -84,10 +108,18 @@ impl Cholesky {
         let n = a.rows().max(1) as f64;
         let diag_scale = (a.trace() / n).abs().max(1e-300);
         let mut jitter = initial_jitter.max(f64::EPSILON) * diag_scale;
-        let mut last = LinalgError::NotPositiveDefinite { pivot: 0 };
+        let mut last = LinalgError::NotPositiveDefinite {
+            dim: a.rows(),
+            pivot: 0,
+            pivot_value: f64::NAN,
+            jitter: 0.0,
+        };
         for _ in 0..max_tries {
             match Self::factor(a, jitter) {
-                Ok(c) => return Ok(c),
+                Ok(c) => {
+                    CHOL_JITTER_RETRIES.inc();
+                    return Ok(c);
+                }
                 Err(e) => last = e,
             }
             jitter *= 10.0;
@@ -103,6 +135,16 @@ impl Cholesky {
             });
         }
         let n = a.rows();
+        // Scheduled test faults report NaN pivots without doing any work, so
+        // they neither perturb the perf counters nor depend on the data.
+        if crate::faultinject::should_fail("cholesky.factor", jitter) {
+            return Err(LinalgError::NotPositiveDefinite {
+                dim: n,
+                pivot: 0,
+                pivot_value: f64::NAN,
+                jitter,
+            });
+        }
         CHOL_FACTORS.inc();
         let mut l = Matrix::zeros(n, n);
         for i in 0..n {
@@ -114,7 +156,12 @@ impl Cholesky {
                 s -= vecops::dot(&l.row(i)[..j], &l.row(j)[..j]);
                 if i == j {
                     if s <= 0.0 || !s.is_finite() {
-                        return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                        return Err(LinalgError::NotPositiveDefinite {
+                            dim: n,
+                            pivot: i,
+                            pivot_value: s,
+                            jitter,
+                        });
                     }
                     l[(i, i)] = s.sqrt();
                 } else {
@@ -139,6 +186,34 @@ impl Cholesky {
     /// (zero when no retry was needed).
     pub fn jitter(&self) -> f64 {
         self.jitter
+    }
+
+    /// Cheap reciprocal-condition estimate from the factor diagonal:
+    /// `(min_i L_ii / max_i L_ii)²`.
+    ///
+    /// For SPD `A` the squared diagonal ratio is an *optimistic* (upper)
+    /// bound on `1/κ₂(A)` that costs `O(n)` given the factor, which makes it
+    /// suitable for per-iteration condition monitoring: values near `1` mean
+    /// well-conditioned, values approaching machine epsilon mean the next EM
+    /// step is likely to need jitter or a fallback. Returns `1.0` for an
+    /// empty factor.
+    pub fn rcond_estimate(&self) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for i in 0..n {
+            let d = self.l[(i, i)];
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if max == 0.0 || !max.is_finite() {
+            return 0.0;
+        }
+        let r = min / max;
+        r * r
     }
 
     /// Log-determinant of the factored matrix, `log det A = 2 Σ log L_ii`.
@@ -466,7 +541,60 @@ mod tests {
     #[test]
     fn jitter_gives_up_eventually() {
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(); // indefinite
-        assert!(Cholesky::new_with_jitter(&a, 1e-12, 2).is_err());
+        let err = Cholesky::new_with_jitter(&a, 1e-12, 2).expect_err("indefinite");
+        // The final error reports the last attempted jitter of the schedule.
+        match err {
+            LinalgError::NotPositiveDefinite { dim, jitter, .. } => {
+                assert_eq!(dim, 2);
+                assert!(jitter > 0.0, "last attempt was loaded");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_robust_uses_the_default_schedule() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap(); // rank-1 PSD
+        let robust = Cholesky::new_robust(&a).unwrap();
+        let explicit =
+            Cholesky::new_with_jitter(&a, Cholesky::DEFAULT_JITTER, Cholesky::DEFAULT_JITTER_TRIES)
+                .unwrap();
+        assert_eq!(robust.jitter().to_bits(), explicit.jitter().to_bits());
+    }
+
+    #[test]
+    fn not_pd_error_carries_context() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        match Cholesky::new(&a).expect_err("indefinite") {
+            LinalgError::NotPositiveDefinite {
+                dim,
+                pivot,
+                pivot_value,
+                jitter,
+            } => {
+                assert_eq!(dim, 2);
+                assert_eq!(pivot, 1);
+                assert!(pivot_value <= 0.0 && pivot_value.is_finite());
+                assert_eq!(jitter, 0.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rcond_estimate_tracks_conditioning() {
+        let well = Cholesky::new(&Matrix::identity(4)).unwrap();
+        assert!((well.rcond_estimate() - 1.0).abs() < 1e-15);
+        // diag(1, 1e-8): rcond estimate (sqrt(1e-8)/1)^2 = 1e-8.
+        let ill = Cholesky::new(&Matrix::from_diag(&[1.0, 1e-8])).unwrap();
+        assert!((ill.rcond_estimate() - 1e-8).abs() < 1e-18);
+        assert!(ill.rcond_estimate() < well.rcond_estimate());
+        assert_eq!(
+            Cholesky::new(&Matrix::zeros(0, 0))
+                .unwrap()
+                .rcond_estimate(),
+            1.0
+        );
     }
 
     #[test]

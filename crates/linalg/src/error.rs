@@ -27,8 +27,17 @@ pub enum LinalgError {
     /// Cholesky factorization failed: the matrix is not positive definite
     /// (even after the configured jitter retries).
     NotPositiveDefinite {
+        /// Dimension of the (square) matrix being factored.
+        dim: usize,
         /// Pivot index at which the failure was detected.
         pivot: usize,
+        /// The offending pivot value — non-positive or non-finite (NaN for
+        /// injected faults, which never reach a real pivot).
+        pivot_value: f64,
+        /// Diagonal loading in force during the failing attempt: `0.0` for a
+        /// plain factorization, the last value of the escalation schedule for
+        /// [`Cholesky::new_with_jitter`](crate::Cholesky::new_with_jitter).
+        jitter: f64,
     },
     /// LU factorization hit an (effectively) zero pivot: matrix is singular.
     Singular {
@@ -61,8 +70,17 @@ impl fmt::Display for LinalgError {
             LinalgError::NotSquare { rows, cols } => {
                 write!(f, "matrix must be square, got {rows}x{cols}")
             }
-            LinalgError::NotPositiveDefinite { pivot } => {
-                write!(f, "matrix is not positive definite (pivot {pivot})")
+            LinalgError::NotPositiveDefinite {
+                dim,
+                pivot,
+                pivot_value,
+                jitter,
+            } => {
+                write!(
+                    f,
+                    "matrix ({dim}x{dim}) is not positive definite \
+                     (pivot {pivot} = {pivot_value:e}, jitter {jitter:e})"
+                )
             }
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (pivot {pivot})")
@@ -93,8 +111,16 @@ mod tests {
         let e = LinalgError::NotSquare { rows: 2, cols: 3 };
         assert_eq!(e.to_string(), "matrix must be square, got 2x3");
 
-        let e = LinalgError::NotPositiveDefinite { pivot: 1 };
+        let e = LinalgError::NotPositiveDefinite {
+            dim: 4,
+            pivot: 1,
+            pivot_value: -2.5e-9,
+            jitter: 1e-8,
+        };
         assert!(e.to_string().contains("positive definite"));
+        assert!(e.to_string().contains("4x4"), "{e}");
+        assert!(e.to_string().contains("-2.5e-9"), "{e}");
+        assert!(e.to_string().contains("1e-8"), "{e}");
 
         let e = LinalgError::Singular { pivot: 0 };
         assert!(e.to_string().contains("singular"));

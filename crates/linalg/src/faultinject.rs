@@ -1,0 +1,262 @@
+//! Deterministic fault injection for the numerical recovery paths.
+//!
+//! Production robustness code is unreachable on healthy data: a jitter retry
+//! fires only when a factorization fails, a pipeline fallback only when a
+//! whole stage fails. This module makes those failures *schedulable*: a test
+//! arms a [`FaultSpec`] and the next matching [`Cholesky`](crate::Cholesky)
+//! factorization returns
+//! [`LinalgError::NotPositiveDefinite`](crate::LinalgError) exactly as a
+//! genuinely indefinite matrix would, so the identical recovery code runs.
+//!
+//! Faults are matched by operation name and by the calling thread's
+//! [`cbmf_trace`] span path, so a test can target "factorizations inside the
+//! EM loop" (`path_contains: "fit/em"`) without touching the initializer.
+//! Span paths only exist on the orchestrating thread — parallel workers carry
+//! empty stacks — which is what makes path-scoped faults deterministic at any
+//! thread count. Path scoping requires tracing to be enabled
+//! (`cbmf_trace::set_enabled(true)`); with tracing off every path is empty
+//! and only faults with an empty `path_contains` match.
+//!
+//! Besides forced failures, a named input can be flagged as *corrupted*
+//! ([`arm_corruption`]); validation layers that call [`corrupted`] then treat
+//! the input as if it held non-finite data, exercising typed-error paths
+//! without constructing adversarial datasets by hand.
+//!
+//! The armed state is process-global: tests that arm faults must serialize
+//! with each other and call [`disarm_all`] when done (use an RAII guard so a
+//! panicking assertion still disarms). When nothing is armed the hot-path
+//! cost is a single relaxed atomic load per guarded operation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// One schedulable fault.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Operation to fail. Guarded operations: `"cholesky.factor"`.
+    pub op: &'static str,
+    /// Substring the calling thread's span path must contain for the fault
+    /// to apply; empty matches everywhere. Requires tracing to be enabled.
+    pub path_contains: String,
+    /// Matching calls to let through before the first injected failure.
+    pub skip: u64,
+    /// Number of failures to inject after `skip`; further matching calls
+    /// succeed. Use `u64::MAX` for "every matching call".
+    pub count: u64,
+    /// When true, only attempts with zero diagonal jitter fail. The
+    /// escalating-jitter retry of
+    /// [`Cholesky::new_with_jitter`](crate::Cholesky::new_with_jitter) then
+    /// succeeds on its first loaded attempt, exercising the rescue path
+    /// instead of a hard failure.
+    pub only_unjittered: bool,
+}
+
+impl FaultSpec {
+    /// A fault failing every `cholesky.factor` call whose span path contains
+    /// `path` (every call anywhere if `path` is empty).
+    pub fn factor_at(path: &str) -> Self {
+        FaultSpec {
+            op: "cholesky.factor",
+            path_contains: path.to_string(),
+            skip: 0,
+            count: u64::MAX,
+            only_unjittered: false,
+        }
+    }
+
+    /// Like [`FaultSpec::factor_at`], but only unjittered attempts fail, so
+    /// jitter retries rescue every factorization.
+    pub fn unjittered_factor_at(path: &str) -> Self {
+        FaultSpec {
+            only_unjittered: true,
+            ..Self::factor_at(path)
+        }
+    }
+}
+
+/// An armed fault plus its match bookkeeping.
+struct ArmedFault {
+    spec: FaultSpec,
+    /// Matching calls observed so far (drives `skip`).
+    seen: u64,
+    /// Failures injected so far (drives `count`).
+    fired: u64,
+}
+
+/// Fast-path gate: true iff any fault or corruption is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Total failures injected since process start (monotone).
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+static FAULTS: Mutex<Vec<ArmedFault>> = Mutex::new(Vec::new());
+static CORRUPTIONS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    // A panicking test must not wedge every later test on a poisoned lock.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms `spec`. Multiple armed faults are checked in arming order; the first
+/// match wins.
+pub fn arm(spec: FaultSpec) {
+    lock(&FAULTS).push(ArmedFault {
+        spec,
+        seen: 0,
+        fired: 0,
+    });
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Flags the named input (e.g. `"dataset.y"`) as corrupted; validation
+/// layers consulting [`corrupted`] then reject it as non-finite.
+pub fn arm_corruption(name: &str) {
+    lock(&CORRUPTIONS).push(name.to_string());
+    ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Clears every armed fault and corruption and re-closes the fast-path gate.
+pub fn disarm_all() {
+    lock(&FAULTS).clear();
+    lock(&CORRUPTIONS).clear();
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Total number of failures injected since process start. Monotone — compare
+/// before/after rather than expecting absolute values.
+pub fn injected_count() -> u64 {
+    INJECTED.load(Ordering::SeqCst)
+}
+
+/// True when the named input is currently flagged as corrupted.
+pub fn corrupted(name: &str) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock(&CORRUPTIONS).iter().any(|c| c == name)
+}
+
+/// Consulted by guarded operations (`op` naming the call site, `jitter` the
+/// diagonal loading in force). Returns true when an armed fault elects this
+/// call to fail. One relaxed atomic load when nothing is armed.
+pub fn should_fail(op: &str, jitter: f64) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut faults = lock(&FAULTS);
+    if faults.is_empty() {
+        return false;
+    }
+    let path = cbmf_trace::current_path();
+    for f in faults.iter_mut() {
+        if f.spec.op != op {
+            continue;
+        }
+        if f.spec.only_unjittered && jitter != 0.0 {
+            continue;
+        }
+        if !f.spec.path_contains.is_empty() && !path.contains(&f.spec.path_contains) {
+            continue;
+        }
+        let seen = f.seen;
+        f.seen += 1;
+        if seen < f.spec.skip || f.fired >= f.spec.count {
+            continue;
+        }
+        f.fired += 1;
+        INJECTED.fetch_add(1, Ordering::SeqCst);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cholesky, Matrix};
+
+    /// The armed state is process-global; tests of this module serialize on
+    /// one lock and disarm via RAII so a failed assertion cannot leak an
+    /// armed fault into a concurrently running factorization test.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    struct DisarmOnDrop;
+    impl Drop for DisarmOnDrop {
+        fn drop(&mut self) {
+            disarm_all();
+        }
+    }
+
+    fn spd2() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap()
+    }
+
+    #[test]
+    fn faults_are_path_scoped_with_skip_and_count() {
+        let _l = serial();
+        let _cleanup = DisarmOnDrop;
+        cbmf_trace::set_enabled(true);
+        let _s = cbmf_trace::span("fi_selftest_scoped");
+        arm(FaultSpec {
+            skip: 1,
+            count: 1,
+            ..FaultSpec::factor_at("fi_selftest_scoped")
+        });
+        let a = spd2();
+        let before = injected_count();
+        assert!(Cholesky::new(&a).is_ok(), "skip lets the first call pass");
+        let err = Cholesky::new(&a).expect_err("second call fails");
+        match err {
+            crate::LinalgError::NotPositiveDefinite {
+                dim, pivot_value, ..
+            } => {
+                assert_eq!(dim, 2);
+                assert!(pivot_value.is_nan(), "injected faults report NaN pivots");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(Cholesky::new(&a).is_ok(), "count exhausted");
+        assert_eq!(injected_count(), before + 1);
+    }
+
+    #[test]
+    fn faults_outside_the_scoped_path_do_not_fire() {
+        let _l = serial();
+        let _cleanup = DisarmOnDrop;
+        cbmf_trace::set_enabled(true);
+        arm(FaultSpec::factor_at("fi_selftest_elsewhere"));
+        let a = spd2();
+        assert!(Cholesky::new(&a).is_ok(), "no open span: path is empty");
+        let _s = cbmf_trace::span("fi_selftest_other_stage");
+        assert!(Cholesky::new(&a).is_ok(), "different stage: no match");
+    }
+
+    #[test]
+    fn unjittered_fault_is_rescued_by_jitter_retry() {
+        let _l = serial();
+        let _cleanup = DisarmOnDrop;
+        cbmf_trace::set_enabled(true);
+        let _s = cbmf_trace::span("fi_selftest_unjittered");
+        arm(FaultSpec::unjittered_factor_at("fi_selftest_unjittered"));
+        let a = spd2();
+        assert!(
+            Cholesky::new(&a).is_err(),
+            "plain factorization has no retry"
+        );
+        let c = Cholesky::new_with_jitter(&a, 1e-10, 4).expect("retry rescues");
+        assert!(c.jitter() > 0.0, "success came from a loaded attempt");
+    }
+
+    #[test]
+    fn corruption_flags_are_named_and_disarmable() {
+        let _l = serial();
+        let _cleanup = DisarmOnDrop;
+        assert!(!corrupted("dataset.y"));
+        arm_corruption("dataset.y");
+        assert!(corrupted("dataset.y"));
+        assert!(!corrupted("dataset.basis"));
+        disarm_all();
+        assert!(!corrupted("dataset.y"));
+    }
+}

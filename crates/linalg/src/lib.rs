@@ -15,6 +15,8 @@
 //!   near-PD matrices back onto the PD cone between EM steps.
 //! * [`Complex64`] and [`CMatrix`] — complex scalars and matrices with an LU
 //!   solve, used by the modified-nodal-analysis circuit simulator.
+//! * [`faultinject`] — deterministic fault injection for testing the
+//!   recovery paths built on these factorizations.
 //!
 //! # Examples
 //!
@@ -41,6 +43,7 @@ mod cmat;
 mod complex;
 mod eigen;
 mod error;
+pub mod faultinject;
 mod lu;
 mod mat;
 mod qr;

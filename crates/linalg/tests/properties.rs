@@ -15,6 +15,19 @@ fn spd_matrix() -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Strategy: a rank-deficient (or full-rank) PSD matrix `M Mᵀ` where `M` is
+/// n×r with r ≤ n — exactly singular whenever r < n.
+fn psd_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6)
+        .prop_flat_map(|n| (Just(n), 1usize..=n))
+        .prop_flat_map(|(n, r)| {
+            proptest::collection::vec(-2.0f64..2.0, n * r).prop_map(move |data| {
+                let m = Matrix::from_vec(n, r, data).expect("length matches");
+                m.matmul_t(&m).expect("square product")
+            })
+        })
+}
+
 /// Strategy: an arbitrary square matrix with entries in [-3, 3].
 fn square_matrix() -> impl Strategy<Value = Matrix> {
     (1usize..=6).prop_flat_map(|n| {
@@ -49,6 +62,25 @@ proptest! {
         let det = Lu::new(&a).expect("nonsingular").det();
         prop_assert!(det > 0.0);
         prop_assert!((c.logdet() - det.ln()).abs() < 1e-6 * c.logdet().abs().max(1.0));
+    }
+
+    /// The escalating-jitter retry always produces a factor for PSD input
+    /// (including exactly singular matrices), the factor reconstructs the
+    /// input up to the applied diagonal loading, and the condition estimate
+    /// stays a valid reciprocal number in (0, 1].
+    #[test]
+    fn jittered_cholesky_factors_any_psd_matrix(a in psd_matrix()) {
+        let c = Cholesky::new_with_jitter(&a, 1e-12, 40).expect("psd factors under jitter");
+        let rec = c.l().matmul_t(c.l()).expect("square");
+        let tol = c.jitter() * 1.01 + 1e-8 * a.max_abs().max(1.0);
+        prop_assert!(
+            (&rec - &a).max_abs() <= tol,
+            "reconstruction off by {} with jitter {}",
+            (&rec - &a).max_abs(),
+            c.jitter()
+        );
+        let rcond = c.rcond_estimate();
+        prop_assert!(rcond > 0.0 && rcond <= 1.0, "rcond estimate {rcond}");
     }
 
     #[test]

@@ -310,6 +310,19 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// The `/`-joined path of the spans currently open on this thread —
+/// `"fit/em"` inside `span("fit")` then `span("em")`. Empty when tracing is
+/// disabled or no span is open. Worker threads of a parallel region have
+/// their own (empty) stacks, so the path identifies the *orchestrating*
+/// pipeline stage; fault-injection tooling uses it to scope failures to a
+/// stage deterministically at any thread count.
+pub fn current_path() -> String {
+    if !enabled() {
+        return String::new();
+    }
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else {
@@ -473,6 +486,31 @@ mod tests {
         assert!(snap.spans["outer/inner"].total_ns >= 1_000_000);
         assert!(snap.spans["outer"].total_ns >= snap.spans["outer/inner"].total_ns);
         assert!(snap.spans["outer/inner"].min_ns <= snap.spans["outer/inner"].max_ns);
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn current_path_tracks_open_spans() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        assert_eq!(current_path(), "");
+        {
+            let _outer = span("outer");
+            assert_eq!(current_path(), "outer");
+            {
+                let _inner = span("inner");
+                assert_eq!(current_path(), "outer/inner");
+                // Worker threads have their own (empty) span stacks.
+                let remote = std::thread::spawn(current_path).join().unwrap();
+                assert_eq!(remote, "");
+            }
+            assert_eq!(current_path(), "outer");
+        }
+        set_enabled(false);
+        let _hidden = span("hidden");
+        assert_eq!(current_path(), "", "disabled tracing yields empty paths");
         clear_enabled_override();
     }
 

@@ -51,8 +51,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "C-BMF : error {:6.3}%  support {:?}  (r0 = {:.2}, {} EM iters)",
         100.0 * cbmf.model().modeling_error(&test)?,
         cbmf.model().support(),
-        cbmf.init().r0,
-        cbmf.em().iterations
+        cbmf.init().expect("full pipeline").r0,
+        cbmf.em().expect("full pipeline").iterations
     );
 
     // Predict state 3 at a specific process corner.

@@ -23,7 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit, then build the exact predictive distribution under the refined
     // hyper-parameters.
     let fit = CbmfFit::new(CbmfConfig::default()).fit(&p, &mut rng)?;
-    let predictive = PosteriorPredictive::new(&p, &fit.em().prior)?;
+    let em = fit.em().expect("full pipeline");
+    let predictive = PosteriorPredictive::new(&p, &em.prior)?;
 
     // Check the error bars against fresh simulations.
     println!("state,corner,simulated_nf_db,predicted_nf_db,sigma,within_2sigma");

@@ -7,10 +7,23 @@
 //! collection, the greedy initializer, the EM refinement, and the final
 //! model coefficients.
 
-use cbmf::{BasisSpec, CbmfConfig, CbmfFit, Omp, OmpConfig, Somp, SompConfig, TunableProblem};
+use std::sync::{Mutex, MutexGuard};
+
+use cbmf::{
+    BasisSpec, CbmfConfig, CbmfFit, FitStrategy, Omp, OmpConfig, Somp, SompConfig, TunableProblem,
+};
+use cbmf_linalg::faultinject::{self, FaultSpec};
 use cbmf_linalg::Matrix;
 use cbmf_parallel::with_threads;
 use cbmf_stats::{normal, seeded_rng};
+
+/// The fallback test below arms process-global fault-injection state, so
+/// every test in this binary serializes on one lock: an armed fault must
+/// never leak into a concurrently running clean fit.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// K correlated states with a shared sparse template — the structure the
 /// whole stack is built for.
@@ -53,6 +66,7 @@ fn assert_bitwise_eq(a: &Matrix, b: &Matrix, what: &str) {
 /// in index order, so no floating-point reassociation ever occurs.
 #[test]
 fn full_fit_is_bitwise_identical_across_thread_counts() {
+    let _l = serial();
     let problem = correlated_problem(4, 18, 10, 0.05, 7);
     let fit_at = |threads: usize| {
         with_threads(threads, || {
@@ -82,6 +96,7 @@ fn full_fit_is_bitwise_identical_across_thread_counts() {
 /// selected support and coefficients must not depend on the thread count.
 #[test]
 fn baseline_fits_are_bitwise_identical_across_thread_counts() {
+    let _l = serial();
     let problem = correlated_problem(3, 24, 14, 0.1, 11);
     let somp_at = |threads: usize| {
         with_threads(threads, || {
@@ -128,6 +143,7 @@ fn baseline_fits_are_bitwise_identical_across_thread_counts() {
 /// count — and downstream fits consume identical bytes.
 #[test]
 fn monte_carlo_collection_is_byte_identical_across_thread_counts() {
+    let _l = serial();
     use cbmf_circuits::{Lna, MonteCarlo};
     let collect_at = |threads: usize| {
         with_threads(threads, || {
@@ -143,5 +159,55 @@ fn monte_carlo_collection_is_byte_identical_across_thread_counts() {
     for (k, (a, b)) in one.states.iter().zip(&many.states).enumerate() {
         assert_bitwise_eq(&a.x, &b.x, &format!("x of state {k}"));
         assert_bitwise_eq(&a.y, &b.y, &format!("y of state {k}"));
+    }
+}
+
+/// A fit that takes a fallback rung is still bitwise identical across thread
+/// counts. The fault is scoped to the EM stage's span path, which exists
+/// only on the orchestrating thread — so the same factorizations fail at
+/// every `RAYON_NUM_THREADS`, and the fixed-R fallback reuses the (already
+/// thread-invariant) initializer outcome.
+#[test]
+fn fallback_fit_is_bitwise_identical_across_thread_counts() {
+    let _l = serial();
+    struct Cleanup;
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            faultinject::disarm_all();
+            cbmf_trace::clear_enabled_override();
+        }
+    }
+    let _cleanup = Cleanup;
+    cbmf_trace::set_enabled(true); // span paths drive the fault scoping
+    faultinject::arm(FaultSpec::factor_at("fit/em"));
+
+    let problem = correlated_problem(4, 18, 10, 0.05, 7);
+    let fit_at = |threads: usize| {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(3);
+            CbmfFit::new(CbmfConfig::small_problem())
+                .fit(&problem, &mut rng)
+                .expect("fallback fit")
+        })
+    };
+    let serial_fit = fit_at(1);
+    assert_eq!(serial_fit.strategy(), FitStrategy::FixedR);
+    for threads in [2, 4, 8] {
+        let parallel = fit_at(threads);
+        assert_eq!(
+            parallel.strategy(),
+            FitStrategy::FixedR,
+            "same ladder rung at {threads} threads"
+        );
+        assert_eq!(
+            serial_fit.model().support(),
+            parallel.model().support(),
+            "support at {threads} threads"
+        );
+        assert_bitwise_eq(
+            serial_fit.model().coefficients(),
+            parallel.model().coefficients(),
+            &format!("fallback coefficients at {threads} threads"),
+        );
     }
 }

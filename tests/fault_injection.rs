@@ -1,0 +1,201 @@
+//! Deterministic fault-injection coverage of the recovery ladder.
+//!
+//! Each test arms a scheduled fault (or corruption flag) through
+//! `cbmf_linalg::faultinject`, drives the full `CbmfFit` pipeline into one
+//! recovery path, and asserts both the produced fit and the matching
+//! `recovery.*` trace counters. Faults are scoped by span path
+//! (`"fit/init"`, `"fit/em"`, `"posterior"`), which only exists on the
+//! orchestrating thread, so every path here is reachable deterministically
+//! at any `RAYON_NUM_THREADS`.
+//!
+//! The armed state and the trace registry are process-global, so every test
+//! serializes on one lock and cleans up through an RAII guard (panic-safe).
+
+use std::sync::{Mutex, MutexGuard};
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfError, CbmfFit, FitStrategy, TunableProblem};
+use cbmf_linalg::faultinject::{self, FaultSpec};
+use cbmf_linalg::Matrix;
+use cbmf_stats::{normal, seeded_rng};
+
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms all faults and clears the trace override even when an assertion
+/// panics mid-test.
+struct Cleanup;
+impl Drop for Cleanup {
+    fn drop(&mut self) {
+        faultinject::disarm_all();
+        cbmf_trace::clear_enabled_override();
+    }
+}
+
+/// Enables tracing (span paths drive fault scoping; counters record the
+/// recoveries under test) and zeroes the registry.
+fn start_traced() {
+    cbmf_trace::set_enabled(true);
+    cbmf_trace::reset();
+}
+
+/// (jitter_retries, fallback_fixed_r, fallback_somp) from the live registry.
+fn recovery_counts() -> (u64, u64, u64) {
+    let snap = cbmf_trace::snapshot();
+    let get = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    (
+        get("recovery.jitter_retries"),
+        get("recovery.fallback_fixed_r"),
+        get("recovery.fallback_somp"),
+    )
+}
+
+/// K correlated states with a shared sparse template (mirrors
+/// `tests/determinism.rs`).
+fn correlated_problem(k: usize, n: usize, d: usize, noise: f64, seed: u64) -> TunableProblem {
+    let mut rng = seeded_rng(seed);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for state in 0..k {
+        let x = Matrix::from_fn(n, d, |_, _| normal::sample(&mut rng));
+        let w = 1.0 + 0.05 * state as f64;
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                w * (2.0 * x[(i, 2)] - 1.3 * x[(i, 5)] + 0.7 * x[(i, 8)])
+                    + noise * normal::sample(&mut rng)
+            })
+            .collect();
+        xs.push(x);
+        ys.push(y);
+    }
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).unwrap()
+}
+
+fn fit(problem: &TunableProblem) -> Result<cbmf::FitOutcome, CbmfError> {
+    let mut rng = seeded_rng(3);
+    CbmfFit::new(CbmfConfig::small_problem()).fit(problem, &mut rng)
+}
+
+/// With nothing armed, the pipeline must stay on the top rung and emit zero
+/// `recovery.*` counts — the invariant the CI accuracy gate pins for the
+/// baseline problems.
+#[test]
+fn clean_fit_reports_full_strategy_and_zero_recovery_counters() {
+    let _l = serial();
+    let _cleanup = Cleanup;
+    start_traced();
+    let out = fit(&correlated_problem(4, 18, 10, 0.05, 7)).expect("clean fit");
+    assert_eq!(out.strategy(), FitStrategy::Full);
+    assert!(out.recovery().fallback_reason.is_none());
+    assert!(out.init().is_some() && out.em().is_some());
+    assert_eq!(recovery_counts(), (0, 0, 0), "no recovery on a clean fit");
+}
+
+/// Failing only the *unjittered* first attempt of posterior factorizations
+/// forces the escalating-jitter retry to rescue every one of them: the fit
+/// still completes on the top rung, and `recovery.jitter_retries` records
+/// the rescues.
+#[test]
+fn jitter_retry_rescues_posterior_factorization() {
+    let _l = serial();
+    let _cleanup = Cleanup;
+    start_traced();
+    faultinject::arm(FaultSpec::unjittered_factor_at("posterior"));
+    let injected_before = faultinject::injected_count();
+    let out = fit(&correlated_problem(4, 18, 10, 0.05, 7)).expect("rescued fit");
+    assert_eq!(out.strategy(), FitStrategy::Full);
+    assert!(!out.model().support().is_empty());
+    let (jitter, fixed_r, somp) = recovery_counts();
+    assert!(jitter >= 1, "jitter retries must be recorded, got {jitter}");
+    assert_eq!((fixed_r, somp), (0, 0), "no fallback rung was taken");
+    assert!(
+        faultinject::injected_count() > injected_before,
+        "the armed fault must actually have fired"
+    );
+}
+
+/// A hard factorization failure inside the EM loop (the covariance-collapse
+/// scenario) must degrade to the initializer's model under the parameterized
+/// R(r0) prior — not error out, not panic.
+#[test]
+fn em_covariance_collapse_falls_back_to_fixed_r() {
+    let _l = serial();
+    let _cleanup = Cleanup;
+    start_traced();
+    faultinject::arm(FaultSpec::factor_at("fit/em"));
+    let out = fit(&correlated_problem(4, 18, 10, 0.05, 7)).expect("fallback fit");
+    assert_eq!(out.strategy(), FitStrategy::FixedR);
+    assert!(out.init().is_some(), "the initializer's outcome is kept");
+    assert!(out.em().is_none(), "EM never completed");
+    let reason = out
+        .recovery()
+        .fallback_reason
+        .as_deref()
+        .expect("fallbacks carry their cause");
+    assert!(
+        reason.contains("positive definite"),
+        "cause names the factorization failure: {reason}"
+    );
+    // The init-stage model is still a real model of the sparse template.
+    assert!(!out.model().support().is_empty());
+    let test = correlated_problem(4, 60, 10, 0.0, 8);
+    let err = out.model().modeling_error(&test).expect("same shape");
+    assert!(err < 0.2, "fixed-R model still predicts, error {err}");
+    assert_eq!(recovery_counts(), (0, 1, 0));
+}
+
+/// A hard factorization failure inside the initializer must degrade all the
+/// way to independent per-state S-OMP — the paper's baseline — which shares
+/// no factorization with the C-BMF path.
+#[test]
+fn init_failure_falls_back_to_somp() {
+    let _l = serial();
+    let _cleanup = Cleanup;
+    start_traced();
+    faultinject::arm(FaultSpec::factor_at("fit/init"));
+    let out = fit(&correlated_problem(4, 18, 10, 0.05, 7)).expect("fallback fit");
+    assert_eq!(out.strategy(), FitStrategy::SompFallback);
+    assert!(out.init().is_none() && out.em().is_none());
+    assert!(out.recovery().fallback_reason.is_some());
+    assert!(!out.model().support().is_empty());
+    let test = correlated_problem(4, 60, 10, 0.0, 8);
+    let err = out.model().modeling_error(&test).expect("same shape");
+    assert!(err < 0.2, "S-OMP fallback still predicts, error {err}");
+    assert_eq!(recovery_counts(), (0, 0, 1));
+}
+
+/// Corrupted (non-finite) input is *not* a numerical failure: the fit must
+/// return the typed error unchanged — no fallback, no counters — both for a
+/// flagged corruption and for genuine NaN samples.
+#[test]
+fn non_finite_input_yields_typed_error_not_fallback() {
+    let _l = serial();
+    let _cleanup = Cleanup;
+    start_traced();
+    let problem = correlated_problem(4, 18, 10, 0.05, 7);
+    faultinject::arm_corruption("dataset.y");
+    let err = fit(&problem).expect_err("corrupted responses");
+    assert!(matches!(
+        err,
+        CbmfError::NonFiniteData {
+            what: "response values",
+            ..
+        }
+    ));
+    assert!(!err.is_numerical(), "input errors never trigger fallbacks");
+    faultinject::disarm_all();
+    assert_eq!(recovery_counts(), (0, 0, 0));
+    fit(&problem).expect("disarmed: the same problem fits cleanly");
+
+    // Genuine NaN input is rejected with the same typed error even earlier,
+    // at construction.
+    let x = Matrix::zeros(3, 2);
+    let err = TunableProblem::from_samples(
+        std::slice::from_ref(&x),
+        &[vec![1.0, f64::NAN, 3.0]],
+        BasisSpec::Linear,
+    )
+    .expect_err("NaN response");
+    assert!(matches!(err, CbmfError::NonFiniteData { .. }));
+}

@@ -112,7 +112,7 @@ fn em_refinement_does_not_hurt_and_usually_helps() {
         .expect("cbmf fit");
     // Compare the final model against a model assembled from the
     // initializer alone.
-    let init = fit.init();
+    let init = fit.init().expect("full pipeline keeps the init outcome");
     let intercepts: Vec<f64> = (0..train.num_states())
         .map(|k| train.intercept_for(k, &init.support, init.coeffs.row(k)))
         .collect();

@@ -195,7 +195,7 @@ fn noise_estimate_tracks_injected_noise() {
         let fit = CbmfFit::new(CbmfConfig::small_problem())
             .fit(&train, &mut rng)
             .expect("fit");
-        estimates.push(fit.em().prior.sigma0());
+        estimates.push(fit.em().expect("full pipeline").prior.sigma0());
     }
     assert!(
         estimates[1] > 2.0 * estimates[0],
