@@ -1,0 +1,49 @@
+//! Serving-throughput baseline: blocked batch prediction timed at batch
+//! sizes 1 / 64 / 4096, written to `BENCH_predict.json` at the repository
+//! root. See [`cbmf_bench::predict`] for the workload definition; the
+//! `ci_gate` binary compares fresh re-runs against the committed document
+//! under the same min-time × calibration-ratio rule as the kernel suite.
+//!
+//! Run with `cargo run --release -p cbmf-bench --bin bench_predict`.
+
+use std::path::Path;
+
+use cbmf_bench::kernels::{calibration_ns, BASELINE_REPS};
+use cbmf_bench::predict::{run_predict_suite, SAMPLES_PER_REP, STATES, SUPPORT, VARIABLES};
+use cbmf_trace::{Json, ReportMeta};
+
+fn main() {
+    let threads = cbmf_parallel::max_threads();
+    println!(
+        "timing batch prediction (K={STATES}, d={VARIABLES}, support={SUPPORT}, \
+         {SAMPLES_PER_REP} samples/rep) with {threads} threads\n"
+    );
+
+    let cal_before = calibration_ns();
+    let results = run_predict_suite(BASELINE_REPS, threads, |r| {
+        let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+        println!(
+            "batch {:>5}   serial {:>8} ns/sample   parallel {:>8} ns/sample   speedup {speedup:.2}x",
+            r.batch, r.serial_ns, r.parallel_ns
+        );
+    });
+    // Min of calibrations bracketing the suite: a single inflated probe
+    // would permanently tighten (or loosen) every future gate comparison
+    // through the host_scale ratio.
+    let calibration = cal_before.min(calibration_ns());
+
+    let doc =
+        cbmf_bench::predict::render_predict_report(&results, BASELINE_REPS, threads, calibration);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
+    std::fs::write(out, format!("{}\n", doc.to_pretty())).expect("write BENCH_predict.json");
+    println!("\nwrote {out}");
+
+    if cbmf_trace::enabled() {
+        let meta = ReportMeta::new("bench_predict")
+            .with("reps", Json::Num(BASELINE_REPS as f64))
+            .with("calibration_ns", Json::Num(calibration as f64));
+        let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+        let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
+        println!("wrote {}", path.display());
+    }
+}

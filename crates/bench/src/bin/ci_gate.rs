@@ -1,36 +1,44 @@
-//! The CI regression gate: re-times the kernel suite, re-runs the accuracy
-//! smoke fits, and compares both against the committed baselines
-//! (`BENCH_kernels.json`, `BASELINE_accuracy.json`). Exits nonzero on any
-//! regression beyond the tolerance.
+//! The CI regression gate: re-times the kernel and predict suites, re-runs
+//! the accuracy smoke fits, and compares all three against the committed
+//! baselines (`BENCH_kernels.json`, `BENCH_predict.json`,
+//! `BASELINE_accuracy.json`). Exits nonzero on any regression beyond the
+//! tolerance.
 //!
 //! ```text
 //! cargo run --release -p cbmf-bench --bin ci_gate
 //! ```
 //!
 //! Thresholds are explicit and relative (default 20%, `--tol 0.3` to
-//! widen); kernel thresholds are additionally scaled by the ratio of the
-//! two hosts' `calibration_ns` so a slower CI runner does not trip the
-//! perf gate (see `cbmf_bench::gate`). Fresh candidate documents are
-//! written under `target/ci-gate/` for artifact upload.
+//! widen); perf and predict thresholds are additionally scaled by the ratio
+//! of the two hosts' `calibration_ns` so a slower CI runner does not trip
+//! the gates (see `cbmf_bench::gate`). Fresh candidate documents are
+//! written under `target/ci-gate/` for artifact upload, and when
+//! `$GITHUB_STEP_SUMMARY` is set a markdown verdict table covering every
+//! comparison is appended to it.
 //!
 //! Flags:
-//! * `--tol <f64>` — relative tolerance for both gates (default 0.20).
-//! * `--skip-bench` / `--skip-accuracy` — run only one gate.
-//! * `--candidate-bench <path>` / `--candidate-accuracy <path>` — gate a
-//!   pre-recorded candidate document instead of running fresh (used by the
-//!   gate's own CI self-test to prove doctored regressions are caught).
+//! * `--tol <f64>` — relative tolerance for all gates (default 0.20).
+//! * `--skip-bench` / `--skip-predict` / `--skip-accuracy` — skip a gate.
+//! * `--candidate-bench <path>` / `--candidate-predict <path>` /
+//!   `--candidate-accuracy <path>` — gate a pre-recorded candidate document
+//!   instead of running fresh (used by the gate's own CI self-test to prove
+//!   doctored regressions are caught).
 //! * `--write-accuracy-baseline` — regenerate `BASELINE_accuracy.json`
 //!   from a fresh smoke run and exit (no gating).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cbmf_bench::gate::{gate_accuracy, gate_kernels, GateOutcome, DEFAULT_TOL};
+use cbmf_bench::gate::{
+    gate_accuracy, gate_kernels, gate_predict, render_step_summary, GateOutcome, DEFAULT_TOL,
+};
 use cbmf_bench::kernels::{calibration_ns, merge_min, render_bench_report, run_suite, QUICK_REPS};
+use cbmf_bench::predict::{merge_min_predict, render_predict_report, run_predict_suite};
 use cbmf_bench::smoke::{render_accuracy_report, run_accuracy_smoke};
 use cbmf_trace::Json;
 
 const REPO_ROOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../");
+const MAX_ATTEMPTS: usize = 3;
 
 fn load_json(path: &Path) -> Result<Json, String> {
     let text =
@@ -65,6 +73,55 @@ fn report_outcome(label: &str, outcome: &GateOutcome) -> bool {
     }
 }
 
+/// Runs one min-time gate (perf or predict) with the retry-and-merge-minima
+/// strategy: re-running filters scheduling noise (which only ever adds
+/// time) while a genuine slowdown fails every attempt. Returns the final
+/// outcome when gating ran, `None` on a document error (already reported).
+#[allow(clippy::too_many_arguments)] // bin-local plumbing shared by two gates
+fn gated_min_time_suite<R>(
+    label: &str,
+    baseline: &Json,
+    tol: f64,
+    out_dir: &Path,
+    candidate_name: &str,
+    mut run: impl FnMut(usize) -> Vec<R>,
+    merge: impl Fn(&mut [R], &[R]),
+    render: impl Fn(&[R], u128) -> Json,
+    gate: impl Fn(&Json, &Json, f64) -> Result<GateOutcome, String>,
+) -> Option<GateOutcome> {
+    let mut merged: Vec<R> = Vec::new();
+    let mut cal = u128::MAX;
+    for attempt in 1..=MAX_ATTEMPTS {
+        println!("{label}: quick suite ({QUICK_REPS} reps, attempt {attempt}/{MAX_ATTEMPTS})...");
+        cal = cal.min(calibration_ns());
+        let results = run(attempt);
+        if merged.is_empty() {
+            merged = results;
+        } else {
+            merge(&mut merged, &results);
+        }
+        let doc = render(&merged, cal);
+        save_candidate(out_dir, candidate_name, &doc);
+        match gate(baseline, &doc, tol) {
+            Ok(outcome) => {
+                if outcome.passed() || attempt == MAX_ATTEMPTS {
+                    report_outcome(label, &outcome);
+                    return Some(outcome);
+                }
+                println!(
+                    "{label}: {} comparison(s) over threshold, retrying...",
+                    outcome.failures.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{label}: {e}");
+                return None;
+            }
+        }
+    }
+    unreachable!("loop returns on last attempt")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tol = args
@@ -85,6 +142,8 @@ fn main() -> ExitCode {
     }
 
     let mut all_passed = true;
+    let mut summary: Vec<(&str, GateOutcome)> = Vec::new();
+    let threads = cbmf_parallel::max_threads();
 
     if !args.iter().any(|a| a == "--skip-bench") {
         let baseline = match load_json(&root.join("BENCH_kernels.json")) {
@@ -98,59 +157,80 @@ fn main() -> ExitCode {
             Some(p) => {
                 // Pre-recorded candidate: gate it once, no retries.
                 match load_json(&p).and_then(|cand| gate_kernels(&baseline, &cand, tol)) {
-                    Ok(outcome) => all_passed &= report_outcome("perf gate", &outcome),
+                    Ok(outcome) => {
+                        all_passed &= report_outcome("perf gate", &outcome);
+                        summary.push(("perf", outcome));
+                    }
                     Err(e) => {
                         eprintln!("perf gate: {e}");
                         all_passed = false;
                     }
                 }
             }
-            None => {
-                // Fresh run, with retries on failure: re-running and merging
-                // element-wise minima filters scheduling noise (which only
-                // ever adds time) while a genuine slowdown fails every
-                // attempt.
-                let threads = cbmf_parallel::max_threads();
-                let mut merged: Vec<cbmf_bench::kernels::KernelResult> = Vec::new();
-                let mut cal = u128::MAX;
-                let mut perf_ok = false;
-                const MAX_ATTEMPTS: usize = 3;
-                for attempt in 1..=MAX_ATTEMPTS {
-                    println!(
-                        "perf gate: quick suite ({QUICK_REPS} reps, {threads} threads, \
-                         attempt {attempt}/{MAX_ATTEMPTS})..."
-                    );
-                    cal = cal.min(calibration_ns());
-                    let results = run_suite(QUICK_REPS, threads, |r| {
+            None => match gated_min_time_suite(
+                "perf gate",
+                &baseline,
+                tol,
+                &out_dir,
+                "candidate_bench.json",
+                |_| {
+                    run_suite(QUICK_REPS, threads, |r| {
                         println!("  {:32} serial {:>12} ns", r.name, r.serial_ns);
-                    });
-                    if merged.is_empty() {
-                        merged = results;
-                    } else {
-                        merge_min(&mut merged, &results);
-                    }
-                    let doc = render_bench_report(&merged, QUICK_REPS, threads, cal);
-                    save_candidate(&out_dir, "candidate_bench.json", &doc);
-                    match gate_kernels(&baseline, &doc, tol) {
-                        Ok(outcome) => {
-                            let last = attempt == MAX_ATTEMPTS;
-                            if outcome.passed() || last {
-                                perf_ok = report_outcome("perf gate", &outcome);
-                                break;
-                            }
-                            println!(
-                                "perf gate: {} comparison(s) over threshold, retrying...",
-                                outcome.failures.len()
-                            );
-                        }
-                        Err(e) => {
-                            eprintln!("perf gate: {e}");
-                            break;
-                        }
-                    }
+                    })
+                },
+                merge_min,
+                |merged, cal| render_bench_report(merged, QUICK_REPS, threads, cal),
+                gate_kernels,
+            ) {
+                Some(outcome) => {
+                    all_passed &= outcome.passed();
+                    summary.push(("perf", outcome));
                 }
-                all_passed &= perf_ok;
+                None => all_passed = false,
+            },
+        }
+    }
+
+    if !args.iter().any(|a| a == "--skip-predict") {
+        let baseline = match load_json(&root.join("BENCH_predict.json")) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("predict gate: {e}");
+                return ExitCode::FAILURE;
             }
+        };
+        match arg_path(&args, "--candidate-predict") {
+            Some(p) => match load_json(&p).and_then(|cand| gate_predict(&baseline, &cand, tol)) {
+                Ok(outcome) => {
+                    all_passed &= report_outcome("predict gate", &outcome);
+                    summary.push(("predict", outcome));
+                }
+                Err(e) => {
+                    eprintln!("predict gate: {e}");
+                    all_passed = false;
+                }
+            },
+            None => match gated_min_time_suite(
+                "predict gate",
+                &baseline,
+                tol,
+                &out_dir,
+                "candidate_predict.json",
+                |_| {
+                    run_predict_suite(QUICK_REPS, threads, |r| {
+                        println!("  batch {:>5} serial {:>8} ns/sample", r.batch, r.serial_ns);
+                    })
+                },
+                merge_min_predict,
+                |merged, cal| render_predict_report(merged, QUICK_REPS, threads, cal),
+                gate_predict,
+            ) {
+                Some(outcome) => {
+                    all_passed &= outcome.passed();
+                    summary.push(("predict", outcome));
+                }
+                None => all_passed = false,
+            },
         }
     }
 
@@ -178,10 +258,35 @@ fn main() -> ExitCode {
             }
         };
         match gate_accuracy(&baseline, &candidate, tol) {
-            Ok(outcome) => all_passed &= report_outcome("accuracy gate", &outcome),
+            Ok(outcome) => {
+                all_passed &= report_outcome("accuracy gate", &outcome);
+                summary.push(("accuracy", outcome));
+            }
             Err(e) => {
                 eprintln!("accuracy gate: {e}");
                 all_passed = false;
+            }
+        }
+    }
+
+    // One verdict table per run, covering every comparison of every gate
+    // that produced an outcome — CI appends it to the job summary page.
+    if !summary.is_empty() {
+        let refs: Vec<(&str, &GateOutcome)> = summary.iter().map(|(l, o)| (*l, o)).collect();
+        let table = render_step_summary(&refs);
+        if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    if let Err(e) = f.write_all(table.as_bytes()) {
+                        eprintln!("step summary: write {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("step summary: open {path}: {e}"),
             }
         }
     }

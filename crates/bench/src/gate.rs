@@ -23,13 +23,32 @@
 use cbmf_trace::Json;
 
 use crate::kernels::validate_bench_report;
+use crate::predict::validate_predict_report;
 use crate::smoke::validate_accuracy_report;
 
-/// Default relative tolerance of both gates (20 %).
+/// Default relative tolerance of the gates (20 %).
 pub const DEFAULT_TOL: f64 = 0.20;
 
 /// Absolute slack added to accuracy thresholds, in error-percent units.
 pub const ACCURACY_ABS_SLACK: f64 = 0.01;
+
+/// One comparison a gate performed, in table-renderable form. Units depend
+/// on the check (nanoseconds for perf/predict rows, error-percent or counts
+/// for accuracy rows); the check name carries the field. A `candidate` of
+/// NaN marks an entry missing from the candidate document.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// What was compared, e.g. `matmul_800 serial_min_ns`.
+    pub check: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value (NaN when missing from the candidate run).
+    pub candidate: f64,
+    /// Largest candidate value that still passes.
+    pub allowed: f64,
+    /// Whether this comparison passed.
+    pub passed: bool,
+}
 
 /// Outcome of one gate: every comparison that ran, with its failures.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +57,8 @@ pub struct GateOutcome {
     pub failures: Vec<String>,
     /// Number of individual comparisons performed.
     pub checked: usize,
+    /// Every comparison as a structured row (for the CI verdict table).
+    pub rows: Vec<GateRow>,
 }
 
 impl GateOutcome {
@@ -45,6 +66,65 @@ impl GateOutcome {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+
+    fn row(&mut self, check: String, baseline: f64, candidate: f64, allowed: f64, passed: bool) {
+        self.checked += 1;
+        self.rows.push(GateRow {
+            check,
+            baseline,
+            candidate,
+            allowed,
+            passed,
+        });
+    }
+}
+
+fn fmt_cell(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders the verdict table CI posts to `$GITHUB_STEP_SUMMARY`: one row
+/// per comparison across every gate that ran, baseline vs candidate vs the
+/// allowed threshold. Perf/predict rows are in nanoseconds (min statistic,
+/// already host-scaled into `allowed`); accuracy rows are error-percent,
+/// support sizes, or recovery counts.
+pub fn render_step_summary(gates: &[(&str, &GateOutcome)]) -> String {
+    let mut out = String::from("## CI regression gate verdict\n\n");
+    out.push_str("| gate | check | baseline | candidate | allowed | verdict |\n");
+    out.push_str("|------|-------|---------:|----------:|--------:|:-------:|\n");
+    for (label, outcome) in gates {
+        for r in &outcome.rows {
+            out.push_str(&format!(
+                "| {label} | {} | {} | {} | {} | {} |\n",
+                r.check,
+                fmt_cell(r.baseline),
+                fmt_cell(r.candidate),
+                fmt_cell(r.allowed),
+                if r.passed { "✅" } else { "❌" }
+            ));
+        }
+    }
+    let failures: usize = gates.iter().map(|(_, o)| o.failures.len()).sum();
+    let checked: usize = gates.iter().map(|(_, o)| o.checked).sum();
+    if failures == 0 {
+        out.push_str(&format!("\nAll {checked} comparisons passed.\n"));
+    } else {
+        out.push_str(&format!(
+            "\n**{failures} of {checked} comparisons failed:**\n\n"
+        ));
+        for (label, outcome) in gates {
+            for f in &outcome.failures {
+                out.push_str(&format!("- {label}: {f}\n"));
+            }
+        }
+    }
+    out
 }
 
 /// Compares a fresh kernel-suite run against the committed baseline.
@@ -61,6 +141,35 @@ impl GateOutcome {
 pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
     validate_bench_report(baseline).map_err(|e| format!("baseline: {e}"))?;
     validate_bench_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    gate_min_times(baseline, candidate, tol, "kernels", "kernel")
+}
+
+/// Compares a fresh predict-suite run against the committed
+/// `BENCH_predict.json` baseline, under the exact rule of [`gate_kernels`]:
+/// every batch size's serial and parallel **minimum** ns/sample must stay
+/// within `baseline · host_scale · (1 + tol)`.
+///
+/// # Errors
+///
+/// Returns a reason string when either document fails schema validation or
+/// lacks a usable `calibration_ns`.
+pub fn gate_predict(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
+    validate_predict_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_predict_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    gate_min_times(baseline, candidate, tol, "batches", "batch")
+}
+
+/// Shared min-time-vs-scaled-threshold comparison behind the perf and
+/// predict gates. `section` is the document key holding the timing map,
+/// `label` the entry noun used in failure messages. Both documents are
+/// assumed schema-validated by the caller.
+fn gate_min_times(
+    baseline: &Json,
+    candidate: &Json,
+    tol: f64,
+    section: &str,
+    label: &str,
+) -> Result<GateOutcome, String> {
     let base_cal = baseline
         .get("calibration_ns")
         .and_then(Json::as_f64)
@@ -71,24 +180,31 @@ pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateO
         .expect("validated above");
     let host_scale = cand_cal / base_cal;
 
-    let base_kernels = baseline.get("kernels").and_then(Json::as_obj).unwrap();
-    let cand_kernels = candidate.get("kernels").and_then(Json::as_obj).unwrap();
+    let base_entries = baseline.get(section).and_then(Json::as_obj).unwrap();
+    let cand_entries = candidate.get(section).and_then(Json::as_obj).unwrap();
     let mut out = GateOutcome::default();
-    for (name, base) in base_kernels {
-        let Some(cand) = cand_kernels.get(name) else {
-            out.checked += 1;
+    for (name, base) in base_entries {
+        let Some(cand) = cand_entries.get(name) else {
+            out.row(
+                format!("{name} (missing)"),
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                false,
+            );
             out.failures
-                .push(format!("kernel '{name}': missing from candidate run"));
+                .push(format!("{label} '{name}': missing from candidate run"));
             continue;
         };
         for field in ["serial_min_ns", "parallel_min_ns"] {
-            out.checked += 1;
             let b = base.get(field).and_then(Json::as_f64).expect("validated");
             let c = cand.get(field).and_then(Json::as_f64).expect("validated");
             let allowed = b * host_scale * (1.0 + tol);
-            if c > allowed {
+            let passed = c <= allowed;
+            out.row(format!("{name} {field}"), b, c, allowed, passed);
+            if !passed {
                 out.failures.push(format!(
-                    "kernel '{name}' {field}: {c:.0} ns > allowed {allowed:.0} ns \
+                    "{label} '{name}' {field}: {c:.0} ns > allowed {allowed:.0} ns \
                      (baseline {b:.0} ns x host_scale {host_scale:.3} x {:.2})",
                     1.0 + tol
                 ));
@@ -117,21 +233,26 @@ pub fn gate_accuracy(baseline: &Json, candidate: &Json, tol: f64) -> Result<Gate
     let mut out = GateOutcome::default();
     for (name, base) in base_cases {
         let Some(cand) = cand_cases.get(name) else {
-            out.checked += 1;
+            out.row(
+                format!("{name} (missing)"),
+                f64::NAN,
+                f64::NAN,
+                f64::NAN,
+                false,
+            );
             out.failures
                 .push(format!("case '{name}': missing from candidate run"));
             continue;
         };
-        out.checked += 1;
         let b = base.get("error_pct").and_then(Json::as_f64).expect("valid");
         let c = cand.get("error_pct").and_then(Json::as_f64).expect("valid");
         let allowed = b * (1.0 + tol) + ACCURACY_ABS_SLACK;
+        out.row(format!("{name} error_pct"), b, c, allowed, c <= allowed);
         if c > allowed {
             out.failures.push(format!(
                 "case '{name}' error_pct: {c:.4} > allowed {allowed:.4} (baseline {b:.4})"
             ));
         }
-        out.checked += 1;
         let bs = base
             .get("support_size")
             .and_then(Json::as_u64)
@@ -140,6 +261,13 @@ pub fn gate_accuracy(baseline: &Json, candidate: &Json, tol: f64) -> Result<Gate
             .get("support_size")
             .and_then(Json::as_u64)
             .expect("valid");
+        out.row(
+            format!("{name} support_size"),
+            bs as f64,
+            cs as f64,
+            bs as f64,
+            bs == cs,
+        );
         if bs != cs {
             out.failures.push(format!(
                 "case '{name}' support_size: {cs} != baseline {bs} \
@@ -153,9 +281,9 @@ pub fn gate_accuracy(baseline: &Json, candidate: &Json, tol: f64) -> Result<Gate
     let base_rec = baseline.get("recovery").and_then(Json::as_obj).unwrap();
     let cand_rec = candidate.get("recovery").and_then(Json::as_obj).unwrap();
     for name in crate::smoke::RECOVERY_COUNTERS {
-        out.checked += 1;
         let b = base_rec.get(name).and_then(Json::as_u64).expect("valid");
         let c = cand_rec.get(name).and_then(Json::as_u64).expect("valid");
+        out.row(name.to_string(), b as f64, c as f64, b as f64, c <= b);
         if c > b {
             out.failures.push(format!(
                 "recovery '{name}': {c} > baseline {b} \
@@ -175,6 +303,18 @@ mod tests {
             r#"{{"schema": "cbmf-bench-kernels/2", "reps": 3, "calibration_ns": {cal},
                 "host": {{"threads": 1}},
                 "kernels": {{"matmul_800": {{"serial_median_ns": {serial},
+                                            "parallel_median_ns": {parallel},
+                                            "serial_min_ns": {serial},
+                                            "parallel_min_ns": {parallel}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn predict_doc(serial: f64, parallel: f64, cal: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-bench-predict/1", "reps": 3, "calibration_ns": {cal},
+                "host": {{"threads": 1}},
+                "batches": {{"batch_0064": {{"serial_median_ns": {serial},
                                             "parallel_median_ns": {parallel},
                                             "serial_min_ns": {serial},
                                             "parallel_min_ns": {parallel}}}}}}}"#
@@ -246,6 +386,73 @@ mod tests {
         assert!(out.failures[0].contains("missing from candidate"));
         assert!(gate_kernels(&Json::Null, &base, DEFAULT_TOL).is_err());
         assert!(gate_kernels(&base, &Json::Null, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn predict_gate_mirrors_kernel_gate_semantics() {
+        let base = predict_doc(240.0, 220.0, 100.0);
+        let out = gate_predict(&base, &base, DEFAULT_TOL).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 2);
+
+        // 30% serial slowdown on an identical host: over the 20% gate.
+        let slow = predict_doc(312.0, 220.0, 100.0);
+        let out = gate_predict(&base, &slow, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("batch 'batch_0064' serial_min_ns"));
+
+        // A 2x-slower host with proportional timings passes after scaling.
+        let slow_host = predict_doc(480.0, 440.0, 200.0);
+        assert!(gate_predict(&base, &slow_host, DEFAULT_TOL)
+            .unwrap()
+            .passed());
+
+        // Schema cross-contamination is rejected up front.
+        let kernels = bench_doc(1000.0, 900.0, 100.0);
+        assert!(gate_predict(&base, &kernels, DEFAULT_TOL).is_err());
+        assert!(gate_predict(&kernels, &base, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn gates_record_structured_rows_for_the_summary_table() {
+        let base = predict_doc(240.0, 220.0, 100.0);
+        let slow = predict_doc(312.0, 220.0, 100.0);
+        let out = gate_predict(&base, &slow, DEFAULT_TOL).unwrap();
+        assert_eq!(out.rows.len(), out.checked);
+        let failing: Vec<_> = out.rows.iter().filter(|r| !r.passed).collect();
+        assert_eq!(failing.len(), 1);
+        assert_eq!(failing[0].check, "batch_0064 serial_min_ns");
+        assert_eq!(failing[0].baseline, 240.0);
+        assert_eq!(failing[0].candidate, 312.0);
+        assert!((failing[0].allowed - 288.0).abs() < 1e-9);
+
+        let acc = accuracy_doc(2.5, 8);
+        let acc_out = gate_accuracy(&acc, &acc, DEFAULT_TOL).unwrap();
+        assert_eq!(acc_out.rows.len(), acc_out.checked);
+        assert!(acc_out.rows.iter().any(|r| r.check.contains("error_pct")));
+        assert!(acc_out.rows.iter().any(|r| r.check.contains("recovery.")));
+    }
+
+    #[test]
+    fn step_summary_renders_every_row_and_failure() {
+        let base = predict_doc(240.0, 220.0, 100.0);
+        let slow = predict_doc(312.0, 220.0, 100.0);
+        let predict = gate_predict(&base, &slow, DEFAULT_TOL).unwrap();
+        let acc = accuracy_doc(2.5, 8);
+        let accuracy = gate_accuracy(&acc, &acc, DEFAULT_TOL).unwrap();
+
+        let md = render_step_summary(&[("predict", &predict), ("accuracy", &accuracy)]);
+        assert!(md.contains("| gate | check | baseline | candidate | allowed | verdict |"));
+        assert!(md.contains("| predict | batch_0064 serial_min_ns | 240 | 312 | 288 | ❌ |"));
+        assert!(md.contains("| accuracy | synthetic_linear error_pct |"));
+        assert!(md.contains("1 of"));
+        assert!(md.contains("comparisons failed"));
+        assert!(md.contains("- predict: batch 'batch_0064' serial_min_ns"));
+
+        let all_pass =
+            render_step_summary(&[("predict", &gate_predict(&base, &base, DEFAULT_TOL).unwrap())]);
+        assert!(all_pass.contains("All 2 comparisons passed."));
+        assert!(!all_pass.contains("❌"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 pub mod gate;
 pub mod kernels;
+pub mod predict;
 pub mod smoke;
 
 use std::time::Instant;

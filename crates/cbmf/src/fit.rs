@@ -112,6 +112,17 @@ impl FitOutcome {
         self.em.as_ref()
     }
 
+    /// The hyper-parameter prior behind the fitted coefficients — EM's
+    /// refined prior when refinement ran, otherwise the initializer's.
+    /// `None` only on the S-OMP fallback rung, which is a pure greedy fit
+    /// with no Bayesian prior (and hence no predictive variance to export).
+    pub fn prior(&self) -> Option<&crate::CbmfPrior> {
+        self.em
+            .as_ref()
+            .map(|e| &e.prior)
+            .or_else(|| self.init.as_ref().map(|i| &i.prior))
+    }
+
     /// How the model was obtained: ladder rung and, for fallbacks, the
     /// failure that forced it.
     pub fn recovery(&self) -> &RecoveryReport {

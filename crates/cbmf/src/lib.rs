@@ -83,6 +83,6 @@ pub use group_lasso::{GroupLasso, GroupLassoConfig};
 pub use init::{CandidateGrid, InitOutcome, SompInitializer};
 pub use model::PerStateModel;
 pub use omp::{Omp, OmpConfig};
-pub use posterior::{MapPosterior, PosteriorMoments, PosteriorPredictive};
+pub use posterior::{MapPosterior, PosteriorMoments, PosteriorPredictive, PredictiveParts};
 pub use prior::CbmfPrior;
 pub use somp::{Somp, SompConfig};

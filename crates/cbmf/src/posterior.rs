@@ -299,13 +299,12 @@ impl PosteriorPredictive {
         self.y_means.len()
     }
 
-    /// Predictive mean and variance of the metric at `(state, x)`.
+    /// Validates a query and assembles its cross-covariance vector `q`,
+    /// the data-dependent mean `qᵀC⁻¹y`, and the prior variance term.
     ///
-    /// # Errors
-    ///
-    /// Returns [`CbmfError::InvalidInput`] if `state` is out of range or
-    /// `x` does not match the dictionary dimension.
-    pub fn predict(&self, state: usize, x: &[f64]) -> Result<(f64, f64), CbmfError> {
+    /// Shared verbatim by the single-sample and tiled paths so both produce
+    /// bit-identical intermediates.
+    fn query(&self, state: usize, x: &[f64]) -> Result<(Vec<f64>, f64, f64), CbmfError> {
         let k = self.num_states();
         if state >= k {
             return Err(CbmfError::InvalidInput {
@@ -355,14 +354,199 @@ impl PosteriorPredictive {
         }
 
         let mean_c: f64 = q.iter().zip(&self.ciy).map(|(a, b)| a * b).sum();
-        let ciq = self.chol.solve_vec(&q)?;
-        let explained: f64 = q.iter().zip(&ciq).map(|(a, b)| a * b).sum();
         let prior_var: f64 =
             self.r[(state, state)] * c_star.iter().zip(&lc).map(|(c, l)| c * l).sum::<f64>();
-        let var = (self.sigma0 * self.sigma0 + prior_var - explained)
-            .max(self.sigma0 * self.sigma0 * 1e-6);
+        Ok((q, mean_c, prior_var))
+    }
+
+    /// Turns the whitened cross-covariance `w = L⁻¹q` into the final
+    /// variance: `var = σ0² + prior_var − ‖w‖²` (since `qᵀC⁻¹q = ‖L⁻¹q‖²`),
+    /// floored at a fraction of the noise variance.
+    fn finish_variance(&self, prior_var: f64, w: &[f64]) -> f64 {
+        let explained: f64 = w.iter().map(|v| v * v).sum();
+        (self.sigma0 * self.sigma0 + prior_var - explained).max(self.sigma0 * self.sigma0 * 1e-6)
+    }
+
+    /// Predictive mean and variance of the metric at `(state, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `state` is out of range or
+    /// `x` does not match the dictionary dimension.
+    pub fn predict(&self, state: usize, x: &[f64]) -> Result<(f64, f64), CbmfError> {
+        let (q, mean_c, prior_var) = self.query(state, x)?;
+        let w = self.chol.forward_solve(&q)?;
+        let var = self.finish_variance(prior_var, &w);
         Ok((self.y_means[state] + mean_c, var))
     }
+
+    /// Predictive mean and variance for a tile of samples at one state,
+    /// sharing a single multi-RHS triangular solve.
+    ///
+    /// The per-sample `q` assembly and the variance reduction run the exact
+    /// operation sequence of [`predict`](Self::predict), and the batched
+    /// [`Cholesky::forward_solve_mat`] is bitwise identical per column to
+    /// the single-RHS solve — so the tile result equals calling `predict`
+    /// sample-by-sample, bit for bit, at any thread count. This is the
+    /// building block of `cbmf-serve`'s blocked uncertainty path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if `state` is out of range or
+    /// any sample's dimension does not match the dictionary.
+    pub fn predict_tile(&self, state: usize, xs: &[&[f64]]) -> Result<Vec<(f64, f64)>, CbmfError> {
+        let t = xs.len();
+        if t == 0 {
+            return Ok(Vec::new());
+        }
+        let total: usize = self.counts.iter().sum();
+        let mut means = Vec::with_capacity(t);
+        let mut prior_vars = Vec::with_capacity(t);
+        // Q holds one query per column, matching forward_solve_mat's layout.
+        let mut qmat = Matrix::zeros(total, t);
+        for (j, x) in xs.iter().enumerate() {
+            let (q, mean_c, prior_var) = self.query(state, x)?;
+            for (i, qv) in q.into_iter().enumerate() {
+                qmat[(i, j)] = qv;
+            }
+            means.push(self.y_means[state] + mean_c);
+            prior_vars.push(prior_var);
+        }
+        let wmat = self.chol.forward_solve_mat(&qmat)?;
+        let mut out = Vec::with_capacity(t);
+        for (j, (mean, prior_var)) in means.into_iter().zip(prior_vars).enumerate() {
+            // Column j in iteration order, matching the single-RHS ‖w‖² sum.
+            let w: Vec<f64> = (0..total).map(|i| wmat[(i, j)]).collect();
+            out.push((mean, self.finish_variance(prior_var, &w)));
+        }
+        Ok(out)
+    }
+
+    /// Decomposes the predictive into its serializable parts — everything a
+    /// model artifact needs to rebuild the exact distribution without the
+    /// training problem: the Cholesky factor (not the covariance, so no
+    /// refactorization on load), the solved data vector, and the per-state
+    /// training bases and centering statistics.
+    pub fn to_parts(&self) -> PredictiveParts {
+        PredictiveParts {
+            chol_l: self.chol.l().clone(),
+            chol_jitter: self.chol.jitter(),
+            ciy: self.ciy.clone(),
+            bases: self.bases.clone(),
+            basis_means: self.basis_means.clone(),
+            y_means: self.y_means.clone(),
+            lambda: self.lambda.clone(),
+            r: self.r.clone(),
+            sigma0: self.sigma0,
+            basis_spec: self.basis_spec,
+        }
+    }
+
+    /// Rebuilds a predictive distribution from serialized parts.
+    ///
+    /// Because the parts carry the factor `L` itself, predictions from the
+    /// rebuilt distribution are bitwise identical to the original's — no
+    /// refactorization, no rounding drift across save/load cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CbmfError::InvalidInput`] if the parts are mutually
+    /// inconsistent (shape disagreements, non-positive σ0, invalid factor).
+    pub fn from_parts(parts: PredictiveParts) -> Result<Self, CbmfError> {
+        let k = parts.y_means.len();
+        let m = parts.lambda.len();
+        if parts.bases.len() != k || parts.basis_means.len() != k {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "predictive parts: {} bases / {} basis_means for {k} states",
+                    parts.bases.len(),
+                    parts.basis_means.len()
+                ),
+            });
+        }
+        if parts.r.shape() != (k, k) {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "predictive parts: R is {:?}, expected ({k}, {k})",
+                    parts.r.shape()
+                ),
+            });
+        }
+        for (ki, (b, bm)) in parts.bases.iter().zip(&parts.basis_means).enumerate() {
+            if b.cols() != m || bm.len() != m {
+                return Err(CbmfError::InvalidInput {
+                    what: format!(
+                        "predictive parts: state {ki} basis has {} cols, means {}, dictionary {m}",
+                        b.cols(),
+                        bm.len()
+                    ),
+                });
+            }
+        }
+        if !(parts.sigma0 > 0.0 && parts.sigma0.is_finite()) {
+            return Err(CbmfError::InvalidInput {
+                what: format!("predictive parts: sigma0 {} must be positive", parts.sigma0),
+            });
+        }
+        let counts: Vec<usize> = parts.bases.iter().map(|b| b.rows()).collect();
+        let mut offsets = Vec::with_capacity(k);
+        let mut total = 0;
+        for &n in &counts {
+            offsets.push(total);
+            total += n;
+        }
+        if parts.chol_l.shape() != (total, total) || parts.ciy.len() != total {
+            return Err(CbmfError::InvalidInput {
+                what: format!(
+                    "predictive parts: factor {:?} / ciy {} for {total} observations",
+                    parts.chol_l.shape(),
+                    parts.ciy.len()
+                ),
+            });
+        }
+        let chol = Cholesky::from_factor(parts.chol_l, parts.chol_jitter)?;
+        Ok(PosteriorPredictive {
+            chol,
+            ciy: parts.ciy,
+            offsets,
+            counts,
+            bases: parts.bases,
+            basis_means: parts.basis_means,
+            y_means: parts.y_means,
+            lambda: parts.lambda,
+            r: parts.r,
+            sigma0: parts.sigma0,
+            basis_spec: parts.basis_spec,
+        })
+    }
+}
+
+/// The serializable decomposition of a [`PosteriorPredictive`] — the
+/// contract between the fitting core and `cbmf-serve`'s `cbmf-model/1`
+/// artifact format. Offsets/counts are derived from the per-state basis row
+/// counts on reassembly, so they are deliberately absent.
+#[derive(Debug, Clone)]
+pub struct PredictiveParts {
+    /// Lower Cholesky factor `L` of the training covariance `C + jitter·I`.
+    pub chol_l: Matrix,
+    /// Diagonal loading baked into `chol_l` (0 for a clean factorization).
+    pub chol_jitter: f64,
+    /// `C⁻¹·y` over all training observations, state-major.
+    pub ciy: Vec<f64>,
+    /// Per-state centered training basis matrices `B_k` (`N_k × M`).
+    pub bases: Vec<Matrix>,
+    /// Per-state training column means of the raw basis.
+    pub basis_means: Vec<Vec<f64>>,
+    /// Per-state training output means (the intercepts of the mean path).
+    pub y_means: Vec<f64>,
+    /// Per-basis prior scales λ.
+    pub lambda: Vec<f64>,
+    /// State correlation matrix `R` (`K × K`).
+    pub r: Matrix,
+    /// Observation noise σ0.
+    pub sigma0: f64,
+    /// Dictionary family.
+    pub basis_spec: crate::BasisSpec,
 }
 
 /// The factored observation-space system shared by all posterior queries.
@@ -802,7 +986,85 @@ mod tests {
         let predictive = PosteriorPredictive::new(&problem, &prior).unwrap();
         assert!(predictive.predict(2, &[0.0; 3]).is_err());
         assert!(predictive.predict(0, &[0.0; 5]).is_err());
+        assert!(predictive.predict_tile(2, &[&[0.0; 3]]).is_err());
+        assert!(predictive.predict_tile(0, &[&[0.0; 5]]).is_err());
+        assert!(predictive.predict_tile(0, &[]).unwrap().is_empty());
         assert_eq!(predictive.num_states(), 2);
+    }
+
+    #[test]
+    fn predict_tile_matches_per_sample_bitwise() {
+        let problem = toy_problem(3, 14, 4, 51, 0.1);
+        let prior = CbmfPrior::with_toeplitz_r(vec![1.0, 0.4, 0.9, 0.6], 3, 0.8, 0.2).unwrap();
+        let predictive = PosteriorPredictive::new(&problem, &prior).unwrap();
+        let samples: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..4).map(|j| ((i * 4 + j) as f64 * 0.31).sin()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
+        for state in 0..3 {
+            let tile1 =
+                cbmf_parallel::with_threads(1, || predictive.predict_tile(state, &refs).unwrap());
+            let tile8 =
+                cbmf_parallel::with_threads(8, || predictive.predict_tile(state, &refs).unwrap());
+            for (x, (&(tm, tv), &(tm8, tv8))) in refs.iter().zip(tile1.iter().zip(&tile8)) {
+                let (m, v) = predictive.predict(state, x).unwrap();
+                assert_eq!(tm.to_bits(), m.to_bits());
+                assert_eq!(tv.to_bits(), v.to_bits());
+                assert_eq!(tm8.to_bits(), m.to_bits());
+                assert_eq!(tv8.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parts_round_trip_is_bitwise_exact() {
+        let problem = toy_problem(2, 10, 3, 52, 0.1);
+        let prior = CbmfPrior::with_toeplitz_r(vec![1.0; 3], 2, 0.7, 0.15).unwrap();
+        let original = PosteriorPredictive::new(&problem, &prior).unwrap();
+        let rebuilt = PosteriorPredictive::from_parts(original.to_parts()).unwrap();
+        assert_eq!(rebuilt.num_states(), original.num_states());
+        for state in 0..2 {
+            for trial in 0..5 {
+                let x: Vec<f64> = (0..3)
+                    .map(|j| ((trial * 3 + j) as f64 * 0.47).cos())
+                    .collect();
+                let (m0, v0) = original.predict(state, &x).unwrap();
+                let (m1, v1) = rebuilt.predict(state, &x).unwrap();
+                assert_eq!(m0.to_bits(), m1.to_bits());
+                assert_eq!(v0.to_bits(), v1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_shapes() {
+        let problem = toy_problem(2, 6, 3, 53, 0.1);
+        let prior = CbmfPrior::with_toeplitz_r(vec![1.0; 3], 2, 0.5, 0.1).unwrap();
+        let predictive = PosteriorPredictive::new(&problem, &prior).unwrap();
+
+        let mut p = predictive.to_parts();
+        p.y_means.push(0.0); // K disagrees with bases
+        assert!(PosteriorPredictive::from_parts(p).is_err());
+
+        let mut p = predictive.to_parts();
+        p.ciy.pop();
+        assert!(PosteriorPredictive::from_parts(p).is_err());
+
+        let mut p = predictive.to_parts();
+        p.sigma0 = -1.0;
+        assert!(PosteriorPredictive::from_parts(p).is_err());
+
+        let mut p = predictive.to_parts();
+        p.basis_means[0].pop();
+        assert!(PosteriorPredictive::from_parts(p).is_err());
+
+        let mut p = predictive.to_parts();
+        p.r = Matrix::identity(3);
+        assert!(PosteriorPredictive::from_parts(p).is_err());
+
+        let mut p = predictive.to_parts();
+        p.chol_l[(0, 0)] = -1.0; // invalid factor diagonal
+        assert!(PosteriorPredictive::from_parts(p).is_err());
     }
 
     /// Tr(DΣpDᵀ) must shrink as the data constrains the posterior more

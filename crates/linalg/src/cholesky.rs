@@ -172,6 +172,44 @@ impl Cholesky {
         Ok(Cholesky { l, jitter })
     }
 
+    /// Rebuilds a factorization from a previously computed lower factor `L`
+    /// (and the jitter that produced it) — the deserialization path of model
+    /// artifacts, which persist the factor instead of refactoring the
+    /// training covariance on load.
+    ///
+    /// The strictly-upper triangle of `l` is ignored and zeroed, restoring
+    /// the invariant every solver here relies on.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `l` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a diagonal entry is
+    ///   non-positive or non-finite (no valid SPD matrix has such a factor).
+    pub fn from_factor(mut l: Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: l.rows(),
+                cols: l.cols(),
+            });
+        }
+        let n = l.rows();
+        for i in 0..n {
+            let d = l[(i, i)];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite {
+                    dim: n,
+                    pivot: i,
+                    pivot_value: d,
+                    jitter,
+                });
+            }
+            for v in &mut l.row_mut(i)[i + 1..] {
+                *v = 0.0;
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
     /// Dimension of the factored matrix.
     pub fn dim(&self) -> usize {
         self.l.rows()
@@ -431,6 +469,44 @@ impl Cholesky {
             y[i] = (y[i] - s) / self.l[(i, i)];
         }
         Ok(y)
+    }
+
+    /// Solves `L Y = B` for many right-hand sides at once (the multi-RHS
+    /// form of [`forward_solve`](Self::forward_solve)).
+    ///
+    /// This is the serving-layer workhorse: predictive variance needs
+    /// `‖L⁻¹q‖²` per query, and a batch of queries becomes one triangular
+    /// solve against an `n × T` block. Columns are independent, so they are
+    /// dispatched in parallel chunks; each column runs the exact
+    /// substitution loop of `forward_solve`, so every column matches the
+    /// single-RHS result bitwise at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn forward_solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "forward solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        // Work on the transpose so each right-hand side is a contiguous row.
+        let mut yt = b.transpose();
+        if n > 0 {
+            let grain = crate::mat::grain_rows(n * n);
+            cbmf_parallel::par_rows_mut(yt.as_mut_slice(), n, grain, |_, chunk| {
+                for row in chunk.chunks_mut(n) {
+                    for i in 0..n {
+                        let s = vecops::dot(&self.l.row(i)[..i], &row[..i]);
+                        row[i] = (row[i] - s) / self.l[(i, i)];
+                    }
+                }
+            });
+        }
+        Ok(yt.transpose())
     }
 
     /// Computes `L v` where `L` is the lower factor.
@@ -795,5 +871,64 @@ mod tests {
         assert!(c.forward_solve(&[1.0]).is_err());
         assert!(c.l_matvec(&[1.0]).is_err());
         assert!(c.solve_mat(&Matrix::zeros(2, 2)).is_err());
+        assert!(c.forward_solve_mat(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn forward_solve_mat_matches_single_rhs_bitwise() {
+        // Big enough to cross the parallel gate; every column must match the
+        // single-RHS forward_solve bit-for-bit at any thread count.
+        let m = Matrix::from_fn(40, 40, |i, j| ((i * 11 + j * 5) % 7) as f64 * 0.2);
+        let mut a = m.matmul_t(&m).unwrap();
+        a.add_diag_mut(40.0 * 0.5);
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(40, 48, |i, j| ((i * 3 + j) % 13) as f64 - 6.0);
+        let y1 = cbmf_parallel::with_threads(1, || chol.forward_solve_mat(&b).unwrap());
+        let y8 = cbmf_parallel::with_threads(8, || chol.forward_solve_mat(&b).unwrap());
+        for (p, q) in y1.as_slice().iter().zip(y8.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let yref = chol.forward_solve(&col).unwrap();
+            for (i, r) in yref.iter().enumerate() {
+                assert_eq!(y8[(i, j)].to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_factor_round_trips_and_validates() {
+        let a = spd3();
+        let c = Cholesky::new_robust(&a).unwrap();
+        let rebuilt = Cholesky::from_factor(c.l().clone(), c.jitter()).unwrap();
+        assert_eq!(rebuilt.dim(), c.dim());
+        assert_eq!(rebuilt.jitter().to_bits(), c.jitter().to_bits());
+        for (p, q) in rebuilt.l().as_slice().iter().zip(c.l().as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        let b = [0.5, -1.0, 2.0];
+        let x1 = c.solve_vec(&b).unwrap();
+        let x2 = rebuilt.solve_vec(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Strictly-upper garbage is scrubbed on load.
+        let mut dirty = c.l().clone();
+        dirty[(0, 2)] = 7.0;
+        let clean = Cholesky::from_factor(dirty, 0.0).unwrap();
+        assert_eq!(clean.l()[(0, 2)], 0.0);
+        // Invalid factors are rejected.
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::zeros(2, 3), 0.0),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        assert!(matches!(
+            Cholesky::from_factor(Matrix::zeros(2, 2), 0.0),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+        let mut nonfinite = Matrix::identity(2);
+        nonfinite[(1, 1)] = f64::NAN;
+        assert!(Cholesky::from_factor(nonfinite, 0.0).is_err());
     }
 }

@@ -1,0 +1,486 @@
+//! The `cbmf-model/1` on-disk artifact format.
+//!
+//! Canonical sorted-key JSON via [`cbmf_trace::Json`]: objects are
+//! `BTreeMap`s, numbers print with Rust's shortest-round-trip `f64`
+//! formatting, and the writer is deterministic — so `save(load(save(x)))`
+//! is byte-identical and golden files can pin exact bytes.
+//!
+//! Layout (`null` sections are simply absent capabilities):
+//!
+//! ```text
+//! {
+//!   "schema": "cbmf-model/1",
+//!   "basis": { "family": "linear" | "linear_squares", "num_variables": d },
+//!   "model": { "support": [..], "coefficients": [[..] per state],
+//!              "intercepts": [..] },
+//!   "hyper": null | { "lambda": [..], "r": [[..]], "sigma0": x },
+//!   "predictive": null | {
+//!     "chol_l": [[..]],          // packed lower triangle, row i has i+1 entries
+//!     "chol_jitter": x, "ciy": [..],
+//!     "bases": [[[..]]], "basis_means": [[..]], "y_means": [..],
+//!     "lambda": [..], "r": [[..]], "sigma0": x
+//!   }
+//! }
+//! ```
+//!
+//! Forward-compatibility policy: readers reject a different `schema` string
+//! outright (a new major format gets a new suffix) but ignore unknown
+//! object keys, so `cbmf-model/1` documents may gain additive fields
+//! without breaking old readers.
+
+use std::path::Path;
+
+use cbmf::{BasisSpec, FitOutcome, PerStateModel, PosteriorPredictive, PredictiveParts};
+use cbmf_linalg::Matrix;
+use cbmf_trace::Json;
+
+use crate::error::ServeError;
+
+/// Schema identifier of the artifact format.
+pub const MODEL_SCHEMA: &str = "cbmf-model/1";
+
+/// The fitted hyper-parameters Ω = {λ, R, σ0} (paper eq. 11) — recorded so
+/// a loaded artifact documents the prior that produced its coefficients.
+#[derive(Debug, Clone)]
+pub struct Hyper {
+    /// Per-basis prior scales λ (length M).
+    pub lambda: Vec<f64>,
+    /// State correlation matrix R (K × K).
+    pub r: Matrix,
+    /// Observation noise σ0.
+    pub sigma0: f64,
+}
+
+/// A serializable fitted model: the MAP point estimate, optionally the
+/// hyper-parameters behind it, and optionally the posterior factors that
+/// reproduce predictive variance bitwise.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    model: PerStateModel,
+    hyper: Option<Hyper>,
+    predictive: Option<PredictiveParts>,
+}
+
+impl ModelArtifact {
+    /// Wraps a bare MAP model (no hyper-parameters, no uncertainty).
+    pub fn from_model(model: PerStateModel) -> Self {
+        ModelArtifact {
+            model,
+            hyper: None,
+            predictive: None,
+        }
+    }
+
+    /// Captures a fit outcome: the model plus, when the fit retained a
+    /// Bayesian prior (any rung above the S-OMP fallback), the σ0/λ/R
+    /// hyper-parameters.
+    pub fn from_fit(outcome: &FitOutcome) -> Self {
+        ModelArtifact {
+            model: outcome.model().clone(),
+            hyper: outcome.prior().map(|p| Hyper {
+                lambda: p.lambda().to_vec(),
+                r: p.r().clone(),
+                sigma0: p.sigma0(),
+            }),
+            predictive: None,
+        }
+    }
+
+    /// Attaches the posterior-predictive factors, enabling the uncertainty
+    /// path after a load.
+    #[must_use]
+    pub fn with_predictive(mut self, predictive: &PosteriorPredictive) -> Self {
+        self.predictive = Some(predictive.to_parts());
+        self
+    }
+
+    /// The MAP model.
+    pub fn model(&self) -> &PerStateModel {
+        &self.model
+    }
+
+    /// The recorded hyper-parameters, if the producing fit had any.
+    pub fn hyper(&self) -> Option<&Hyper> {
+        self.hyper.as_ref()
+    }
+
+    /// The serialized posterior factors, if attached.
+    pub fn predictive_parts(&self) -> Option<&PredictiveParts> {
+        self.predictive.as_ref()
+    }
+
+    /// Renders the canonical `cbmf-model/1` document.
+    pub fn to_json(&self) -> Json {
+        let basis = Json::obj([
+            (
+                "family".to_string(),
+                Json::Str(family_str(self.model.basis_spec()).to_string()),
+            ),
+            (
+                "num_variables".to_string(),
+                Json::Num(self.model.num_variables() as f64),
+            ),
+        ]);
+        let model = Json::obj([
+            (
+                "support".to_string(),
+                Json::Arr(
+                    self.model
+                        .support()
+                        .iter()
+                        .map(|&m| Json::Num(m as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "coefficients".to_string(),
+                matrix_rows_json(self.model.coefficients()),
+            ),
+            ("intercepts".to_string(), vec_json(self.model.intercepts())),
+        ]);
+        let hyper = match &self.hyper {
+            None => Json::Null,
+            Some(h) => Json::obj([
+                ("lambda".to_string(), vec_json(&h.lambda)),
+                ("r".to_string(), matrix_rows_json(&h.r)),
+                ("sigma0".to_string(), Json::Num(h.sigma0)),
+            ]),
+        };
+        let predictive = match &self.predictive {
+            None => Json::Null,
+            Some(p) => Json::obj([
+                ("chol_l".to_string(), packed_lower_json(&p.chol_l)),
+                ("chol_jitter".to_string(), Json::Num(p.chol_jitter)),
+                ("ciy".to_string(), vec_json(&p.ciy)),
+                (
+                    "bases".to_string(),
+                    Json::Arr(p.bases.iter().map(matrix_rows_json).collect()),
+                ),
+                (
+                    "basis_means".to_string(),
+                    Json::Arr(p.basis_means.iter().map(|v| vec_json(v)).collect()),
+                ),
+                ("y_means".to_string(), vec_json(&p.y_means)),
+                ("lambda".to_string(), vec_json(&p.lambda)),
+                ("r".to_string(), matrix_rows_json(&p.r)),
+                ("sigma0".to_string(), Json::Num(p.sigma0)),
+            ]),
+        };
+        Json::obj([
+            ("schema".to_string(), Json::Str(MODEL_SCHEMA.to_string())),
+            ("basis".to_string(), basis),
+            ("model".to_string(), model),
+            ("hyper".to_string(), hyper),
+            ("predictive".to_string(), predictive),
+        ])
+    }
+
+    /// The exact bytes [`save`](Self::save) writes: canonical pretty JSON
+    /// plus a trailing newline.
+    pub fn to_canonical_string(&self) -> String {
+        format!("{}\n", self.to_json().to_pretty())
+    }
+
+    /// Rebuilds an artifact from a parsed document, re-validating every
+    /// structural invariant (the model goes back through
+    /// [`PerStateModel::new`], the factor through the predictive-parts
+    /// checks on first use).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] on a wrong schema, unknown basis family, or
+    /// any shape/type disagreement.
+    pub fn from_json(doc: &Json) -> Result<Self, ServeError> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(s) if s == MODEL_SCHEMA => {}
+            Some(s) => {
+                return Err(ServeError::Invalid(format!(
+                    "schema '{s}' is not '{MODEL_SCHEMA}' — newer formats need a newer reader"
+                )))
+            }
+            None => return Err(ServeError::Invalid("missing 'schema' field".to_string())),
+        }
+
+        let basis = doc
+            .get("basis")
+            .ok_or_else(|| ServeError::Invalid("missing 'basis' section".to_string()))?;
+        let family = basis
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Invalid("basis: missing 'family'".to_string()))?;
+        let basis_spec = family_from_str(family)?;
+        let num_variables = get_usize(basis, "num_variables", "basis")?;
+
+        let model = doc
+            .get("model")
+            .ok_or_else(|| ServeError::Invalid("missing 'model' section".to_string()))?;
+        let support: Vec<usize> = get_arr(model, "support", "model")?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| ServeError::Invalid("model: bad support index".to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let coefficients = matrix_from_json(model.get("coefficients"), "model.coefficients")?;
+        let intercepts = vec_from_json(model.get("intercepts"), "model.intercepts")?;
+        let model =
+            PerStateModel::new(basis_spec, num_variables, support, coefficients, intercepts)
+                .map_err(|e| ServeError::Invalid(format!("model: {e}")))?;
+
+        let hyper = match doc.get("hyper") {
+            None | Some(Json::Null) => None,
+            Some(h) => Some(Hyper {
+                lambda: vec_from_json(h.get("lambda"), "hyper.lambda")?,
+                r: matrix_from_json(h.get("r"), "hyper.r")?,
+                sigma0: get_f64(h, "sigma0", "hyper")?,
+            }),
+        };
+
+        let predictive = match doc.get("predictive") {
+            None | Some(Json::Null) => None,
+            Some(p) => {
+                let bases = get_arr(p, "bases", "predictive")?
+                    .iter()
+                    .enumerate()
+                    .map(|(k, b)| matrix_from_json(Some(b), &format!("predictive.bases[{k}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let basis_means = get_arr(p, "basis_means", "predictive")?
+                    .iter()
+                    .enumerate()
+                    .map(|(k, v)| vec_from_json(Some(v), &format!("predictive.basis_means[{k}]")))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(PredictiveParts {
+                    chol_l: packed_lower_from_json(p.get("chol_l"))?,
+                    chol_jitter: get_f64(p, "chol_jitter", "predictive")?,
+                    ciy: vec_from_json(p.get("ciy"), "predictive.ciy")?,
+                    bases,
+                    basis_means,
+                    y_means: vec_from_json(p.get("y_means"), "predictive.y_means")?,
+                    lambda: vec_from_json(p.get("lambda"), "predictive.lambda")?,
+                    r: matrix_from_json(p.get("r"), "predictive.r")?,
+                    sigma0: get_f64(p, "sigma0", "predictive")?,
+                    basis_spec,
+                })
+            }
+        };
+
+        Ok(ModelArtifact {
+            model,
+            hyper,
+            predictive,
+        })
+    }
+
+    /// Writes the canonical document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_canonical_string())?;
+        Ok(())
+    }
+
+    /// Reads and validates an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Parse`] / [`ServeError::Invalid`]
+    /// depending on which layer rejects the file.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ServeError> {
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text)?;
+        Self::from_json(&doc)
+    }
+}
+
+fn family_str(spec: BasisSpec) -> &'static str {
+    match spec {
+        BasisSpec::Linear => "linear",
+        BasisSpec::LinearSquares => "linear_squares",
+        // `BasisSpec` is non_exhaustive; a new family must be given a name
+        // here before it can be serialized.
+        _ => unreachable!("unnamed basis family cannot be serialized"),
+    }
+}
+
+fn family_from_str(s: &str) -> Result<BasisSpec, ServeError> {
+    match s {
+        "linear" => Ok(BasisSpec::Linear),
+        "linear_squares" => Ok(BasisSpec::LinearSquares),
+        other => Err(ServeError::Invalid(format!(
+            "unknown basis family '{other}'"
+        ))),
+    }
+}
+
+fn vec_json(v: &[f64]) -> Json {
+    Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
+}
+
+fn matrix_rows_json(m: &Matrix) -> Json {
+    Json::Arr((0..m.rows()).map(|i| vec_json(m.row(i))).collect())
+}
+
+/// The lower triangle of a square matrix, row by row (row i carries i+1
+/// entries) — halves the dominant artifact section.
+fn packed_lower_json(l: &Matrix) -> Json {
+    Json::Arr((0..l.rows()).map(|i| vec_json(&l.row(i)[..=i])).collect())
+}
+
+fn get_f64(obj: &Json, key: &str, ctx: &str) -> Result<f64, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-numeric '{key}'")))
+}
+
+fn get_usize(obj: &Json, key: &str, ctx: &str) -> Result<usize, ServeError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .map(|u| u as usize)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-integer '{key}'")))
+}
+
+fn get_arr<'a>(obj: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], ServeError> {
+    obj.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-array '{key}'")))
+}
+
+fn vec_from_json(v: Option<&Json>, ctx: &str) -> Result<Vec<f64>, ServeError> {
+    let arr = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-array")))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| ServeError::Invalid(format!("{ctx}: non-numeric entry")))
+        })
+        .collect()
+}
+
+fn matrix_from_json(v: Option<&Json>, ctx: &str) -> Result<Matrix, ServeError> {
+    let arr = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-array")))?;
+    let rows: Vec<Vec<f64>> = arr
+        .iter()
+        .enumerate()
+        .map(|(i, r)| vec_from_json(Some(r), &format!("{ctx}[{i}]")))
+        .collect::<Result<_, _>>()?;
+    if rows.is_empty() {
+        return Ok(Matrix::zeros(0, 0));
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    Matrix::from_rows(&refs).map_err(|e| ServeError::Invalid(format!("{ctx}: {e}")))
+}
+
+fn packed_lower_from_json(v: Option<&Json>) -> Result<Matrix, ServeError> {
+    let ctx = "predictive.chol_l";
+    let arr = v
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ServeError::Invalid(format!("{ctx}: missing or non-array")))?;
+    let n = arr.len();
+    let mut l = Matrix::zeros(n, n);
+    for (i, row) in arr.iter().enumerate() {
+        let vals = vec_from_json(Some(row), &format!("{ctx}[{i}]"))?;
+        if vals.len() != i + 1 {
+            return Err(ServeError::Invalid(format!(
+                "{ctx}[{i}]: packed row has {} entries, expected {}",
+                vals.len(),
+                i + 1
+            )));
+        }
+        for (j, x) in vals.into_iter().enumerate() {
+            l[(i, j)] = x;
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> PerStateModel {
+        let coeffs = Matrix::from_rows(&[&[2.0, -1.0], &[3.0, 0.5]]).unwrap();
+        PerStateModel::new(BasisSpec::Linear, 3, vec![0, 2], coeffs, vec![1.0, -0.5]).unwrap()
+    }
+
+    #[test]
+    fn map_only_artifact_round_trips_bytes() {
+        let a = ModelArtifact::from_model(toy_model());
+        let text = a.to_canonical_string();
+        let b = ModelArtifact::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(text, b.to_canonical_string());
+        assert!(b.hyper().is_none() && b.predictive_parts().is_none());
+        assert_eq!(b.model().support(), a.model().support());
+    }
+
+    #[test]
+    fn schema_and_family_are_enforced() {
+        let a = ModelArtifact::from_model(toy_model());
+        let mut doc = a.to_json();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("schema".to_string(), Json::Str("cbmf-model/2".to_string()));
+        }
+        let err = ModelArtifact::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+
+        let mut doc = a.to_json();
+        if let Json::Obj(m) = &mut doc {
+            let mut basis = m["basis"].clone();
+            if let Json::Obj(b) = &mut basis {
+                b.insert("family".to_string(), Json::Str("fourier".to_string()));
+            }
+            m.insert("basis".to_string(), basis);
+        }
+        let err = ModelArtifact::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("fourier"), "{err}");
+    }
+
+    #[test]
+    fn unknown_extra_keys_are_ignored() {
+        let a = ModelArtifact::from_model(toy_model());
+        let mut doc = a.to_json();
+        if let Json::Obj(m) = &mut doc {
+            m.insert("future_field".to_string(), Json::Num(42.0));
+        }
+        let b = ModelArtifact::from_json(&doc).unwrap();
+        assert_eq!(b.model().support(), a.model().support());
+    }
+
+    #[test]
+    fn corrupt_model_sections_are_rejected() {
+        let a = ModelArtifact::from_model(toy_model());
+        // Unsorted support must be caught by PerStateModel::new on load.
+        let mut doc = a.to_json();
+        if let Json::Obj(m) = &mut doc {
+            let mut model = m["model"].clone();
+            if let Json::Obj(mm) = &mut model {
+                mm.insert(
+                    "support".to_string(),
+                    Json::Arr(vec![Json::Num(2.0), Json::Num(0.0)]),
+                );
+            }
+            m.insert("model".to_string(), model);
+        }
+        assert!(ModelArtifact::from_json(&doc).is_err());
+        assert!(ModelArtifact::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn packed_lower_triangle_round_trips() {
+        let l =
+            Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[0.5, 1.5, 0.0], &[-0.25, 0.75, 1.0]]).unwrap();
+        let json = packed_lower_json(&l);
+        let back = packed_lower_from_json(Some(&json)).unwrap();
+        for (p, q) in l.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // A ragged packed row is rejected.
+        let bad = Json::Arr(vec![Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])]);
+        assert!(packed_lower_from_json(Some(&bad)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+use std::fmt;
+
+use cbmf::CbmfError;
+
+/// Everything that can go wrong saving, loading, or serving a model.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure reading or writing an artifact.
+    Io(std::io::Error),
+    /// The artifact text is not valid JSON.
+    Parse(String),
+    /// The document is valid JSON but not a valid `cbmf-model/1` artifact
+    /// (wrong schema version, unknown basis family, shape disagreement…).
+    Invalid(String),
+    /// A modeling-layer error surfaced while rebuilding or evaluating the
+    /// model.
+    Cbmf(CbmfError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "artifact I/O: {e}"),
+            ServeError::Parse(msg) => write!(f, "artifact parse: {msg}"),
+            ServeError::Invalid(msg) => write!(f, "invalid artifact: {msg}"),
+            ServeError::Cbmf(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Cbmf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CbmfError> for ServeError {
+    fn from(e: CbmfError) -> Self {
+        ServeError::Cbmf(e)
+    }
+}
+
+impl From<cbmf_trace::json::JsonError> for ServeError {
+    fn from(e: cbmf_trace::json::JsonError) -> Self {
+        ServeError::Parse(e.to_string())
+    }
+}

@@ -1,0 +1,41 @@
+//! Persistence and serving for fitted C-BMF models.
+//!
+//! The paper's end product — a per-state sparse model `y_k ≈ Σ_m α_{k,m}
+//! b_m(x)` — is meant to be *evaluated* cheaply millions of times (yield
+//! estimation, corner extraction), long after the fitting process exited.
+//! This crate supplies the two missing pieces:
+//!
+//! * [`ModelArtifact`] — a versioned, byte-stable on-disk format
+//!   (`cbmf-model/1`, canonical sorted-key JSON via `cbmf-trace`) capturing
+//!   the basis definition, per-state supports, MAP coefficients, the
+//!   σ0/λ/R hyper-parameters, and optionally the posterior factors needed
+//!   to reproduce predictive variance bitwise. `save(load(save(x)))` is
+//!   byte-identical.
+//! * [`BatchPredictor`] — a blocked batch evaluator: N samples × K states
+//!   in cache-friendly row tiles fanned out over `cbmf-parallel`, with an
+//!   optional uncertainty path returning predictive mean + variance. Both
+//!   paths are bitwise equal to the per-sample [`cbmf::PerStateModel::predict`]
+//!   / [`cbmf::PosteriorPredictive::predict`] calls at any thread count.
+//!
+//! ```no_run
+//! use cbmf_serve::{BatchPredictor, ModelArtifact};
+//! # fn main() -> Result<(), cbmf_serve::ServeError> {
+//! # let outcome: cbmf::FitOutcome = unimplemented!();
+//! let artifact = ModelArtifact::from_fit(&outcome);
+//! artifact.save("model.cbmf.json")?;
+//!
+//! let served = ModelArtifact::load("model.cbmf.json")?;
+//! let predictor = BatchPredictor::from_artifact(&served)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod artifact;
+mod error;
+mod predictor;
+
+pub use artifact::{Hyper, ModelArtifact, MODEL_SCHEMA};
+pub use error::ServeError;
+pub use predictor::BatchPredictor;

@@ -1,0 +1,270 @@
+//! The blocked batch prediction engine.
+//!
+//! Serving evaluates one fitted model at many variation samples — the
+//! yield-estimation inner loop. The engine tiles the sample rows into
+//! cache-friendly blocks, evaluates the basis dictionary once per sample,
+//! and reuses it across all K states; tiles fan out over `cbmf-parallel`
+//! and are stitched back in index order, so results are bitwise identical
+//! to the per-sample scalar path at any thread count.
+
+use cbmf::{PerStateModel, PosteriorPredictive};
+use cbmf_linalg::Matrix;
+use cbmf_trace::{Counter, Gauge};
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+
+/// Individual (sample, state) predictions served.
+static SERVE_PREDICTIONS: Counter = Counter::new("serve.predictions");
+/// Batch calls served.
+static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+/// Multiply-accumulates performed by the blocked MAP path (N·K·|support|).
+static SERVE_BLOCKED_MACS: Counter = Counter::new("serve.blocked_macs");
+/// Sample count of the most recent batch.
+static SERVE_BATCH_SIZE: Gauge = Gauge::new("serve.batch_size");
+
+/// Default tile height: 64 rows ≈ a few KB of basis evaluations — resident
+/// in L1/L2 while all K states consume them.
+const DEFAULT_TILE_ROWS: usize = 64;
+
+/// A blocked batch evaluator over a fitted model, with an optional exact
+/// uncertainty path when the artifact carried posterior factors.
+#[derive(Debug)]
+pub struct BatchPredictor {
+    model: PerStateModel,
+    predictive: Option<PosteriorPredictive>,
+    tile_rows: usize,
+}
+
+impl BatchPredictor {
+    /// Serves a bare MAP model (mean predictions only).
+    pub fn new(model: PerStateModel) -> Self {
+        BatchPredictor {
+            model,
+            predictive: None,
+            tile_rows: DEFAULT_TILE_ROWS,
+        }
+    }
+
+    /// Builds a predictor from a loaded artifact, rebuilding the posterior
+    /// predictive when the artifact carries its factors.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Cbmf`] if the predictive parts are mutually
+    /// inconsistent (a hand-edited artifact).
+    pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, ServeError> {
+        let predictive = artifact
+            .predictive_parts()
+            .map(|p| PosteriorPredictive::from_parts(p.clone()))
+            .transpose()?;
+        Ok(BatchPredictor {
+            model: artifact.model().clone(),
+            predictive,
+            tile_rows: DEFAULT_TILE_ROWS,
+        })
+    }
+
+    /// Overrides the tile height (clamped to at least one row).
+    #[must_use]
+    pub fn with_tile_rows(mut self, rows: usize) -> Self {
+        self.tile_rows = rows.max(1);
+        self
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &PerStateModel {
+        &self.model
+    }
+
+    /// Whether [`predict_batch_with_uncertainty`](Self::predict_batch_with_uncertainty)
+    /// is available.
+    pub fn has_uncertainty(&self) -> bool {
+        self.predictive.is_some()
+    }
+
+    /// Evaluates the MAP model at every row of `xs` (N × d) for every
+    /// state, returning the N × K mean matrix.
+    ///
+    /// Bitwise equal to calling [`PerStateModel::predict`] per (row, state)
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] if `xs` has the wrong column count.
+    pub fn predict_batch(&self, xs: &Matrix) -> Result<Matrix, ServeError> {
+        let (n, d) = xs.shape();
+        if d != self.model.num_variables() {
+            return Err(ServeError::Invalid(format!(
+                "batch has {d} variables, model expects {}",
+                self.model.num_variables()
+            )));
+        }
+        let _span = cbmf_trace::span("serve_batch");
+        let k = self.model.num_states();
+        let support_len = self.model.support().len();
+        SERVE_BATCHES.inc();
+        SERVE_BATCH_SIZE.set(n as f64);
+        SERVE_PREDICTIONS.add((n * k) as u64);
+        SERVE_BLOCKED_MACS.add((n * k * support_len) as u64);
+
+        let m = self.model.basis_spec().num_basis(d);
+        let tile = self.tile_rows;
+        let num_tiles = n.div_ceil(tile.max(1));
+        // One tile per work item; each returns its rows_in_tile × K block.
+        let blocks = cbmf_parallel::par_map_indexed(num_tiles, 1, |t| {
+            let lo = t * tile;
+            let hi = (lo + tile).min(n);
+            let mut basis = vec![0.0; m];
+            let mut block = Vec::with_capacity((hi - lo) * k);
+            for i in lo..hi {
+                self.model.basis_spec().eval_into(xs.row(i), &mut basis);
+                for state in 0..k {
+                    block.push(self.model.predict_from_basis(state, &basis));
+                }
+            }
+            block
+        });
+        let mut out = Matrix::zeros(n, k);
+        for (t, block) in blocks.into_iter().enumerate() {
+            let lo = t * tile;
+            for (local, row) in block.chunks(k).enumerate() {
+                out.row_mut(lo + local).copy_from_slice(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates predictive mean **and variance** at every row of `xs` for
+    /// every state, returning two N × K matrices.
+    ///
+    /// Each tile shares one multi-RHS triangular solve through
+    /// [`PosteriorPredictive::predict_tile`]; results are bitwise equal to
+    /// per-sample [`PosteriorPredictive::predict`] at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Invalid`] if the artifact carried no posterior factors
+    /// or `xs` has the wrong column count; [`ServeError::Cbmf`] on a
+    /// modeling-layer failure.
+    pub fn predict_batch_with_uncertainty(
+        &self,
+        xs: &Matrix,
+    ) -> Result<(Matrix, Matrix), ServeError> {
+        let Some(predictive) = &self.predictive else {
+            return Err(ServeError::Invalid(
+                "artifact carries no posterior factors — re-save with ModelArtifact::with_predictive"
+                    .to_string(),
+            ));
+        };
+        let (n, d) = xs.shape();
+        if d != self.model.num_variables() {
+            return Err(ServeError::Invalid(format!(
+                "batch has {d} variables, model expects {}",
+                self.model.num_variables()
+            )));
+        }
+        let _span = cbmf_trace::span("serve_batch_uncertainty");
+        let k = predictive.num_states();
+        SERVE_BATCHES.inc();
+        SERVE_BATCH_SIZE.set(n as f64);
+        SERVE_PREDICTIONS.add((n * k) as u64);
+
+        let mut means = Matrix::zeros(n, k);
+        let mut vars = Matrix::zeros(n, k);
+        let tile = self.tile_rows;
+        // Tiles run sequentially: the triangular solve inside predict_tile
+        // already fans the tile's columns out over cbmf-parallel, and
+        // nesting fork-joins would multiply thread counts for no gain.
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + tile).min(n);
+            let rows: Vec<&[f64]> = (lo..hi).map(|i| xs.row(i)).collect();
+            for state in 0..k {
+                let col = predictive.predict_tile(state, &rows)?;
+                for (local, (mean, var)) in col.into_iter().enumerate() {
+                    means[(lo + local, state)] = mean;
+                    vars[(lo + local, state)] = var;
+                }
+            }
+            lo = hi;
+        }
+        Ok((means, vars))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf::BasisSpec;
+
+    fn toy_model(states: usize, d: usize) -> PerStateModel {
+        let support: Vec<usize> = (0..d).step_by(2).collect();
+        let coeffs = Matrix::from_fn(states, support.len(), |k, j| {
+            ((k * 7 + j * 3) as f64 * 0.23).sin()
+        });
+        let intercepts: Vec<f64> = (0..states).map(|k| k as f64 * 0.5 - 1.0).collect();
+        PerStateModel::new(BasisSpec::LinearSquares, d, support, coeffs, intercepts).unwrap()
+    }
+
+    #[test]
+    fn batch_matches_per_sample_bitwise_at_any_thread_count() {
+        let model = toy_model(5, 9);
+        let xs = Matrix::from_fn(131, 9, |i, j| ((i * 9 + j) as f64 * 0.17).cos());
+        let predictor = BatchPredictor::new(model.clone()).with_tile_rows(16);
+        let out1 = cbmf_parallel::with_threads(1, || predictor.predict_batch(&xs).unwrap());
+        let out8 = cbmf_parallel::with_threads(8, || predictor.predict_batch(&xs).unwrap());
+        for (p, q) in out1.as_slice().iter().zip(out8.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        for i in 0..xs.rows() {
+            for state in 0..5 {
+                let scalar = model.predict(state, xs.row(i)).unwrap();
+                assert_eq!(out8[(i, state)].to_bits(), scalar.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn odd_tile_boundaries_are_exact() {
+        let model = toy_model(2, 4);
+        let xs = Matrix::from_fn(7, 4, |i, j| (i + j) as f64 * 0.3);
+        for tile in [1, 2, 3, 7, 64] {
+            let predictor = BatchPredictor::new(model.clone()).with_tile_rows(tile);
+            let out = predictor.predict_batch(&xs).unwrap();
+            assert_eq!(out.shape(), (7, 2));
+            for i in 0..7 {
+                for state in 0..2 {
+                    let scalar = model.predict(state, xs.row(i)).unwrap();
+                    assert_eq!(out[(i, state)].to_bits(), scalar.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_and_missing_uncertainty_are_rejected() {
+        let predictor = BatchPredictor::new(toy_model(2, 4));
+        assert!(predictor.predict_batch(&Matrix::zeros(3, 5)).is_err());
+        assert!(!predictor.has_uncertainty());
+        assert!(predictor
+            .predict_batch_with_uncertainty(&Matrix::zeros(3, 4))
+            .is_err());
+    }
+
+    #[test]
+    fn serve_counters_record_batch_shape() {
+        cbmf_trace::set_enabled(true);
+        cbmf_trace::reset();
+        let predictor = BatchPredictor::new(toy_model(3, 6));
+        let xs = Matrix::zeros(10, 6);
+        predictor.predict_batch(&xs).unwrap();
+        let snap = cbmf_trace::snapshot();
+        cbmf_trace::clear_enabled_override();
+        assert_eq!(snap.counters.get("serve.predictions"), Some(&30));
+        assert_eq!(snap.counters.get("serve.batches"), Some(&1));
+        // 3 support columns (0, 2, 4) × 10 samples × 3 states.
+        assert_eq!(snap.counters.get("serve.blocked_macs"), Some(&90));
+        assert_eq!(snap.gauges.get("serve.batch_size"), Some(&10.0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Shared fixture: a small, fully deterministic LNA fit used by both the
+//! round-trip and golden-file suites.
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, FitOutcome, PosteriorPredictive, TunableProblem};
+use cbmf_circuits::{Lna, MonteCarlo};
+use cbmf_serve::ModelArtifact;
+use cbmf_stats::seeded_rng;
+
+/// States / samples-per-state / variables kept from the full LNA dataset —
+/// small enough that the golden artifact stays a few tens of kilobytes.
+pub const STATES: usize = 4;
+pub const SAMPLES: usize = 6;
+pub const VARIABLES: usize = 25;
+
+/// A reduced slice of the LNA voltage-gain dataset: the first `STATES` knob
+/// states, `SAMPLES` Monte Carlo samples each, restricted to the first
+/// `VARIABLES` variation variables. Fixed seeds end to end, and every fit
+/// stage is bitwise deterministic at any thread count, so the resulting
+/// artifact bytes are exactly reproducible.
+pub fn lna_small_problem() -> TunableProblem {
+    let lna = Lna::new();
+    let mut rng = seeded_rng(4207);
+    let ds = MonteCarlo::new(SAMPLES)
+        .collect(&lna, &mut rng)
+        .expect("mc");
+    let xs: Vec<_> = ds
+        .states
+        .iter()
+        .take(STATES)
+        .map(|s| s.x.block(0, SAMPLES, 0, VARIABLES))
+        .collect();
+    let ys: Vec<_> = ds.states.iter().take(STATES).map(|s| s.metric(1)).collect();
+    TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("valid slice")
+}
+
+/// Fits the reduced problem with a CI-speed config.
+pub fn lna_small_fit(problem: &TunableProblem) -> FitOutcome {
+    let mut cfg = CbmfConfig::small_problem();
+    cfg.grid.theta = vec![4, 8];
+    cfg.em.max_iters = 4;
+    let mut rng = seeded_rng(7);
+    CbmfFit::new(cfg)
+        .fit(problem, &mut rng)
+        .expect("lna_small fit")
+}
+
+/// The full artifact: MAP model + hyper-parameters + posterior factors.
+pub fn lna_small_artifact() -> ModelArtifact {
+    let problem = lna_small_problem();
+    let outcome = lna_small_fit(&problem);
+    let prior = outcome.prior().expect("full fit keeps its prior");
+    let predictive = PosteriorPredictive::new(&problem, prior).expect("predictive");
+    ModelArtifact::from_fit(&outcome).with_predictive(&predictive)
+}

@@ -1,0 +1,58 @@
+//! Golden-file test: the committed reference artifact pins the exact bytes
+//! the fitting + serialization pipeline produces. Any drift — a reordered
+//! reduction, a changed accumulator, a format tweak — fails here before it
+//! can silently invalidate saved models in the field.
+//!
+//! Regenerate deliberately with:
+//! `CBMF_REGEN_GOLDEN=1 cargo test -p cbmf-serve --test golden`
+//! and commit the diff with an explanation of why the bytes moved.
+
+mod common;
+
+use cbmf_serve::{BatchPredictor, ModelArtifact};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/lna_small.cbmf.json"
+);
+
+#[test]
+fn golden_artifact_bytes_are_pinned_across_thread_counts() {
+    // The whole pipeline — Monte Carlo, initializer, EM, serialization —
+    // must produce identical bytes at 1 and 8 threads (the CI determinism
+    // matrix additionally varies RAYON_NUM_THREADS around this binary).
+    let text1 =
+        cbmf_parallel::with_threads(1, || common::lna_small_artifact().to_canonical_string());
+    let text8 =
+        cbmf_parallel::with_threads(8, || common::lna_small_artifact().to_canonical_string());
+    assert_eq!(text1, text8, "artifact bytes differ across thread counts");
+
+    if std::env::var("CBMF_REGEN_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &text1).expect("write golden");
+        return;
+    }
+
+    let committed = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("read tests/golden/lna_small.cbmf.json (CBMF_REGEN_GOLDEN=1 to create)");
+    assert_eq!(
+        committed, text1,
+        "artifact bytes drifted from the committed golden file; if intentional, \
+         regenerate with CBMF_REGEN_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn golden_artifact_loads_and_serves() {
+    let artifact = ModelArtifact::load(GOLDEN_PATH).expect("golden loads");
+    assert_eq!(artifact.model().num_states(), common::STATES);
+    assert_eq!(artifact.model().num_variables(), common::VARIABLES);
+    assert!(artifact.hyper().is_some(), "golden records the fit prior");
+
+    let predictor = BatchPredictor::from_artifact(&artifact).expect("predictor");
+    assert!(predictor.has_uncertainty());
+    let xs = cbmf_linalg::Matrix::zeros(3, common::VARIABLES);
+    let means = predictor.predict_batch(&xs).expect("batch");
+    assert_eq!(means.shape(), (3, common::STATES));
+    let (_, vars) = predictor.predict_batch_with_uncertainty(&xs).expect("unc");
+    assert!(vars.as_slice().iter().all(|&v| v > 0.0 && v.is_finite()));
+}

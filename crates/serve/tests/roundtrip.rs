@@ -1,0 +1,151 @@
+//! Acceptance suite for the artifact + serving layer:
+//! `save(load(save(fit)))` byte identity, and batch predictions bitwise
+//! equal to the per-sample paths at any thread count.
+
+mod common;
+
+use cbmf_linalg::Matrix;
+use cbmf_serve::{BatchPredictor, ModelArtifact, ServeError};
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("cbmf_serve_{tag}_{}.cbmf.json", std::process::id()))
+}
+
+/// Deterministic off-training query batch in the model's variable space.
+fn query_batch(n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.137).sin() * 0.8)
+}
+
+#[test]
+fn save_load_save_is_byte_identical() {
+    let artifact = common::lna_small_artifact();
+    let path = temp_path("roundtrip");
+    artifact.save(&path).expect("first save");
+    let first = std::fs::read_to_string(&path).expect("read back");
+
+    let reloaded = ModelArtifact::load(&path).expect("load");
+    reloaded.save(&path).expect("second save");
+    let second = std::fs::read_to_string(&path).expect("read back");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(
+        first, second,
+        "save(load(save(fit))) must be byte-identical"
+    );
+    assert_eq!(first, reloaded.to_canonical_string());
+}
+
+#[test]
+fn loaded_model_re_predicts_bitwise() {
+    let artifact = common::lna_small_artifact();
+    let path = temp_path("repredict");
+    artifact.save(&path).expect("save");
+    let reloaded = ModelArtifact::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let before = BatchPredictor::from_artifact(&artifact).expect("predictor");
+    let after = BatchPredictor::from_artifact(&reloaded).expect("predictor");
+    let xs = query_batch(33, common::VARIABLES);
+
+    let m0 = before.predict_batch(&xs).expect("batch");
+    let m1 = after.predict_batch(&xs).expect("batch");
+    for (p, q) in m0.as_slice().iter().zip(m1.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+
+    let (mean0, var0) = before.predict_batch_with_uncertainty(&xs).expect("unc");
+    let (mean1, var1) = after.predict_batch_with_uncertainty(&xs).expect("unc");
+    for (p, q) in mean0.as_slice().iter().zip(mean1.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+    for (p, q) in var0.as_slice().iter().zip(var1.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+}
+
+#[test]
+fn batch_matches_per_sample_bitwise_at_any_thread_count() {
+    let artifact = common::lna_small_artifact();
+    let predictor = BatchPredictor::from_artifact(&artifact)
+        .expect("predictor")
+        .with_tile_rows(8);
+    let xs = query_batch(41, common::VARIABLES);
+    let model = artifact.model();
+
+    let out1 = cbmf_parallel::with_threads(1, || predictor.predict_batch(&xs).unwrap());
+    let out8 = cbmf_parallel::with_threads(8, || predictor.predict_batch(&xs).unwrap());
+    for (p, q) in out1.as_slice().iter().zip(out8.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+    for i in 0..xs.rows() {
+        for state in 0..model.num_states() {
+            let scalar = model.predict(state, xs.row(i)).unwrap();
+            assert_eq!(out8[(i, state)].to_bits(), scalar.to_bits());
+        }
+    }
+}
+
+#[test]
+fn uncertainty_batch_matches_per_sample_bitwise() {
+    let problem = common::lna_small_problem();
+    let outcome = common::lna_small_fit(&problem);
+    let prior = outcome.prior().expect("prior");
+    let predictive = cbmf::PosteriorPredictive::new(&problem, prior).expect("predictive");
+    let artifact = ModelArtifact::from_fit(&outcome).with_predictive(&predictive);
+    let predictor = BatchPredictor::from_artifact(&artifact)
+        .expect("predictor")
+        .with_tile_rows(8);
+    assert!(predictor.has_uncertainty());
+
+    let xs = query_batch(21, common::VARIABLES);
+    let run = |threads| {
+        cbmf_parallel::with_threads(threads, || {
+            predictor.predict_batch_with_uncertainty(&xs).unwrap()
+        })
+    };
+    let (mean1, var1) = run(1);
+    let (mean8, var8) = run(8);
+    for (p, q) in mean1.as_slice().iter().zip(mean8.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+    for (p, q) in var1.as_slice().iter().zip(var8.as_slice()) {
+        assert_eq!(p.to_bits(), q.to_bits());
+    }
+    for i in 0..xs.rows() {
+        for state in 0..predictive.num_states() {
+            let (m, v) = predictive.predict(state, xs.row(i)).unwrap();
+            assert_eq!(mean8[(i, state)].to_bits(), m.to_bits());
+            assert_eq!(var8[(i, state)].to_bits(), v.to_bits());
+            assert!(v > 0.0);
+        }
+    }
+}
+
+#[test]
+fn tampered_artifacts_fail_loudly() {
+    let artifact = common::lna_small_artifact();
+    let path = temp_path("tamper");
+    artifact.save(&path).expect("save");
+    let text = std::fs::read_to_string(&path).expect("read");
+    std::fs::remove_file(&path).ok();
+
+    // Truncated file → parse error.
+    let truncated = &text[..text.len() / 2];
+    let err = cbmf_trace::Json::parse(truncated)
+        .map(|doc| ModelArtifact::from_json(&doc))
+        .err();
+    assert!(err.is_some(), "truncated artifact must not parse");
+
+    // Wrong schema → Invalid with a version hint.
+    let doc = cbmf_trace::Json::parse(&text.replace("cbmf-model/1", "cbmf-model/9")).unwrap();
+    match ModelArtifact::from_json(&doc) {
+        Err(ServeError::Invalid(msg)) => assert!(msg.contains("cbmf-model/9"), "{msg}"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+
+    // Missing file → Io.
+    match ModelArtifact::load(temp_path("nonexistent")) {
+        Err(ServeError::Io(_)) => {}
+        other => panic!("expected Io, got {other:?}"),
+    }
+}
