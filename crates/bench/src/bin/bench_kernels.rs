@@ -18,20 +18,32 @@
 
 use std::path::Path;
 
-use cbmf_bench::kernels::{calibration_ns, run_suite, BASELINE_REPS};
+use cbmf_bench::kernels::{run_suite, Calibration, BASELINE_REPS};
 use cbmf_trace::{Json, ReportMeta};
 
 fn main() {
     let threads = cbmf_parallel::max_threads();
-    println!("timing kernels at paper scale (M=1300, K=8, n=100) with {threads} threads\n");
+    println!("timing kernels at paper scale (M=1300, K=8, n=100, d=1280) with {threads} threads\n");
 
-    let calibration = calibration_ns();
-    let results = run_suite(BASELINE_REPS, threads, |r| {
+    let calibration = Calibration::measure();
+    // The baseline run records the naive before/after for the d = 1280 rows
+    // (blocked-kernel acceptance evidence); CI's quick re-runs skip it.
+    let results = run_suite(BASELINE_REPS, threads, true, |r| {
         let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
-        println!(
-            "{:32} serial {:>12} ns   parallel {:>12} ns   speedup {speedup:.2}x",
-            r.name, r.serial_ns, r.parallel_ns
-        );
+        match r.naive_serial_min_ns {
+            Some(naive) => println!(
+                "{:32} serial {:>12} ns   parallel {:>12} ns   naive {:>12} ns ({:.2}x blocked win)",
+                r.name,
+                r.serial_ns,
+                r.parallel_ns,
+                naive,
+                naive as f64 / r.serial_min_ns.max(1) as f64
+            ),
+            None => println!(
+                "{:32} serial {:>12} ns   parallel {:>12} ns   speedup {speedup:.2}x",
+                r.name, r.serial_ns, r.parallel_ns
+            ),
+        }
     });
 
     let doc =
@@ -43,7 +55,8 @@ fn main() {
     if cbmf_trace::enabled() {
         let meta = ReportMeta::new("bench_kernels")
             .with("reps", Json::Num(BASELINE_REPS as f64))
-            .with("calibration_ns", Json::Num(calibration as f64));
+            .with("calibration_ns", Json::Num(calibration.cache_ns as f64))
+            .with("calibration_dram_ns", Json::Num(calibration.dram_ns as f64));
         let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
         let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
         println!("wrote {}", path.display());

@@ -8,7 +8,7 @@
 
 use std::path::Path;
 
-use cbmf_bench::kernels::{calibration_ns, BASELINE_REPS};
+use cbmf_bench::kernels::{Calibration, BASELINE_REPS};
 use cbmf_bench::predict::{run_predict_suite, SAMPLES_PER_REP, STATES, SUPPORT, VARIABLES};
 use cbmf_trace::{Json, ReportMeta};
 
@@ -19,7 +19,7 @@ fn main() {
          {SAMPLES_PER_REP} samples/rep) with {threads} threads\n"
     );
 
-    let cal_before = calibration_ns();
+    let cal_before = Calibration::measure();
     let results = run_predict_suite(BASELINE_REPS, threads, |r| {
         let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
         println!(
@@ -30,7 +30,7 @@ fn main() {
     // Min of calibrations bracketing the suite: a single inflated probe
     // would permanently tighten (or loosen) every future gate comparison
     // through the host_scale ratio.
-    let calibration = cal_before.min(calibration_ns());
+    let calibration = cal_before.min_with(Calibration::measure());
 
     let doc =
         cbmf_bench::predict::render_predict_report(&results, BASELINE_REPS, threads, calibration);
@@ -41,7 +41,8 @@ fn main() {
     if cbmf_trace::enabled() {
         let meta = ReportMeta::new("bench_predict")
             .with("reps", Json::Num(BASELINE_REPS as f64))
-            .with("calibration_ns", Json::Num(calibration as f64));
+            .with("calibration_ns", Json::Num(calibration.cache_ns as f64))
+            .with("calibration_dram_ns", Json::Num(calibration.dram_ns as f64));
         let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
         let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
         println!("wrote {}", path.display());

@@ -32,7 +32,7 @@ use std::process::ExitCode;
 use cbmf_bench::gate::{
     gate_accuracy, gate_kernels, gate_predict, render_step_summary, GateOutcome, DEFAULT_TOL,
 };
-use cbmf_bench::kernels::{calibration_ns, merge_min, render_bench_report, run_suite, QUICK_REPS};
+use cbmf_bench::kernels::{merge_min, render_bench_report, run_suite, Calibration, QUICK_REPS};
 use cbmf_bench::predict::{merge_min_predict, render_predict_report, run_predict_suite};
 use cbmf_bench::smoke::{render_accuracy_report, run_accuracy_smoke};
 use cbmf_trace::Json;
@@ -86,14 +86,17 @@ fn gated_min_time_suite<R>(
     candidate_name: &str,
     mut run: impl FnMut(usize) -> Vec<R>,
     merge: impl Fn(&mut [R], &[R]),
-    render: impl Fn(&[R], u128) -> Json,
+    render: impl Fn(&[R], Calibration) -> Json,
     gate: impl Fn(&Json, &Json, f64) -> Result<GateOutcome, String>,
 ) -> Option<GateOutcome> {
     let mut merged: Vec<R> = Vec::new();
-    let mut cal = u128::MAX;
+    let mut cal = Calibration {
+        cache_ns: u128::MAX,
+        dram_ns: u128::MAX,
+    };
     for attempt in 1..=MAX_ATTEMPTS {
         println!("{label}: quick suite ({QUICK_REPS} reps, attempt {attempt}/{MAX_ATTEMPTS})...");
-        cal = cal.min(calibration_ns());
+        cal = cal.min_with(Calibration::measure());
         let results = run(attempt);
         if merged.is_empty() {
             merged = results;
@@ -174,7 +177,9 @@ fn main() -> ExitCode {
                 &out_dir,
                 "candidate_bench.json",
                 |_| {
-                    run_suite(QUICK_REPS, threads, |r| {
+                    // The quick re-run skips the naive before/after timing:
+                    // the gate only compares the routed kernels.
+                    run_suite(QUICK_REPS, threads, false, |r| {
                         println!("  {:32} serial {:>12} ns", r.name, r.serial_ns);
                     })
                 },

@@ -19,6 +19,13 @@
 //! fields — a fixed small workload timed on each host — which lets a CI
 //! runner of different single-core speed compare against a baseline
 //! recorded elsewhere.
+//!
+//! Entries whose working set leaves the last-level cache are scaled by the
+//! ratio of the `calibration_dram_ns` fields instead (the strided-triad
+//! bandwidth probe): core-speed calibration systematically mispredicts
+//! bandwidth-bound rows, which made the 4096-row predict gate flap on
+//! hosts whose DRAM and core speeds diverge. [`DRAM_GATED_BATCHES`] lists
+//! the rows on the bandwidth ratio.
 
 use cbmf_trace::Json;
 
@@ -31,6 +38,12 @@ pub const DEFAULT_TOL: f64 = 0.20;
 
 /// Absolute slack added to accuracy thresholds, in error-percent units.
 pub const ACCURACY_ABS_SLACK: f64 = 0.01;
+
+/// Predict-suite entries gated against the DRAM-bandwidth calibration
+/// ratio rather than the cache-resident one: the 4096-row batch streams
+/// the largest working set of the suite and tracks memory bandwidth, not
+/// core speed.
+pub const DRAM_GATED_BATCHES: &[&str] = &["batch_4096"];
 
 /// One comparison a gate performed, in table-renderable form. Units depend
 /// on the check (nanoseconds for perf/predict rows, error-percent or counts
@@ -141,13 +154,14 @@ pub fn render_step_summary(gates: &[(&str, &GateOutcome)]) -> String {
 pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
     validate_bench_report(baseline).map_err(|e| format!("baseline: {e}"))?;
     validate_bench_report(candidate).map_err(|e| format!("candidate: {e}"))?;
-    gate_min_times(baseline, candidate, tol, "kernels", "kernel")
+    gate_min_times(baseline, candidate, tol, "kernels", "kernel", &[])
 }
 
 /// Compares a fresh predict-suite run against the committed
 /// `BENCH_predict.json` baseline, under the exact rule of [`gate_kernels`]:
 /// every batch size's serial and parallel **minimum** ns/sample must stay
-/// within `baseline · host_scale · (1 + tol)`.
+/// within `baseline · host_scale · (1 + tol)`. The [`DRAM_GATED_BATCHES`]
+/// rows use the bandwidth-probe ratio as their `host_scale`.
 ///
 /// # Errors
 ///
@@ -156,29 +170,42 @@ pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateO
 pub fn gate_predict(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
     validate_predict_report(baseline).map_err(|e| format!("baseline: {e}"))?;
     validate_predict_report(candidate).map_err(|e| format!("candidate: {e}"))?;
-    gate_min_times(baseline, candidate, tol, "batches", "batch")
+    gate_min_times(
+        baseline,
+        candidate,
+        tol,
+        "batches",
+        "batch",
+        DRAM_GATED_BATCHES,
+    )
 }
 
 /// Shared min-time-vs-scaled-threshold comparison behind the perf and
 /// predict gates. `section` is the document key holding the timing map,
-/// `label` the entry noun used in failure messages. Both documents are
-/// assumed schema-validated by the caller.
+/// `label` the entry noun used in failure messages; entries named in
+/// `dram_gated` use the `calibration_dram_ns` ratio as their host scale.
+/// Both documents are assumed schema-validated by the caller.
 fn gate_min_times(
     baseline: &Json,
     candidate: &Json,
     tol: f64,
     section: &str,
     label: &str,
+    dram_gated: &[&str],
 ) -> Result<GateOutcome, String> {
-    let base_cal = baseline
-        .get("calibration_ns")
-        .and_then(Json::as_f64)
-        .expect("validated above");
-    let cand_cal = candidate
-        .get("calibration_ns")
-        .and_then(Json::as_f64)
-        .expect("validated above");
-    let host_scale = cand_cal / base_cal;
+    let cal_ratio = |field: &str| {
+        let b = baseline
+            .get(field)
+            .and_then(Json::as_f64)
+            .expect("validated above");
+        let c = candidate
+            .get(field)
+            .and_then(Json::as_f64)
+            .expect("validated above");
+        c / b
+    };
+    let host_scale = cal_ratio("calibration_ns");
+    let dram_scale = cal_ratio("calibration_dram_ns");
 
     let base_entries = baseline.get(section).and_then(Json::as_obj).unwrap();
     let cand_entries = candidate.get(section).and_then(Json::as_obj).unwrap();
@@ -196,16 +223,19 @@ fn gate_min_times(
                 .push(format!("{label} '{name}': missing from candidate run"));
             continue;
         };
+        let dram = dram_gated.contains(&name.as_str());
+        let scale = if dram { dram_scale } else { host_scale };
         for field in ["serial_min_ns", "parallel_min_ns"] {
             let b = base.get(field).and_then(Json::as_f64).expect("validated");
             let c = cand.get(field).and_then(Json::as_f64).expect("validated");
-            let allowed = b * host_scale * (1.0 + tol);
+            let allowed = b * scale * (1.0 + tol);
             let passed = c <= allowed;
             out.row(format!("{name} {field}"), b, c, allowed, passed);
             if !passed {
                 out.failures.push(format!(
                     "{label} '{name}' {field}: {c:.0} ns > allowed {allowed:.0} ns \
-                     (baseline {b:.0} ns x host_scale {host_scale:.3} x {:.2})",
+                     (baseline {b:.0} ns x {} {scale:.3} x {:.2})",
+                    if dram { "dram_scale" } else { "host_scale" },
                     1.0 + tol
                 ));
             }
@@ -300,8 +330,8 @@ mod tests {
 
     fn bench_doc(serial: f64, parallel: f64, cal: f64) -> Json {
         Json::parse(&format!(
-            r#"{{"schema": "cbmf-bench-kernels/2", "reps": 3, "calibration_ns": {cal},
-                "host": {{"threads": 1}},
+            r#"{{"schema": "cbmf-bench-kernels/3", "reps": 3, "calibration_ns": {cal},
+                "calibration_dram_ns": {cal}, "host": {{"threads": 1}},
                 "kernels": {{"matmul_800": {{"serial_median_ns": {serial},
                                             "parallel_median_ns": {parallel},
                                             "serial_min_ns": {serial},
@@ -311,10 +341,14 @@ mod tests {
     }
 
     fn predict_doc(serial: f64, parallel: f64, cal: f64) -> Json {
+        predict_doc_dram(serial, parallel, cal, cal, "batch_0064")
+    }
+
+    fn predict_doc_dram(serial: f64, parallel: f64, cal: f64, dram_cal: f64, batch: &str) -> Json {
         Json::parse(&format!(
-            r#"{{"schema": "cbmf-bench-predict/1", "reps": 3, "calibration_ns": {cal},
-                "host": {{"threads": 1}},
-                "batches": {{"batch_0064": {{"serial_median_ns": {serial},
+            r#"{{"schema": "cbmf-bench-predict/2", "reps": 3, "calibration_ns": {cal},
+                "calibration_dram_ns": {dram_cal}, "host": {{"threads": 1}},
+                "batches": {{"{batch}": {{"serial_median_ns": {serial},
                                             "parallel_median_ns": {parallel},
                                             "serial_min_ns": {serial},
                                             "parallel_min_ns": {parallel}}}}}}}"#
@@ -411,6 +445,32 @@ mod tests {
         let kernels = bench_doc(1000.0, 900.0, 100.0);
         assert!(gate_predict(&base, &kernels, DEFAULT_TOL).is_err());
         assert!(gate_predict(&kernels, &base, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn predict_gate_uses_dram_ratio_for_the_large_batch() {
+        // Candidate host: same core speed (cache calibration unchanged) but
+        // half the memory bandwidth (DRAM probe 2x slower). The 4096-row
+        // batch slows down 1.8x — over the cache-scaled gate, within the
+        // DRAM-scaled one.
+        let base = predict_doc_dram(1000.0, 900.0, 100.0, 500.0, "batch_4096");
+        let cand = predict_doc_dram(1800.0, 1620.0, 100.0, 1000.0, "batch_4096");
+        let out = gate_predict(&base, &cand, DEFAULT_TOL).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        // The small batch stays on the cache ratio: the same 1.8x slowdown
+        // with an unchanged cache calibration fails even when DRAM slowed.
+        let base = predict_doc_dram(1000.0, 900.0, 100.0, 500.0, "batch_0064");
+        let cand = predict_doc_dram(1800.0, 1620.0, 100.0, 1000.0, "batch_0064");
+        let out = gate_predict(&base, &cand, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures[0].contains("host_scale"));
+        // A genuine regression on the large batch still fails under the
+        // bandwidth ratio.
+        let base = predict_doc_dram(1000.0, 900.0, 100.0, 500.0, "batch_4096");
+        let cand = predict_doc_dram(2600.0, 2340.0, 100.0, 1000.0, "batch_4096");
+        let out = gate_predict(&base, &cand, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures[0].contains("dram_scale"));
     }
 
     #[test]

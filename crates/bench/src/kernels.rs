@@ -2,29 +2,36 @@
 //! perf gate.
 //!
 //! One definition of the paper-scale kernels (M = 1300, K = 8, n = 100 →
-//! NK = 800) serves both consumers: the `bench_kernels` binary times them at
-//! full repetition count and writes the committed baseline, and the
-//! `ci-gate` binary re-times them quickly and compares against that
-//! baseline. Keeping the workload definitions here guarantees the two
-//! always measure the same thing.
+//! NK = 800, plus the d = 1280 blocked-kernel rows) serves both consumers:
+//! the `bench_kernels` binary times them at full repetition count and writes
+//! the committed baseline, and the `ci-gate` binary re-times them quickly
+//! and compares against that baseline. Keeping the workload definitions here
+//! guarantees the two always measure the same thing.
 //!
 //! # Report schema
 //!
 //! [`BENCH_SCHEMA`] documents are byte-stable: objects serialize with
 //! sorted keys ([`cbmf_trace::Json`] is `BTreeMap`-backed), so regenerating
 //! the baseline on the same host diffs cleanly. Cross-host comparison goes
-//! through `calibration_ns` — the minimum time of a fixed hand-rolled
-//! workload — which the gate uses to scale thresholds between machines of
-//! different single-core speed.
+//! through **two** calibration probes: `calibration_ns` — the minimum time
+//! of a fixed cache-resident naive matmul — scales thresholds for kernels
+//! bounded by core speed, and `calibration_dram_ns` — a large strided
+//! triad — scales the rows that are memory-bandwidth bound (a fast core
+//! attached to slow DRAM would otherwise flap the gate on those rows).
+//! Both probes are hand-rolled over plain `Vec<f64>` and deliberately never
+//! touch `cbmf-linalg`, so a kernel regression cannot mask itself by
+//! inflating the calibration in step (pinned by the
+//! `calibration_independence` test).
 
 use std::time::Instant;
 
+use cbmf_linalg::block::{with_config, BlockConfig};
 use cbmf_linalg::{Cholesky, Matrix};
 use cbmf_trace::Json;
 
 /// Schema identifier of `BENCH_kernels.json`; bump on breaking layout
 /// changes so the gate refuses mixed-version comparisons.
-pub const BENCH_SCHEMA: &str = "cbmf-bench-kernels/2";
+pub const BENCH_SCHEMA: &str = "cbmf-bench-kernels/3";
 
 /// Repetitions used for the committed baseline.
 pub const BASELINE_REPS: usize = 9;
@@ -32,11 +39,16 @@ pub const BASELINE_REPS: usize = 9;
 /// Repetitions used by the CI gate's quick re-run.
 pub const QUICK_REPS: usize = 5;
 
-/// Names of every kernel in the suite, in execution order.
-pub const KERNEL_NAMES: [&str; 5] = [
+/// Names of every kernel in the suite, in execution order. The `_1280`
+/// entries are square paper-scale (d ≥ 1024) workloads that exercise the
+/// cache-blocked packed kernels; the rest route through them or the
+/// streaming kernels depending on size.
+pub const KERNEL_NAMES: [&str; 7] = [
     "gram_1300x100",
+    "gram_1280",
     "matmul_800",
     "matmul_t_800",
+    "matmul_t_1280",
     "t_matmul_800",
     "cholesky_solve_mat_800x128",
 ];
@@ -55,6 +67,43 @@ pub struct KernelResult {
     pub serial_min_ns: u128,
     /// Minimum nanoseconds per parallel repetition.
     pub parallel_min_ns: u128,
+    /// Minimum serial nanoseconds with blocking forced off (the pre-blocking
+    /// streaming kernels) — recorded in the committed baseline for the
+    /// paper-scale rows as the before/after evidence, skipped by the CI
+    /// gate's quick re-runs.
+    pub naive_serial_min_ns: Option<u128>,
+}
+
+/// The two host-speed probes a bench document carries: [`Calibration::cache_ns`]
+/// normalizes compute-bound rows across hosts, [`Calibration::dram_ns`]
+/// normalizes bandwidth-bound rows.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Minimum nanoseconds of the cache-resident naive-matmul probe
+    /// ([`calibration_ns`]).
+    pub cache_ns: u128,
+    /// Minimum nanoseconds of the strided-triad bandwidth probe
+    /// ([`calibration_dram_ns`]).
+    pub dram_ns: u128,
+}
+
+impl Calibration {
+    /// Runs both probes once.
+    pub fn measure() -> Self {
+        Calibration {
+            cache_ns: calibration_ns(),
+            dram_ns: calibration_dram_ns(),
+        }
+    }
+
+    /// Element-wise minimum — merging repeated probes converges on the
+    /// host's true speed (noise only adds time).
+    pub fn min_with(self, other: Calibration) -> Calibration {
+        Calibration {
+            cache_ns: self.cache_ns.min(other.cache_ns),
+            dram_ns: self.dram_ns.min(other.dram_ns),
+        }
+    }
 }
 
 /// (median, minimum) wall-clock nanoseconds of `reps` runs of `f` (after
@@ -111,24 +160,73 @@ pub fn calibration_ns() -> u128 {
     .1
 }
 
+/// Times a DRAM-regime probe: a strided triad `c[i] = a[i] + 0.5·b[i]` over
+/// three 32 MiB arrays, visiting elements in 128-byte hops so every access
+/// misses cache and hardware prefetch gains little. The minimum time is a
+/// pure memory-bandwidth number the gate uses to scale thresholds for rows
+/// whose working set exceeds the last-level cache — the cache-resident
+/// probe above cannot normalize those (a host with a fast core but slow
+/// DRAM looks "fast" to it while the bandwidth-bound rows run slow).
+///
+/// Like [`calibration_ns`], the loop is hand-rolled over plain `Vec<f64>`
+/// and never routes through `cbmf-linalg`.
+pub fn calibration_dram_ns() -> u128 {
+    const N: usize = 1 << 22; // 4 Mi f64 per array → 96 MiB across the triad
+    const STRIDE: usize = 16; // 128-byte hops: one new pair of lines per access
+    let a: Vec<f64> = (0..N).map(|i| ((i * 3) % 17) as f64 - 8.0).collect();
+    let b: Vec<f64> = (0..N).map(|i| ((i * 11) % 13) as f64 - 6.0).collect();
+    let mut c = vec![0.0f64; N];
+    time_stats(5, || {
+        for off in 0..STRIDE {
+            let mut i = off;
+            while i < N {
+                c[i] = a[i] + 0.5 * b[i];
+                i += STRIDE;
+            }
+        }
+        std::hint::black_box(&mut c);
+    })
+    .1
+}
+
 /// Runs the full kernel suite: each kernel timed serially and at `threads`
-/// width, `reps` repetitions each. `report` is called once per finished
-/// kernel (the binaries use it to stream progress lines).
+/// width, `reps` repetitions each. With `naive_compare` set, the paper-scale
+/// rows are additionally timed with blocking forced off (min of up to 3
+/// serial reps) to record the before/after in the committed baseline — the
+/// CI gate's quick re-runs skip this, since the gate only reads the routed
+/// timings. `report` is called once per finished kernel (the binaries use
+/// it to stream progress lines).
 pub fn run_suite(
     reps: usize,
     threads: usize,
+    naive_compare: bool,
     mut report: impl FnMut(&KernelResult),
 ) -> Vec<KernelResult> {
-    let mut time_kernel = |name: &'static str, f: &dyn Fn()| {
+    let naive_cfg = BlockConfig {
+        min_macs: usize::MAX,
+        min_solve_dim: usize::MAX,
+        ..BlockConfig::default()
+    };
+    let mut time_kernel = |name: &'static str, naive: bool, f: &dyn Fn()| {
         let (serial_ns, serial_min_ns) = time_stats(reps, || cbmf_parallel::with_threads(1, f));
         let (parallel_ns, parallel_min_ns) =
             time_stats(reps, || cbmf_parallel::with_threads(threads, f));
+        // The naive reference is timed serially: the routing decision is
+        // made on this thread (before any fan-out), so the thread-scoped
+        // `with_config` override is seen by the whole kernel.
+        let naive_serial_min_ns = (naive && naive_compare).then(|| {
+            time_stats(reps.min(3), || {
+                with_config(naive_cfg, || cbmf_parallel::with_threads(1, f))
+            })
+            .1
+        });
         let r = KernelResult {
             name,
             serial_ns,
             parallel_ns,
             serial_min_ns,
             parallel_min_ns,
+            naive_serial_min_ns,
         };
         report(&r);
         r
@@ -139,20 +237,37 @@ pub fn run_suite(
     let bt = Matrix::from_fn(1300, 100, |i, j| {
         ((i * 7 + j * 13) % 29) as f64 / 29.0 - 0.5
     });
-    results.push(time_kernel("gram_1300x100", &|| {
+    results.push(time_kernel("gram_1300x100", false, &|| {
         std::hint::black_box(bt.gram());
+    }));
+
+    // Paper-scale square Gram (d = 1280): routes through the blocked SYRK.
+    let big = Matrix::from_fn(1280, 1280, |i, j| {
+        ((i * 13 + j * 7) % 23) as f64 * 0.1 - 1.0
+    });
+    results.push(time_kernel("gram_1280", true, &|| {
+        std::hint::black_box(big.gram());
     }));
 
     // Observation-space products at NK = K·n = 800.
     let a = Matrix::from_fn(800, 800, |i, j| ((i + 2 * j) % 17) as f64);
     let b = Matrix::from_fn(800, 800, |i, j| ((3 * i + j) % 13) as f64);
-    results.push(time_kernel("matmul_800", &|| {
+    results.push(time_kernel("matmul_800", false, &|| {
         std::hint::black_box(a.matmul(&b).expect("shapes"));
     }));
-    results.push(time_kernel("matmul_t_800", &|| {
+    results.push(time_kernel("matmul_t_800", false, &|| {
         std::hint::black_box(a.matmul_t(&b).expect("shapes"));
     }));
-    results.push(time_kernel("t_matmul_800", &|| {
+
+    // Paper-scale A·Bᵀ (d = 1280): routes through the blocked GEMM.
+    let big2 = Matrix::from_fn(1280, 1280, |i, j| {
+        ((i * 5 + j * 11) % 19) as f64 * 0.1 - 0.9
+    });
+    results.push(time_kernel("matmul_t_1280", true, &|| {
+        std::hint::black_box(big.matmul_t(&big2).expect("shapes"));
+    }));
+
+    results.push(time_kernel("t_matmul_800", false, &|| {
         std::hint::black_box(a.t_matmul(&b).expect("shapes"));
     }));
 
@@ -161,7 +276,7 @@ pub fn run_suite(
     spd.add_diag_mut(800.0 * 0.1);
     let chol = Cholesky::new(&spd).expect("spd");
     let rhs = Matrix::from_fn(800, 128, |i, j| ((i * 5 + j * 11) % 19) as f64 - 9.0);
-    results.push(time_kernel("cholesky_solve_mat_800x128", &|| {
+    results.push(time_kernel("cholesky_solve_mat_800x128", false, &|| {
         std::hint::black_box(chol.solve_mat(&rhs).expect("solve"));
     }));
 
@@ -180,6 +295,10 @@ pub fn merge_min(into: &mut [KernelResult], rerun: &[KernelResult]) {
             r.parallel_ns = r.parallel_ns.min(n.parallel_ns);
             r.serial_min_ns = r.serial_min_ns.min(n.serial_min_ns);
             r.parallel_min_ns = r.parallel_min_ns.min(n.parallel_min_ns);
+            r.naive_serial_min_ns = match (r.naive_serial_min_ns, n.naive_serial_min_ns) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
         }
     }
 }
@@ -190,43 +309,56 @@ pub fn render_bench_report(
     results: &[KernelResult],
     reps: usize,
     threads: usize,
-    calibration: u128,
+    calibration: Calibration,
 ) -> Json {
     let kernels: std::collections::BTreeMap<String, Json> = results
         .iter()
         .map(|r| {
             let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
-            (
-                r.name.to_string(),
-                Json::obj([
-                    (
-                        "serial_median_ns".to_string(),
-                        Json::Num(r.serial_ns as f64),
-                    ),
-                    (
-                        "parallel_median_ns".to_string(),
-                        Json::Num(r.parallel_ns as f64),
-                    ),
-                    (
-                        "serial_min_ns".to_string(),
-                        Json::Num(r.serial_min_ns as f64),
-                    ),
-                    (
-                        "parallel_min_ns".to_string(),
-                        Json::Num(r.parallel_min_ns as f64),
-                    ),
-                    (
-                        "speedup".to_string(),
-                        Json::Num((speedup * 1000.0).round() / 1000.0),
-                    ),
-                ]),
-            )
+            let mut fields = vec![
+                (
+                    "serial_median_ns".to_string(),
+                    Json::Num(r.serial_ns as f64),
+                ),
+                (
+                    "parallel_median_ns".to_string(),
+                    Json::Num(r.parallel_ns as f64),
+                ),
+                (
+                    "serial_min_ns".to_string(),
+                    Json::Num(r.serial_min_ns as f64),
+                ),
+                (
+                    "parallel_min_ns".to_string(),
+                    Json::Num(r.parallel_min_ns as f64),
+                ),
+                (
+                    "speedup".to_string(),
+                    Json::Num((speedup * 1000.0).round() / 1000.0),
+                ),
+            ];
+            if let Some(naive) = r.naive_serial_min_ns {
+                let blocked = naive as f64 / r.serial_min_ns.max(1) as f64;
+                fields.push(("naive_serial_min_ns".to_string(), Json::Num(naive as f64)));
+                fields.push((
+                    "blocked_speedup".to_string(),
+                    Json::Num((blocked * 1000.0).round() / 1000.0),
+                ));
+            }
+            (r.name.to_string(), Json::obj(fields))
         })
         .collect();
     let mut fields = vec![
         ("schema".to_string(), Json::Str(BENCH_SCHEMA.to_string())),
         ("reps".to_string(), Json::Num(reps as f64)),
-        ("calibration_ns".to_string(), Json::Num(calibration as f64)),
+        (
+            "calibration_ns".to_string(),
+            Json::Num(calibration.cache_ns as f64),
+        ),
+        (
+            "calibration_dram_ns".to_string(),
+            Json::Num(calibration.dram_ns as f64),
+        ),
         ("host".to_string(), cbmf_trace::report::host_meta()),
         ("kernels".to_string(), Json::Obj(kernels)),
     ];
@@ -245,7 +377,7 @@ pub fn render_bench_report(
 }
 
 /// Validates the fixed skeleton of a bench report: schema string, positive
-/// calibration, host object, and a non-empty kernel map whose entries carry
+/// calibrations, host object, and a non-empty kernel map whose entries carry
 /// both medians. Returns a human-readable reason on failure.
 pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
     match doc.get("schema").and_then(Json::as_str) {
@@ -253,9 +385,11 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
         Some(s) => return Err(format!("schema '{s}' != '{BENCH_SCHEMA}'")),
         None => return Err("missing 'schema' field".to_string()),
     }
-    match doc.get("calibration_ns").and_then(Json::as_f64) {
-        Some(c) if c > 0.0 => {}
-        _ => return Err("missing or non-positive 'calibration_ns'".to_string()),
+    for cal in ["calibration_ns", "calibration_dram_ns"] {
+        match doc.get(cal).and_then(Json::as_f64) {
+            Some(c) if c > 0.0 => {}
+            _ => return Err(format!("missing or non-positive '{cal}'")),
+        }
     }
     if doc.get("host").and_then(Json::as_obj).is_none() {
         return Err("missing 'host' object".to_string());
@@ -279,6 +413,13 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
                 _ => return Err(format!("kernel '{name}': bad '{field}'")),
             }
         }
+        // Optional before/after record (baseline documents only).
+        if let Some(v) = k.get("naive_serial_min_ns") {
+            match v.as_f64() {
+                Some(n) if n > 0.0 => {}
+                _ => return Err(format!("kernel '{name}': bad 'naive_serial_min_ns'")),
+            }
+        }
     }
     Ok(())
 }
@@ -286,6 +427,10 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn cal(cache_ns: u128, dram_ns: u128) -> Calibration {
+        Calibration { cache_ns, dram_ns }
+    }
 
     /// The committed baseline must stay parseable, schema-valid, cover the
     /// exact kernel set this suite runs, and be byte-stable: re-rendering
@@ -311,6 +456,29 @@ mod tests {
         );
     }
 
+    /// The acceptance evidence for the blocked kernels lives in the
+    /// committed baseline: the paper-scale rows must carry the naive
+    /// before/after and show at least the required 1.5× min-time win.
+    #[test]
+    fn committed_baseline_paper_rows_beat_naive() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+        let text = std::fs::read_to_string(path).expect("read BENCH_kernels.json");
+        let doc = Json::parse(&text).expect("parse");
+        let kernels = doc.get("kernels").and_then(Json::as_obj).unwrap();
+        for name in ["gram_1280", "matmul_t_1280"] {
+            let k = &kernels[name];
+            let naive = k
+                .get("naive_serial_min_ns")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{name}: missing naive_serial_min_ns"));
+            let blocked = k.get("serial_min_ns").and_then(Json::as_f64).unwrap();
+            assert!(
+                naive >= 1.5 * blocked,
+                "{name}: blocked {blocked} ns is not ≥1.5x faster than naive {naive} ns"
+            );
+        }
+    }
+
     #[test]
     fn rendered_report_validates_and_round_trips() {
         let results = vec![
@@ -320,16 +488,18 @@ mod tests {
                 parallel_ns: 400,
                 serial_min_ns: 950,
                 parallel_min_ns: 380,
+                naive_serial_min_ns: None,
             },
             KernelResult {
-                name: "matmul_800",
+                name: "matmul_t_1280",
                 serial_ns: 2000,
                 parallel_ns: 900,
                 serial_min_ns: 1900,
                 parallel_min_ns: 880,
+                naive_serial_min_ns: Some(9500),
             },
         ];
-        let doc = render_bench_report(&results, 9, 4, 12345);
+        let doc = render_bench_report(&results, 9, 4, cal(12345, 67890));
         validate_bench_report(&doc).unwrap();
         let parsed = Json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(parsed, doc);
@@ -344,9 +514,27 @@ mod tests {
                 .as_f64(),
             Some(2.5)
         );
+        // The naive before/after renders only where it was measured.
+        let big = parsed.get("kernels").unwrap().get("matmul_t_1280").unwrap();
+        assert_eq!(
+            big.get("naive_serial_min_ns").unwrap().as_f64(),
+            Some(9500.0)
+        );
+        assert_eq!(big.get("blocked_speedup").unwrap().as_f64(), Some(5.0));
+        assert!(parsed
+            .get("kernels")
+            .unwrap()
+            .get("gram_1300x100")
+            .unwrap()
+            .get("naive_serial_min_ns")
+            .is_none());
+        assert_eq!(
+            parsed.get("calibration_dram_ns").unwrap().as_f64(),
+            Some(67890.0)
+        );
         // Multi-thread render carries no single-core note.
         assert!(parsed.get("note").is_none());
-        assert!(render_bench_report(&results, 9, 1, 12345)
+        assert!(render_bench_report(&results, 9, 1, cal(12345, 67890))
             .get("note")
             .is_some());
     }
@@ -354,28 +542,38 @@ mod tests {
     #[test]
     fn validation_rejects_malformed_reports() {
         assert!(validate_bench_report(&Json::Null).is_err());
-        let doc = Json::parse(r#"{"schema": "cbmf-bench-kernels/1"}"#).unwrap();
+        let doc = Json::parse(r#"{"schema": "cbmf-bench-kernels/2"}"#).unwrap();
         assert!(validate_bench_report(&doc)
             .unwrap_err()
-            .contains("cbmf-bench-kernels/1"));
+            .contains("cbmf-bench-kernels/2"));
         let doc = Json::parse(
-            r#"{"schema": "cbmf-bench-kernels/2", "calibration_ns": 10,
+            r#"{"schema": "cbmf-bench-kernels/3", "calibration_ns": 10,
                 "host": {}, "kernels": {"k": {"serial_median_ns": 5}}}"#,
+        )
+        .unwrap();
+        assert!(validate_bench_report(&doc)
+            .unwrap_err()
+            .contains("calibration_dram_ns"));
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-bench-kernels/3", "calibration_ns": 10,
+                "calibration_dram_ns": 20, "host": {},
+                "kernels": {"k": {"serial_median_ns": 5}}}"#,
         )
         .unwrap();
         assert!(validate_bench_report(&doc)
             .unwrap_err()
             .contains("parallel_median_ns"));
         let doc = Json::parse(
-            r#"{"schema": "cbmf-bench-kernels/2", "calibration_ns": 10,
-                "host": {}, "kernels": {"k": {"serial_median_ns": 5,
-                "parallel_median_ns": 5, "serial_min_ns": 0,
-                "parallel_min_ns": 4}}}"#,
+            r#"{"schema": "cbmf-bench-kernels/3", "calibration_ns": 10,
+                "calibration_dram_ns": 20, "host": {},
+                "kernels": {"k": {"serial_median_ns": 5,
+                "parallel_median_ns": 5, "serial_min_ns": 4,
+                "parallel_min_ns": 4, "naive_serial_min_ns": 0}}}"#,
         )
         .unwrap();
         assert!(validate_bench_report(&doc)
             .unwrap_err()
-            .contains("serial_min_ns"));
+            .contains("naive_serial_min_ns"));
     }
 
     #[test]
@@ -386,6 +584,7 @@ mod tests {
             parallel_ns: 50,
             serial_min_ns: 90,
             parallel_min_ns: 45,
+            naive_serial_min_ns: Some(400),
         }];
         let rerun = vec![KernelResult {
             name: "matmul_800",
@@ -393,12 +592,20 @@ mod tests {
             parallel_ns: 60,
             serial_min_ns: 75,
             parallel_min_ns: 50,
+            naive_serial_min_ns: None,
         }];
         merge_min(&mut acc, &rerun);
         assert_eq!(acc[0].serial_ns, 80);
         assert_eq!(acc[0].parallel_ns, 50);
         assert_eq!(acc[0].serial_min_ns, 75);
         assert_eq!(acc[0].parallel_min_ns, 45);
+        assert_eq!(acc[0].naive_serial_min_ns, Some(400));
+        let rerun = vec![KernelResult {
+            naive_serial_min_ns: Some(390),
+            ..acc[0].clone()
+        }];
+        merge_min(&mut acc, &rerun);
+        assert_eq!(acc[0].naive_serial_min_ns, Some(390));
     }
 
     #[test]

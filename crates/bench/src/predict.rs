@@ -13,8 +13,11 @@
 //! the benchmark degenerates into a DRAM-bandwidth probe, which the
 //! cache-resident calibration workload cannot normalize across hosts (or
 //! even across minutes on a busy one). At d = 160 the largest batch is
-//! ~5 MB — the same memory regime as the kernel suite's 800² matrices —
-//! so the min-time × calibration-ratio gate rule holds.
+//! ~5 MB — the same memory regime as the kernel suite's 800² matrices.
+//! Even so, the 4096-row batch is the suite's most bandwidth-sensitive
+//! row, so the gate scales *its* threshold by the DRAM-probe ratio
+//! (`calibration_dram_ns`, see [`crate::kernels::calibration_dram_ns`])
+//! while the small batches stay on the cache-resident ratio.
 //!
 //! Each batch size is timed over enough back-to-back calls that one
 //! repetition covers [`SAMPLES_PER_REP`] samples (a 1-sample batch is
@@ -27,10 +30,10 @@ use cbmf_linalg::Matrix;
 use cbmf_serve::BatchPredictor;
 use cbmf_trace::Json;
 
-use crate::kernels::time_stats;
+use crate::kernels::{time_stats, Calibration};
 
 /// Schema tag of `BENCH_predict.json`.
-pub const PREDICT_SCHEMA: &str = "cbmf-bench-predict/1";
+pub const PREDICT_SCHEMA: &str = "cbmf-bench-predict/2";
 
 /// Batch sizes the suite times: latency (1), a cache tile (64), and a
 /// Monte-Carlo-scale block (4096).
@@ -147,7 +150,7 @@ pub fn render_predict_report(
     results: &[PredictResult],
     reps: usize,
     threads: usize,
-    calibration: u128,
+    calibration: Calibration,
 ) -> Json {
     let batches: std::collections::BTreeMap<String, Json> = results
         .iter()
@@ -183,7 +186,14 @@ pub fn render_predict_report(
     let mut fields = vec![
         ("schema".to_string(), Json::Str(PREDICT_SCHEMA.to_string())),
         ("reps".to_string(), Json::Num(reps as f64)),
-        ("calibration_ns".to_string(), Json::Num(calibration as f64)),
+        (
+            "calibration_ns".to_string(),
+            Json::Num(calibration.cache_ns as f64),
+        ),
+        (
+            "calibration_dram_ns".to_string(),
+            Json::Num(calibration.dram_ns as f64),
+        ),
         ("host".to_string(), cbmf_trace::report::host_meta()),
         ("batches".to_string(), Json::Obj(batches)),
         ("workload".to_string(), workload),
@@ -211,9 +221,11 @@ pub fn validate_predict_report(doc: &Json) -> Result<(), String> {
         Some(s) => return Err(format!("schema '{s}' != '{PREDICT_SCHEMA}'")),
         None => return Err("missing 'schema' field".to_string()),
     }
-    match doc.get("calibration_ns").and_then(Json::as_f64) {
-        Some(c) if c > 0.0 => {}
-        _ => return Err("missing or non-positive 'calibration_ns'".to_string()),
+    for cal in ["calibration_ns", "calibration_dram_ns"] {
+        match doc.get(cal).and_then(Json::as_f64) {
+            Some(c) if c > 0.0 => {}
+            _ => return Err(format!("missing or non-positive '{cal}'")),
+        }
     }
     if doc.get("host").and_then(Json::as_obj).is_none() {
         return Err("missing 'host' object".to_string());
@@ -245,6 +257,10 @@ pub fn validate_predict_report(doc: &Json) -> Result<(), String> {
 mod tests {
     use super::*;
 
+    fn cal(cache_ns: u128, dram_ns: u128) -> Calibration {
+        Calibration { cache_ns, dram_ns }
+    }
+
     #[test]
     fn suite_covers_every_batch_size_and_validates() {
         let results = run_predict_suite(1, 2, |_| {});
@@ -253,7 +269,7 @@ mod tests {
             assert_eq!(r.batch, b);
             assert!(r.serial_min_ns >= 1 && r.serial_min_ns <= r.serial_ns);
         }
-        let doc = render_predict_report(&results, 1, 2, 12345);
+        let doc = render_predict_report(&results, 1, 2, cal(12345, 67890));
         validate_predict_report(&doc).expect("fresh report validates");
         // Byte-stable: parse-then-render reproduces the canonical text.
         let text = format!("{}\n", doc.to_pretty());
@@ -288,22 +304,33 @@ mod tests {
             }],
             1,
             1,
-            100,
+            cal(100, 200),
         );
         validate_predict_report(&good).unwrap();
         assert!(validate_predict_report(&Json::Null).is_err());
         let wrong_schema = Json::parse(
             r#"{"schema": "cbmf-bench-predict/9", "calibration_ns": 1,
-                "host": {}, "batches": {"batch_0001": {"serial_median_ns": 1,
+                "calibration_dram_ns": 1, "host": {},
+                "batches": {"batch_0001": {"serial_median_ns": 1,
                 "parallel_median_ns": 1, "serial_min_ns": 1, "parallel_min_ns": 1}}}"#,
         )
         .unwrap();
         assert!(validate_predict_report(&wrong_schema)
             .unwrap_err()
             .contains("cbmf-bench-predict/9"));
+        let no_dram = Json::parse(
+            r#"{"schema": "cbmf-bench-predict/2", "calibration_ns": 1,
+                "host": {}, "batches": {"batch_0001": {"serial_median_ns": 1,
+                "parallel_median_ns": 1, "serial_min_ns": 1, "parallel_min_ns": 1}}}"#,
+        )
+        .unwrap();
+        assert!(validate_predict_report(&no_dram)
+            .unwrap_err()
+            .contains("calibration_dram_ns"));
         let missing_field = Json::parse(
-            r#"{"schema": "cbmf-bench-predict/1", "calibration_ns": 1,
-                "host": {}, "batches": {"batch_0001": {"serial_median_ns": 1}}}"#,
+            r#"{"schema": "cbmf-bench-predict/2", "calibration_ns": 1,
+                "calibration_dram_ns": 1, "host": {},
+                "batches": {"batch_0001": {"serial_median_ns": 1}}}"#,
         )
         .unwrap();
         assert!(

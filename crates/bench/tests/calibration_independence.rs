@@ -1,0 +1,57 @@
+//! Pins the structural independence of the gate's calibration probes from
+//! `cbmf-linalg`: both the cache-resident matmul probe and the DRAM strided
+//! triad must be hand-rolled loops over plain `Vec<f64>`. If either ever
+//! routed through the library's kernels (naive or blocked), a kernel
+//! regression could inflate the calibration in step and the host-scale
+//! ratio would mask it — the one failure mode the calibration design
+//! exists to rule out.
+//!
+//! The check is behavioral, not textual: with tracing force-enabled, the
+//! library kernels unconditionally bump the `linalg.*` counters
+//! (`product_macs` on every matmul/gram entry point, `pack_bytes` on every
+//! blocked packing pass), so running both probes and observing zero counter
+//! movement proves no call crossed into `cbmf-linalg`.
+
+use cbmf_bench::kernels::{calibration_dram_ns, calibration_ns};
+
+/// Counters that fire on any `cbmf-linalg` product or blocked-kernel call.
+const LINALG_COUNTERS: [&str; 3] = [
+    "linalg.product_macs",
+    "linalg.pack_bytes",
+    "linalg.workspace_reuses",
+];
+
+fn counter_values() -> Vec<u64> {
+    let snap = cbmf_trace::snapshot();
+    LINALG_COUNTERS
+        .iter()
+        .map(|name| snap.counters.get(*name).copied().unwrap_or(0))
+        .collect()
+}
+
+#[test]
+fn calibration_probes_never_touch_linalg_kernels() {
+    cbmf_trace::set_enabled(true);
+    // Warm the counters with one real library call so the test proves the
+    // instrumentation fires in this process (a silent no-op tracing build
+    // would otherwise pass vacuously).
+    let m = cbmf_linalg::Matrix::from_fn(8, 8, |i, j| (i + j) as f64);
+    let _ = std::hint::black_box(m.gram());
+    let before = counter_values();
+    assert!(
+        before[0] > 0,
+        "tracing must record linalg.product_macs for this test to be meaningful"
+    );
+
+    let cache = calibration_ns();
+    let dram = calibration_dram_ns();
+    assert!(cache > 0 && dram > 0);
+
+    let after = counter_values();
+    cbmf_trace::clear_enabled_override();
+    assert_eq!(
+        before, after,
+        "a calibration probe moved a linalg counter — the probes must stay \
+         hand-rolled and independent of the library kernels"
+    );
+}

@@ -414,10 +414,17 @@ impl PosteriorPredictive {
         }
         let wmat = self.chol.forward_solve_mat(&qmat)?;
         let mut out = Vec::with_capacity(t);
+        // One pooled scratch column shared across samples: the variance
+        // reduction reads every element it writes, so a dirty recycled
+        // buffer cannot change the bits.
+        let mut ws = cbmf_parallel::workspace::acquire();
+        let w = ws.one(total);
         for (j, (mean, prior_var)) in means.into_iter().zip(prior_vars).enumerate() {
             // Column j in iteration order, matching the single-RHS ‖w‖² sum.
-            let w: Vec<f64> = (0..total).map(|i| wmat[(i, j)]).collect();
-            out.push((mean, self.finish_variance(prior_var, &w)));
+            for (i, wv) in w.iter_mut().enumerate() {
+                *wv = wmat[(i, j)];
+            }
+            out.push((mean, self.finish_variance(prior_var, w)));
         }
         Ok(out)
     }

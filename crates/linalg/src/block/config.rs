@@ -1,0 +1,230 @@
+//! Blocking parameters: one-time env resolution plus a scoped override.
+//!
+//! The cache-blocking sizes follow the BLIS taxonomy — `MC × KC` packed
+//! panels of the left operand sized for L2, `KC × NC` panels of the right
+//! operand for the outer cache, with `KC × NR` micro-panels streaming
+//! through L1. They are tunable per host through `CBMF_BLOCK_MC` /
+//! `CBMF_BLOCK_KC` / `CBMF_BLOCK_NC`, read **once per process** (the same
+//! policy as [`cbmf_parallel::max_threads`]): `std::env::var` takes a
+//! process-global lock and allocates, which a kernel called thousands of
+//! times per EM iteration must not pay per call.
+//!
+//! [`with_config`] installs a thread-scoped override so tests can force
+//! tiny blocks (exercising ragged edge tiles on small inputs) and benches
+//! can time the naive kernels by raising `min_macs` past any workload.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+use super::kernel::{MR, NR};
+
+/// Cache-blocking and routing parameters for the packed kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Row-panel height of the packed left operand (rounded up to a multiple
+    /// of the register tile height `MR`). Env: `CBMF_BLOCK_MC`.
+    pub mc: usize,
+    /// Depth of one packed rank-update slab. Env: `CBMF_BLOCK_KC`.
+    pub kc: usize,
+    /// Column-panel width of the packed right operand (rounded up to a
+    /// multiple of the register tile width `NR`). Env: `CBMF_BLOCK_NC`.
+    pub nc: usize,
+    /// Multiply-accumulate count below which a product keeps the streaming
+    /// `dot4`/`axpy` kernels — packing has fixed overhead, and small
+    /// products (everything the smoke fits and golden artifacts touch) must
+    /// also keep their committed bits. Env: `CBMF_BLOCK_MIN_MACS`.
+    pub min_macs: usize,
+    /// Triangular-system dimension below which the substitution kernels keep
+    /// the unblocked per-row loops (same bit-compatibility reasoning).
+    /// Env: `CBMF_BLOCK_MIN_SOLVE`.
+    pub min_solve_dim: usize,
+    /// Whether the AVX2+FMA microkernel may be used when the CPU supports
+    /// it. `CBMF_BLOCK_SIMD=0` forces the scalar microkernel (the blocked
+    /// *structure* stays on).
+    pub simd: bool,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        // mc/kc/nc won a small grid search at paper scale (d = 1280) on the
+        // reference host: pa = 96·256·8 ≈ 200 KiB targets L2, pb = 256·2048·8
+        // = 4 MiB targets the outer cache. Within the grid every candidate
+        // was inside ~10%, so per-host re-tuning via `CBMF_BLOCK_*` is an
+        // optimization, never a requirement.
+        BlockConfig {
+            mc: 96,
+            kc: 256,
+            nc: 2048,
+            min_macs: 4 * 1024 * 1024,
+            min_solve_dim: 256,
+            simd: true,
+        }
+    }
+}
+
+impl BlockConfig {
+    /// Clamps fields to usable values: panel dims at least one register
+    /// tile, `mc`/`nc` rounded up to tile multiples so packed panels tile
+    /// exactly.
+    pub fn sanitized(mut self) -> Self {
+        self.mc = self.mc.max(MR).next_multiple_of(MR);
+        self.nc = self.nc.max(NR).next_multiple_of(NR);
+        self.kc = self.kc.max(1);
+        self.min_solve_dim = self.min_solve_dim.max(2);
+        self
+    }
+}
+
+/// Parses one `CBMF_BLOCK_*` variable from a pre-read environment snapshot;
+/// non-numeric or zero values are treated as unset.
+fn parse_dim(value: Option<&str>, default: usize) -> usize {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+/// Builds a config from raw env snapshot values — separated from the
+/// `OnceLock` so the unit tests can exercise the parsing without mutating
+/// the process environment.
+fn from_env_values(
+    mc: Option<&str>,
+    kc: Option<&str>,
+    nc: Option<&str>,
+    min_macs: Option<&str>,
+    min_solve: Option<&str>,
+    simd: Option<&str>,
+) -> BlockConfig {
+    let d = BlockConfig::default();
+    BlockConfig {
+        mc: parse_dim(mc, d.mc),
+        kc: parse_dim(kc, d.kc),
+        nc: parse_dim(nc, d.nc),
+        min_macs: min_macs
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(d.min_macs),
+        min_solve_dim: parse_dim(min_solve, d.min_solve_dim),
+        simd: simd.map(|s| s.trim() != "0").unwrap_or(d.simd),
+    }
+    .sanitized()
+}
+
+/// Process-wide config, resolved once on first kernel call.
+static DEFAULT_CONFIG: OnceLock<BlockConfig> = OnceLock::new();
+
+thread_local! {
+    /// Scoped override installed by [`with_config`]; `None` = use the
+    /// process default.
+    static CONFIG_OVERRIDE: Cell<Option<BlockConfig>> = const { Cell::new(None) };
+}
+
+/// The blocking config in effect on this thread: the [`with_config`]
+/// override if one is active, otherwise the env-resolved process default.
+pub fn current() -> BlockConfig {
+    if let Some(cfg) = CONFIG_OVERRIDE.with(|c| c.get()) {
+        return cfg;
+    }
+    *DEFAULT_CONFIG.get_or_init(|| {
+        let get = |name: &str| std::env::var(name).ok();
+        from_env_values(
+            get("CBMF_BLOCK_MC").as_deref(),
+            get("CBMF_BLOCK_KC").as_deref(),
+            get("CBMF_BLOCK_NC").as_deref(),
+            get("CBMF_BLOCK_MIN_MACS").as_deref(),
+            get("CBMF_BLOCK_MIN_SOLVE").as_deref(),
+            get("CBMF_BLOCK_SIMD").as_deref(),
+        )
+    })
+}
+
+/// Runs `f` with the blocking config forced to `cfg` on the current thread
+/// (sanitized first), restoring the previous override on exit or unwind —
+/// the same scoped-override pattern as [`cbmf_parallel::with_threads`].
+pub fn with_config<T>(cfg: BlockConfig, f: impl FnOnce() -> T) -> T {
+    let prev = CONFIG_OVERRIDE.with(|c| c.replace(Some(cfg.sanitized())));
+    struct Restore(Option<BlockConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CONFIG_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_parse_with_defaults_for_junk() {
+        let d = BlockConfig::default();
+        let cfg = from_env_values(None, None, None, None, None, None);
+        assert_eq!(cfg, d.sanitized());
+        let cfg = from_env_values(
+            Some("96"),
+            Some("128"),
+            Some("512"),
+            Some("0"),
+            Some("64"),
+            Some("0"),
+        );
+        assert_eq!(cfg.mc, 96);
+        assert_eq!(cfg.kc, 128);
+        assert_eq!(cfg.nc, 512);
+        assert_eq!(cfg.min_macs, 0, "zero min_macs forces blocking everywhere");
+        assert_eq!(cfg.min_solve_dim, 64);
+        assert!(!cfg.simd);
+        // Junk falls back to defaults; zero dims are treated as unset.
+        let cfg = from_env_values(Some("pony"), Some("0"), Some("-3"), None, None, Some("1"));
+        assert_eq!(cfg.mc, d.mc);
+        assert_eq!(cfg.kc, d.kc);
+        assert_eq!(cfg.nc, d.nc);
+        assert!(cfg.simd);
+    }
+
+    #[test]
+    fn sanitized_rounds_panels_to_register_tiles() {
+        let cfg = BlockConfig {
+            mc: 1,
+            kc: 0,
+            nc: 9,
+            ..BlockConfig::default()
+        }
+        .sanitized();
+        assert_eq!(cfg.mc % MR, 0);
+        assert_eq!(cfg.nc % NR, 0);
+        assert!(cfg.mc >= MR && cfg.nc >= NR && cfg.kc >= 1);
+    }
+
+    #[test]
+    fn with_config_overrides_and_restores() {
+        let base = current();
+        let forced = BlockConfig {
+            mc: MR,
+            kc: 3,
+            nc: NR,
+            min_macs: 0,
+            ..base
+        };
+        with_config(forced, || {
+            assert_eq!(current().kc, 3);
+            assert_eq!(current().min_macs, 0);
+        });
+        assert_eq!(current(), base);
+        // Restores through a panic too.
+        let result = std::panic::catch_unwind(|| with_config(forced, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(current(), base);
+    }
+
+    #[test]
+    fn default_config_is_resolved_once() {
+        // Two calls observe the same value (OnceLock) — and the resolved
+        // default is already sanitized.
+        let a = current();
+        let b = current();
+        assert_eq!(a, b);
+        assert_eq!(a, a.sanitized());
+    }
+}

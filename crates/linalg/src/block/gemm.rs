@@ -1,0 +1,183 @@
+//! Blocked GEMM and SYRK drivers: the jc → pc → ic loop nest over packed
+//! panels, fanned out over row chunks.
+//!
+//! # Loop structure and determinism
+//!
+//! For each worker's row range, the nest is the BLIS order — columns in
+//! `NC` chunks (`jc`), depth in `KC` slabs (`pc`, packing the right operand
+//! once per slab), rows in `MC` panels (`ic`, packing the left operand),
+//! then `NR`/`MR` register tiles. One output element `(i, j)` lives in
+//! exactly one `jc` chunk and one micro-tile row, so its value is
+//! accumulated as: for each `pc` slab in ascending order, a register-tile
+//! reduction over that slab's `k` range (strictly sequential — SIMD lanes
+//! span tile columns, never `k`), added onto the element. Neither the
+//! worker's row range nor the `ic`/`ir` positions enter that order, so
+//! **any** partition of rows over threads produces bitwise-identical
+//! output, and `cbmf_parallel`'s contiguous row chunks are used as-is.
+//!
+//! Workers pack right-operand panels redundantly (each packs the full `jc`
+//! × `pc` panel it consumes). That costs `O(k·n)` copies per worker but
+//! keeps workers fully independent — no cross-thread sharing, nothing to
+//! synchronize, determinism by construction.
+
+use cbmf_parallel::workspace;
+
+use super::config::BlockConfig;
+use super::kernel::{microkernel, MR, NR};
+use super::pack::{pack_a, pack_b, View};
+use super::{PACK_BYTES, WORKSPACE_REUSES};
+use crate::mat::grain_rows;
+
+/// `c += op(a) · op(b)` over the full `m × n` output, blocked and packed.
+/// `c` must hold `m * n` row-major elements (zeroed by the caller for a
+/// plain product).
+pub(super) fn gemm_into(
+    c: &mut [f64],
+    m: usize,
+    n: usize,
+    a: &View<'_>,
+    b: &View<'_>,
+    cfg: BlockConfig,
+    use_simd: bool,
+) {
+    let k = a.cols;
+    debug_assert_eq!(a.rows, m);
+    debug_assert_eq!(b.rows, k);
+    debug_assert_eq!(b.cols, n);
+    debug_assert!(c.len() >= m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    cbmf_parallel::par_rows_mut(c, n, grain_rows(k * n), |i0, chunk| {
+        worker(chunk, i0, n, k, a, b, None, cfg, use_simd, false);
+    });
+}
+
+/// `c += op(a) · diag(w) · op(a)ᵀ` for an `n × k` view, computing only
+/// tiles that touch the lower triangle and mirroring afterwards. `c` must
+/// hold `n * n` zeroed row-major elements.
+pub(super) fn syrk_into(
+    c: &mut [f64],
+    n: usize,
+    a: &View<'_>,
+    w: Option<&[f64]>,
+    cfg: BlockConfig,
+    use_simd: bool,
+) {
+    let k = a.cols;
+    debug_assert_eq!(a.rows, n);
+    debug_assert!(c.len() >= n * n);
+    if n == 0 {
+        return;
+    }
+    if k > 0 {
+        let at = View {
+            data: a.data,
+            rows: k,
+            cols: n,
+            rs: a.cs,
+            cs: a.rs,
+        };
+        // Lower rows cost more (their tiles reach further right), but the
+        // contiguous-chunk partition is close enough at this grain.
+        cbmf_parallel::par_rows_mut(c, n, grain_rows(k * n / 2 + 1), |i0, chunk| {
+            worker(chunk, i0, n, k, a, &at, w, cfg, use_simd, true);
+        });
+    }
+    // Mirror the computed lower triangle; entries above the diagonal inside
+    // diagonal-straddling tiles are overwritten by their mirror images.
+    for i in 0..n {
+        for j in i + 1..n {
+            c[i * n + j] = c[j * n + i];
+        }
+    }
+}
+
+/// One worker's full blocked nest over output rows `[i0, i0 + rows)`, where
+/// `chunk` is that row range of C. `lower_only` skips register tiles that
+/// lie entirely above the diagonal (SYRK).
+#[allow(clippy::too_many_arguments)] // internal plumbing, called twice
+fn worker(
+    chunk: &mut [f64],
+    i0: usize,
+    n: usize,
+    k: usize,
+    a: &View<'_>,
+    b: &View<'_>,
+    w: Option<&[f64]>,
+    cfg: BlockConfig,
+    use_simd: bool,
+    lower_only: bool,
+) {
+    let rows = chunk.len() / n;
+    let mut ws = workspace::acquire();
+    if ws.reused {
+        WORKSPACE_REUSES.inc();
+    }
+    let (pa_buf, pb_buf) = ws.two(cfg.mc * cfg.kc, cfg.kc * cfg.nc);
+    let mut acc = [0.0f64; MR * NR];
+    for jc in (0..n).step_by(cfg.nc) {
+        let nc_eff = cfg.nc.min(n - jc);
+        if lower_only && jc > i0 + rows - 1 {
+            break; // every remaining column chunk is above this worker's rows
+        }
+        let mut pc = 0;
+        while pc < k {
+            let kc_eff = cfg.kc.min(k - pc);
+            let blen = pack_b(pb_buf, b, pc, kc_eff, jc, nc_eff, w);
+            PACK_BYTES.add(8 * blen as u64);
+            for ic in (0..rows).step_by(cfg.mc) {
+                let mc_eff = cfg.mc.min(rows - ic);
+                if lower_only && jc > i0 + ic + mc_eff - 1 {
+                    continue; // row panel entirely left of this column chunk
+                }
+                let alen = pack_a(pa_buf, a, i0 + ic, mc_eff, pc, kc_eff);
+                PACK_BYTES.add(8 * alen as u64);
+                macro_kernel(
+                    chunk, n, ic, jc, mc_eff, nc_eff, kc_eff, pa_buf, pb_buf, use_simd, lower_only,
+                    i0, &mut acc,
+                );
+            }
+            pc += kc_eff;
+        }
+    }
+}
+
+/// Runs the register-tile loops over one packed `MC × KC` / `KC × NC` panel
+/// pair, accumulating into C through a stack tile (masking ragged edges).
+#[allow(clippy::too_many_arguments)] // hot-loop plumbing
+fn macro_kernel(
+    chunk: &mut [f64],
+    n: usize,
+    ic: usize,
+    jc: usize,
+    mc_eff: usize,
+    nc_eff: usize,
+    kc_eff: usize,
+    pa: &[f64],
+    pb: &[f64],
+    use_simd: bool,
+    lower_only: bool,
+    i0: usize,
+    acc: &mut [f64; MR * NR],
+) {
+    for jr in (0..nc_eff).step_by(NR) {
+        let nr_eff = NR.min(nc_eff - jr);
+        let pb_panel = &pb[(jr / NR) * NR * kc_eff..][..NR * kc_eff];
+        for ir in (0..mc_eff).step_by(MR) {
+            let mr_eff = MR.min(mc_eff - ir);
+            if lower_only && jc + jr > i0 + ic + ir + mr_eff - 1 {
+                continue; // tile entirely above the diagonal
+            }
+            let pa_panel = &pa[(ir / MR) * MR * kc_eff..][..MR * kc_eff];
+            microkernel(use_simd, kc_eff, pa_panel, pb_panel, acc);
+            for r in 0..mr_eff {
+                let row0 = (ic + ir + r) * n + jc + jr;
+                let crow = &mut chunk[row0..row0 + nr_eff];
+                for (cv, &av) in crow.iter_mut().zip(&acc[r * NR..r * NR + nr_eff]) {
+                    *cv += av;
+                }
+            }
+        }
+    }
+}

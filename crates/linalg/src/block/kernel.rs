@@ -1,0 +1,177 @@
+//! Register-tile microkernels: one `MR × NR` output tile per call.
+//!
+//! The microkernel is the only code that touches packed data. It reads an
+//! `MR`-interleaved A micro-panel and an `NR`-interleaved B micro-panel
+//! (see `pack.rs`) and accumulates the full-depth rank-`kc` update of one
+//! output tile into a stack buffer, which the macro kernel then adds into C
+//! (masking ragged edges).
+//!
+//! # Determinism
+//!
+//! Both implementations accumulate each output element strictly
+//! sequentially over `k` — SIMD lanes span the *columns* of the tile, never
+//! the reduction dimension — so for a fixed implementation the result is a
+//! pure function of the packed inputs, independent of thread count or tile
+//! position. The AVX2 path uses FMA (one rounding per multiply-add) and the
+//! scalar path two roundings, so the *implementations* differ bitwise from
+//! each other; selection is per-process (CPU features + config), never
+//! per-thread, which keeps cross-thread-count runs bitwise identical.
+
+/// Register tile height (rows of A per microkernel call).
+pub const MR: usize = 4;
+/// Register tile width (columns of B per microkernel call).
+pub const NR: usize = 8;
+
+/// Whether the AVX2+FMA microkernel is usable on this CPU (resolved once).
+#[cfg(target_arch = "x86_64")]
+pub(super) fn simd_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub(super) fn simd_available() -> bool {
+    false
+}
+
+/// Computes `acc = Ap · Bp` for one `MR × NR` tile over depth `kc`, where
+/// `pa` is an `MR`-interleaved micro-panel (`MR` values per `k`) and `pb`
+/// an `NR`-interleaved one. `acc` is row-major `MR × NR`.
+#[inline]
+pub(super) fn microkernel(use_simd: bool, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+    debug_assert!(pa.len() >= kc * MR);
+    debug_assert!(pb.len() >= kc * NR);
+    debug_assert!(acc.len() >= MR * NR);
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // Safety: `simd_available()` gated the caller's `use_simd`, and the
+        // slice lengths were checked above.
+        unsafe { microkernel_avx2(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) };
+        return;
+    }
+    let _ = use_simd;
+    microkernel_scalar(kc, pa, pb, acc);
+}
+
+/// Portable fallback: plain multiply + add (two roundings per term), column
+/// loop innermost so each element's `k` reduction stays sequential.
+fn microkernel_scalar(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+    acc[..MR * NR].fill(0.0);
+    for k in 0..kc {
+        let a = &pa[k * MR..k * MR + MR];
+        let b = &pb[k * NR..k * NR + NR];
+        for (i, &aik) in a.iter().enumerate() {
+            let row = &mut acc[i * NR..i * NR + NR];
+            for (c, &bkj) in row.iter_mut().zip(b) {
+                *c += aik * bkj;
+            }
+        }
+    }
+}
+
+/// AVX2 + FMA tile: 8 ymm accumulators (4 rows × 2 column quads), two B
+/// loads and four A broadcasts per `k` step — 11 of the 16 ymm registers,
+/// leaving headroom for the loads.
+///
+/// # Safety
+///
+/// Caller must ensure AVX2+FMA are available and that `pa`/`pb`/`acc`
+/// point to at least `kc*MR`, `kc*NR` and `MR*NR` elements respectively.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, pa: *const f64, pb: *const f64, acc: *mut f64) {
+    use std::arch::x86_64::*;
+    let mut c00 = _mm256_setzero_pd();
+    let mut c01 = _mm256_setzero_pd();
+    let mut c10 = _mm256_setzero_pd();
+    let mut c11 = _mm256_setzero_pd();
+    let mut c20 = _mm256_setzero_pd();
+    let mut c21 = _mm256_setzero_pd();
+    let mut c30 = _mm256_setzero_pd();
+    let mut c31 = _mm256_setzero_pd();
+    let mut ap = pa;
+    let mut bp = pb;
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_pd(bp);
+        let b1 = _mm256_loadu_pd(bp.add(4));
+        let a0 = _mm256_broadcast_sd(&*ap);
+        c00 = _mm256_fmadd_pd(a0, b0, c00);
+        c01 = _mm256_fmadd_pd(a0, b1, c01);
+        let a1 = _mm256_broadcast_sd(&*ap.add(1));
+        c10 = _mm256_fmadd_pd(a1, b0, c10);
+        c11 = _mm256_fmadd_pd(a1, b1, c11);
+        let a2 = _mm256_broadcast_sd(&*ap.add(2));
+        c20 = _mm256_fmadd_pd(a2, b0, c20);
+        c21 = _mm256_fmadd_pd(a2, b1, c21);
+        let a3 = _mm256_broadcast_sd(&*ap.add(3));
+        c30 = _mm256_fmadd_pd(a3, b0, c30);
+        c31 = _mm256_fmadd_pd(a3, b1, c31);
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    _mm256_storeu_pd(acc, c00);
+    _mm256_storeu_pd(acc.add(4), c01);
+    _mm256_storeu_pd(acc.add(8), c10);
+    _mm256_storeu_pd(acc.add(12), c11);
+    _mm256_storeu_pd(acc.add(16), c20);
+    _mm256_storeu_pd(acc.add(20), c21);
+    _mm256_storeu_pd(acc.add(24), c30);
+    _mm256_storeu_pd(acc.add(28), c31);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_tile(kc: usize, pa: &[f64], pb: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; MR * NR];
+        for k in 0..kc {
+            for i in 0..MR {
+                for j in 0..NR {
+                    out[i * NR + j] += pa[k * MR + i] * pb[k * NR + j];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn scalar_kernel_matches_reference_exactly() {
+        let kc = 13;
+        let pa: Vec<f64> = (0..kc * MR).map(|i| (i as f64 * 0.37).sin()).collect();
+        let pb: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut acc = vec![f64::NAN; MR * NR];
+        microkernel(false, kc, &pa, &pb, &mut acc);
+        let want = reference_tile(kc, &pa, &pb);
+        for (g, w) in acc.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_kernel_matches_reference_numerically() {
+        if !simd_available() {
+            return; // nothing to test on this host
+        }
+        let kc = 57;
+        let pa: Vec<f64> = (0..kc * MR).map(|i| (i as f64 * 0.11).sin()).collect();
+        let pb: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.19).cos()).collect();
+        let mut acc = vec![f64::NAN; MR * NR];
+        microkernel(true, kc, &pa, &pb, &mut acc);
+        let want = reference_tile(kc, &pa, &pb);
+        for (g, w) in acc.iter().zip(&want) {
+            // FMA skips an intermediate rounding, so allow a tiny drift.
+            assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn zero_depth_tile_is_all_zeros() {
+        let mut acc = vec![f64::NAN; MR * NR];
+        microkernel(false, 0, &[], &[], &mut acc);
+        assert!(acc.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,154 @@
+//! Cache-blocked, register-tiled product kernels (see DESIGN.md §13).
+//!
+//! The streaming `dot4`/`axpy` kernels in `mat.rs` touch every operand
+//! element once per use; at the paper's scale (d ≈ 1300) that working set
+//! falls out of cache and the kernels become DRAM-bandwidth-bound. This
+//! module supplies the classic fix — BLIS-style packed panels:
+//!
+//! * [`config`] — `MC`/`KC`/`NC` blocking parameters with one-time env
+//!   resolution (`CBMF_BLOCK_*`) and a scoped per-thread override;
+//! * `pack` — copies operand blocks into `MR`/`NR`-interleaved panels
+//!   (zero-padded edges) that the microkernel streams with unit stride;
+//! * `kernel` — the `4 × 8` register-tile microkernel, AVX2+FMA when the
+//!   CPU has it (runtime-detected; the workspace builds for baseline
+//!   x86-64), portable scalar otherwise;
+//! * `gemm` — the blocked GEMM / SYRK drivers with a thread-count-
+//!   independent accumulation order;
+//! * `solve` — panel-blocked forward/back substitution for the Cholesky
+//!   solves.
+//!
+//! Packing scratch comes from [`cbmf_parallel::workspace`], so steady-state
+//! calls allocate nothing; `linalg.pack_bytes` and
+//! `linalg.workspace_reuses` expose the traffic and pool behavior to the
+//! trace layer.
+//!
+//! Routing lives with the callers (`mat.rs`, `cholesky.rs`): products
+//! below [`BlockConfig::min_macs`] multiply-accumulates and solves below
+//! [`BlockConfig::min_solve_dim`] keep the historic kernels — both for
+//! speed (packing has fixed overhead) and because committed artifacts pin
+//! the historic bits at small sizes.
+
+pub mod config;
+mod gemm;
+mod kernel;
+mod pack;
+pub(crate) mod solve;
+
+pub use config::{with_config, BlockConfig};
+
+use cbmf_trace::Counter;
+
+pub(crate) use pack::View;
+
+/// Bytes copied into packed panels (A and B sides, padding included).
+static PACK_BYTES: Counter = Counter::new("linalg.pack_bytes");
+/// Kernel workers that got a recycled workspace from the pool instead of
+/// allocating a fresh one.
+static WORKSPACE_REUSES: Counter = Counter::new("linalg.workspace_reuses");
+
+/// Whether a product of `macs` multiply-accumulate pairs should take the
+/// packed blocked path under the current config.
+pub(crate) fn wants_blocking(macs: usize) -> bool {
+    macs >= config::current().min_macs
+}
+
+/// `c += op(a) · op(b)` (`c` zeroed by the caller), blocked and packed.
+pub(crate) fn gemm(c: &mut [f64], m: usize, n: usize, a: &View<'_>, b: &View<'_>) {
+    let cfg = config::current();
+    gemm::gemm_into(c, m, n, a, b, cfg, cfg.simd && kernel::simd_available());
+}
+
+/// `c += op(a) · diag(w) · op(a)ᵀ` (`c` zeroed by the caller), lower
+/// triangle computed and mirrored.
+pub(crate) fn syrk(c: &mut [f64], n: usize, a: &View<'_>, w: Option<&[f64]>) {
+    let cfg = config::current();
+    gemm::syrk_into(c, n, a, w, cfg, cfg.simd && kernel::simd_available());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(
+        m: usize,
+        n: usize,
+        k: usize,
+        at: impl Fn(usize, usize) -> f64,
+        b: &[f64],
+    ) -> Vec<f64> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += at(i, p) * b[p * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn tiny_blocks_cover_every_ragged_edge() {
+        // Force 4×3×8 panels so a 10×7 output with k = 5 exercises partial
+        // MR, NR, MC, KC and NC tiles all at once, on both microkernels.
+        let (m, n, k) = (10, 7, 5);
+        let a: Vec<f64> = (0..m * k).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 5) % 9) as f64 * 0.25).collect();
+        let want = naive_gemm(m, n, k, |i, p| a[i * k + p], &b);
+        for simd in [false, true] {
+            let cfg = BlockConfig {
+                mc: 4,
+                kc: 3,
+                nc: 8,
+                min_macs: 0,
+                simd,
+                ..BlockConfig::default()
+            };
+            let mut c = vec![0.0; m * n];
+            with_config(cfg, || {
+                gemm(
+                    &mut c,
+                    m,
+                    n,
+                    &View::normal(&a, m, k),
+                    &View::normal(&b, k, n),
+                );
+            });
+            for (g, w) in c.iter().zip(&want) {
+                assert!((g - w).abs() < 1e-12, "simd={simd}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_is_exactly_symmetric_and_matches_gemm() {
+        let (n, k) = (11, 6);
+        let a: Vec<f64> = (0..n * k)
+            .map(|i| ((i * 3) % 13) as f64 * 0.5 - 3.0)
+            .collect();
+        let w: Vec<f64> = (0..k).map(|i| 0.5 + i as f64 * 0.25).collect();
+        let cfg = BlockConfig {
+            mc: 4,
+            kc: 4,
+            nc: 8,
+            min_macs: 0,
+            ..BlockConfig::default()
+        };
+        let mut c = vec![0.0; n * n];
+        with_config(cfg, || {
+            syrk(&mut c, n, &View::normal(&a, n, k), Some(&w));
+        });
+        for i in 0..n {
+            for j in 0..n {
+                let mut want = 0.0;
+                for p in 0..k {
+                    want += a[i * k + p] * w[p] * a[j * k + p];
+                }
+                assert!((c[i * n + j] - want).abs() < 1e-12, "({i},{j})");
+                assert_eq!(c[i * n + j].to_bits(), c[j * n + i].to_bits());
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Panel packing: copies operand blocks into the interleaved layouts the
+//! microkernel streams, zero-padding ragged edges.
+//!
+//! Packing serves two purposes. First, the microkernel's inner loop reads
+//! both operands with unit stride regardless of the original layout (normal
+//! or transposed view), so one kernel serves `A·B`, `Aᵀ·B`, `A·Bᵀ` and the
+//! SYRK. Second, each packed panel is reused across a whole blocked loop
+//! nest — `O(MC·KC)` copy work buys `O(MC·KC·NC)` cache-resident reads.
+//!
+//! Edge tiles are padded with explicit zeros up to the `MR`/`NR` tile
+//! boundary: the microkernel then always runs full tiles, and the padded
+//! rows/columns contribute exact `±0.0` products that are never stored.
+//! The depth dimension `k` is never padded. Every element of the packed
+//! region is written on every pack, so recycled (dirty) workspace buffers
+//! are safe.
+
+use super::kernel::{MR, NR};
+
+/// A borrowed, possibly transposed matrix operand: element `(i, j)` of the
+/// logical operand is `data[i * rs + j * cs]`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct View<'a> {
+    pub data: &'a [f64],
+    /// Logical rows of the operand (after any transpose).
+    pub rows: usize,
+    /// Logical columns of the operand.
+    pub cols: usize,
+    /// Row stride in `data`.
+    pub rs: usize,
+    /// Column stride in `data`.
+    pub cs: usize,
+}
+
+impl<'a> View<'a> {
+    /// A row-major `rows × cols` matrix viewed as-is.
+    pub fn normal(data: &'a [f64], rows: usize, cols: usize) -> Self {
+        debug_assert!(data.len() >= rows * cols);
+        View {
+            data,
+            rows,
+            cols,
+            rs: cols,
+            cs: 1,
+        }
+    }
+
+    /// The transpose of a row-major `rows × cols` matrix: a logical
+    /// `cols × rows` operand over the same storage.
+    pub fn transposed(data: &'a [f64], rows: usize, cols: usize) -> Self {
+        debug_assert!(data.len() >= rows * cols);
+        View {
+            data,
+            rows: cols,
+            cols: rows,
+            rs: 1,
+            cs: cols,
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Packs rows `[i0, i0 + m_eff)` over depth `[p0, p0 + k_eff)` of `a` into
+/// `MR`-interleaved micro-panels: for each panel of `MR` rows, `k` varies
+/// slowest and the `MR` row values for one `k` are contiguous. Rows past
+/// the matrix edge are zero. Returns the packed length in elements.
+pub(super) fn pack_a(
+    dst: &mut [f64],
+    a: &View<'_>,
+    i0: usize,
+    m_eff: usize,
+    p0: usize,
+    k_eff: usize,
+) -> usize {
+    let panels = m_eff.div_ceil(MR);
+    let len = panels * MR * k_eff;
+    debug_assert!(dst.len() >= len);
+    let mut w = 0;
+    for panel in 0..panels {
+        let r0 = i0 + panel * MR;
+        let live = MR.min(i0 + m_eff - r0);
+        for k in 0..k_eff {
+            let col = p0 + k;
+            for r in 0..live {
+                dst[w] = a.at(r0 + r, col);
+                w += 1;
+            }
+            for _ in live..MR {
+                dst[w] = 0.0;
+                w += 1;
+            }
+        }
+    }
+    len
+}
+
+/// Packs depth `[p0, p0 + k_eff)` over columns `[j0, j0 + n_eff)` of `b`
+/// into `NR`-interleaved micro-panels (same layout as [`pack_a`] with
+/// columns in place of rows). When `weight` is given, each value is scaled
+/// by `weight[global_k]` — this folds the `diag(w)` of the weighted Gram
+/// into the pack at no extra pass. Returns the packed length in elements.
+pub(super) fn pack_b(
+    dst: &mut [f64],
+    b: &View<'_>,
+    p0: usize,
+    k_eff: usize,
+    j0: usize,
+    n_eff: usize,
+    weight: Option<&[f64]>,
+) -> usize {
+    let panels = n_eff.div_ceil(NR);
+    let len = panels * NR * k_eff;
+    debug_assert!(dst.len() >= len);
+    let mut w = 0;
+    for panel in 0..panels {
+        let c0 = j0 + panel * NR;
+        let live = NR.min(j0 + n_eff - c0);
+        for k in 0..k_eff {
+            let row = p0 + k;
+            let scale = weight.map_or(1.0, |wv| wv[row]);
+            for c in 0..live {
+                dst[w] = b.at(row, c0 + c) * scale;
+                w += 1;
+            }
+            for _ in live..NR {
+                dst[w] = 0.0;
+                w += 1;
+            }
+        }
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_index_normal_and_transposed() {
+        let data: Vec<f64> = (0..6).map(|v| v as f64).collect(); // 2×3 row-major
+        let n = View::normal(&data, 2, 3);
+        assert_eq!(n.at(1, 2), 5.0);
+        let t = View::transposed(&data, 2, 3); // logical 3×2
+        assert_eq!((t.rows, t.cols), (3, 2));
+        assert_eq!(t.at(2, 1), 5.0);
+        assert_eq!(t.at(0, 1), 3.0);
+    }
+
+    #[test]
+    fn pack_a_interleaves_and_zero_pads() {
+        // 5 rows packed from row 3: 2 live rows → one MR panel, 2 padded.
+        let data: Vec<f64> = (0..5 * 3).map(|v| v as f64).collect();
+        let a = View::normal(&data, 5, 3);
+        let mut dst = vec![f64::NAN; MR * 2];
+        let len = pack_a(&mut dst, &a, 3, 2, 1, 2);
+        assert_eq!(len, MR * 2);
+        // k = 1 then k = 2; rows 3, 4, pad, pad.
+        assert_eq!(&dst[..MR], &[10.0, 13.0, 0.0, 0.0]);
+        assert_eq!(&dst[MR..2 * MR], &[11.0, 14.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_b_applies_weights_by_global_row() {
+        let data: Vec<f64> = (0..4 * 2).map(|v| v as f64 + 1.0).collect(); // 4×2
+        let b = View::normal(&data, 4, 2);
+        let w = [10.0, 100.0, 1000.0, 10000.0];
+        let mut dst = vec![f64::NAN; NR * 2];
+        let len = pack_b(&mut dst, &b, 2, 2, 0, 2, Some(&w));
+        assert_eq!(len, NR * 2);
+        // k = 2 (weight 1000): values 5, 6 then six zeros of padding.
+        assert_eq!(&dst[..3], &[5000.0, 6000.0, 0.0]);
+        assert!(dst[2..NR].iter().all(|&v| v == 0.0));
+        // k = 3 (weight 10000): values 7, 8.
+        assert_eq!(&dst[NR..NR + 2], &[70000.0, 80000.0]);
+    }
+}

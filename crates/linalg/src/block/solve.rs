@@ -1,0 +1,214 @@
+//! Panel-blocked forward/back substitution for lower-triangular factors.
+//!
+//! Both routines take right-hand sides as contiguous **rows** (the callers
+//! in `cholesky.rs` already solve on the transpose) and process them
+//! panel-by-panel: a diagonal `PANEL`-wide block solve per RHS, then that
+//! panel's contribution pushed into the remaining entries. The panel slice
+//! of `L` is reused across every RHS row, so a multi-RHS solve streams `L`
+//! once per panel instead of once per right-hand side — the cache win that
+//! matters at `n` in the hundreds-to-thousands, where one full sweep of
+//! `L` no longer fits in L2.
+//!
+//! # Routing and bit-compatibility
+//!
+//! The blocked order changes result bits versus the classic single-sweep
+//! loops (partial sums are applied per panel), so routing is gated on the
+//! system dimension only — `n < min_solve_dim` keeps the exact historic
+//! loops. Because the gate depends on `n` alone and the per-row arithmetic
+//! never looks at neighboring rows, a single-RHS solve and every column of
+//! a multi-RHS solve take the *same* path and produce bitwise-identical
+//! results at any thread count — the contract `forward_solve_mat`,
+//! `solve_mat` and the serving layer pin in their tests.
+
+use crate::mat::Matrix;
+use crate::vecops;
+
+/// Panel width of the blocked substitution: 64 columns × 8 bytes = one
+/// 512-byte stripe of each `L` row, small enough that the active `x` panel
+/// stays in L1 across the trailing update.
+const PANEL: usize = 64;
+
+/// Solves `L y = b` in place for every length-`n` row of `xt`.
+///
+/// `min_solve_dim` is passed by the caller (resolved once per public solve,
+/// on the calling thread) rather than read here: these routines run inside
+/// `par_rows_mut` workers, where a thread-local [`super::config::with_config`]
+/// override would not be visible — resolving on the worker could then route
+/// chunks of one solve differently.
+pub(crate) fn forward_rows(l: &Matrix, xt: &mut [f64], min_solve_dim: usize) {
+    let n = l.rows();
+    debug_assert_eq!(xt.len() % n.max(1), 0);
+    if n < min_solve_dim {
+        for x in xt.chunks_mut(n) {
+            forward_naive(l, x);
+        }
+        return;
+    }
+    let mut p0 = 0;
+    while p0 < n {
+        let p1 = (p0 + PANEL).min(n);
+        for x in xt.chunks_mut(n) {
+            // Diagonal block: entries [p0, p1) see only in-panel history
+            // (earlier panels were already subtracted by trailing updates).
+            for i in p0..p1 {
+                let row = l.row(i);
+                let s = vecops::dot(&row[p0..i], &x[p0..i]);
+                x[i] = (x[i] - s) / row[i];
+            }
+            // Trailing update: push this panel into the remaining entries.
+            for i in p1..n {
+                x[i] -= vecops::dot(&l.row(i)[p0..p1], &x[p0..p1]);
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Solves `Lᵀ x = z` in place for every length-`n` row of `xt` (same
+/// `min_solve_dim` contract as [`forward_rows`]).
+pub(crate) fn backward_rows(l: &Matrix, xt: &mut [f64], min_solve_dim: usize) {
+    let n = l.rows();
+    debug_assert_eq!(xt.len() % n.max(1), 0);
+    if n < min_solve_dim {
+        for x in xt.chunks_mut(n) {
+            backward_naive(l, x);
+        }
+        return;
+    }
+    let mut p1 = n;
+    while p1 > 0 {
+        let p0 = p1.saturating_sub(PANEL);
+        for x in xt.chunks_mut(n) {
+            // Diagonal block, descending: in-panel entries above i.
+            for i in (p0..p1).rev() {
+                let mut s = x[i];
+                for k in (i + 1)..p1 {
+                    s -= l[(k, i)] * x[k];
+                }
+                x[i] = s / l[(i, i)];
+            }
+            // Trailing update via contiguous row segments: entry j < p0
+            // accumulates -Σ_k L[k,j]·x[k] over this panel's k, replacing
+            // the naive loop's strided column walk with `PANEL` contiguous
+            // axpy sweeps.
+            let (head, tail) = x.split_at_mut(p0);
+            for k in p0..p1 {
+                vecops::axpy(-tail[k - p0], &l.row(k)[..p0], head);
+            }
+        }
+        p1 = p0;
+    }
+}
+
+/// The historic forward loop, bit-for-bit (committed artifacts and the
+/// sub-threshold bitwise tests depend on it).
+fn forward_naive(l: &Matrix, x: &mut [f64]) {
+    let n = l.rows();
+    for i in 0..n {
+        let s = vecops::dot(&l.row(i)[..i], &x[..i]);
+        x[i] = (x[i] - s) / l[(i, i)];
+    }
+}
+
+/// The historic backward loop, bit-for-bit.
+fn backward_naive(l: &Matrix, x: &mut [f64]) {
+    let n = l.rows();
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_factor(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if j > i {
+                0.0
+            } else if i == j {
+                1.5 + ((i * 7) % 5) as f64 * 0.2
+            } else {
+                (((i * 13 + j * 5) % 9) as f64 - 4.0) * 0.05
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_paths_solve_the_triangular_systems() {
+        // n = 150 with a forced low threshold → two ragged panels.
+        let n = 150;
+        let l = lower_factor(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let mut y = b.clone();
+        forward_rows(&l, &mut y, 2);
+        // L y = b
+        for i in 0..n {
+            let lhs = vecops::dot(&l.row(i)[..=i], &y[..=i]);
+            assert!((lhs - b[i]).abs() < 1e-10, "row {i}: {lhs} vs {}", b[i]);
+        }
+        let mut x = y.clone();
+        backward_rows(&l, &mut x, 2);
+        // Lᵀ x = y
+        for i in 0..n {
+            let lhs: f64 = (i..n).map(|k| l[(k, i)] * x[k]).sum();
+            assert!((lhs - y[i]).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_rows_match_single_rhs_bitwise() {
+        let n = 130;
+        let l = lower_factor(n);
+        let rhs: Vec<f64> = (0..3 * n).map(|i| ((i as f64) * 0.17).cos()).collect();
+        let mut multi = rhs.clone();
+        forward_rows(&l, &mut multi, 2);
+        backward_rows(&l, &mut multi, 2);
+        for (r, row) in rhs.chunks(n).enumerate() {
+            let mut single = row.to_vec();
+            forward_rows(&l, &mut single, 2);
+            backward_rows(&l, &mut single, 2);
+            for (a, b) in multi[r * n..(r + 1) * n].iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "rhs {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn below_threshold_matches_naive_loops_bitwise() {
+        let n = 40;
+        let l = lower_factor(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.1 - 2.0).collect();
+        let mut via_router = b.clone();
+        forward_rows(&l, &mut via_router, 256);
+        backward_rows(&l, &mut via_router, 256);
+        let mut naive = b.clone();
+        forward_naive(&l, &mut naive);
+        backward_naive(&l, &mut naive);
+        for (a, c) in via_router.iter().zip(&naive) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_panel_blocked_equals_naive_bitwise() {
+        // n ≤ PANEL with blocking forced: one panel degenerates to exactly
+        // the naive sweep.
+        let n = 48;
+        let l = lower_factor(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let mut blocked = b.clone();
+        forward_rows(&l, &mut blocked, 2);
+        backward_rows(&l, &mut blocked, 2);
+        let mut naive = b.clone();
+        forward_naive(&l, &mut naive);
+        backward_naive(&l, &mut naive);
+        for (a, c) in blocked.iter().zip(&naive) {
+            assert_eq!(a.to_bits(), c.to_bits());
+        }
+    }
+}

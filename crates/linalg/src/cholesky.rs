@@ -295,15 +295,18 @@ impl Cholesky {
         CHOL_SOLVES.add(b.cols() as u64);
         // Solve on the transpose so the inner loops walk contiguous rows.
         // Right-hand sides are independent, so they are dispatched in
-        // parallel chunks; each solve is unchanged, so results match the
-        // sequential loop bitwise.
+        // parallel chunks; each chunk goes through the shared (size-routed)
+        // substitution, so every column matches a single-RHS solve bitwise
+        // at any thread count.
         let mut xt = b.transpose();
         if n > 0 {
+            // Resolve the routing threshold on the calling thread so every
+            // worker chunk takes the same (blocked or naive) path.
+            let min_dim = crate::block::config::current().min_solve_dim;
             let grain = crate::mat::grain_rows(2 * n * n);
             cbmf_parallel::par_rows_mut(xt.as_mut_slice(), n, grain, |_, chunk| {
-                for row in chunk.chunks_mut(n) {
-                    self.solve_in_place(row);
-                }
+                crate::block::solve::forward_rows(&self.l, chunk, min_dim);
+                crate::block::solve::backward_rows(&self.l, chunk, min_dim);
             });
         }
         Ok(xt.transpose())
@@ -316,12 +319,14 @@ impl Cholesky {
         // solves, run in parallel chunks.
         let mut inv_t = Matrix::zeros(n, n);
         if n > 0 {
+            let min_dim = crate::block::config::current().min_solve_dim;
             let grain = crate::mat::grain_rows(2 * n * n);
             cbmf_parallel::par_rows_mut(inv_t.as_mut_slice(), n, grain, |j0, chunk| {
                 for (lj, row) in chunk.chunks_mut(n).enumerate() {
                     row[j0 + lj] = 1.0;
-                    self.solve_in_place(row);
                 }
+                crate::block::solve::forward_rows(&self.l, chunk, min_dim);
+                crate::block::solve::backward_rows(&self.l, chunk, min_dim);
             });
         }
         inv_t.symmetrized()
@@ -330,21 +335,13 @@ impl Cholesky {
     /// Forward/back substitution in place: overwrites `x` (initially `b`)
     /// with `A⁻¹ b`.
     fn solve_in_place(&self, x: &mut [f64]) {
-        let n = self.dim();
-        debug_assert_eq!(x.len(), n);
-        // L z = b
-        for i in 0..n {
-            let s = vecops::dot(&self.l.row(i)[..i], &x[..i]);
-            x[i] = (x[i] - s) / self.l[(i, i)];
-        }
-        // Lᵀ x = z
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
-            }
-            x[i] = s / self.l[(i, i)];
-        }
+        debug_assert_eq!(x.len(), self.dim());
+        // L z = b, then Lᵀ x = z — the shared substitution routes to the
+        // panel-blocked sweep above `min_solve_dim` and to the historic
+        // single-sweep loops below it.
+        let min_dim = crate::block::config::current().min_solve_dim;
+        crate::block::solve::forward_rows(&self.l, x, min_dim);
+        crate::block::solve::backward_rows(&self.l, x, min_dim);
     }
 
     /// Rank-one update: replaces the factored matrix `A` by `A + v·vᵀ`,
@@ -464,10 +461,8 @@ impl Cholesky {
             });
         }
         let mut y = b.to_vec();
-        for i in 0..n {
-            let s = vecops::dot(&self.l.row(i)[..i], &y[..i]);
-            y[i] = (y[i] - s) / self.l[(i, i)];
-        }
+        let min_dim = crate::block::config::current().min_solve_dim;
+        crate::block::solve::forward_rows(&self.l, &mut y, min_dim);
         Ok(y)
     }
 
@@ -496,14 +491,10 @@ impl Cholesky {
         // Work on the transpose so each right-hand side is a contiguous row.
         let mut yt = b.transpose();
         if n > 0 {
+            let min_dim = crate::block::config::current().min_solve_dim;
             let grain = crate::mat::grain_rows(n * n);
             cbmf_parallel::par_rows_mut(yt.as_mut_slice(), n, grain, |_, chunk| {
-                for row in chunk.chunks_mut(n) {
-                    for i in 0..n {
-                        let s = vecops::dot(&self.l.row(i)[..i], &row[..i]);
-                        row[i] = (row[i] - s) / self.l[(i, i)];
-                    }
-                }
+                crate::block::solve::forward_rows(&self.l, chunk, min_dim);
             });
         }
         Ok(yt.transpose())

@@ -17,6 +17,9 @@
 //!   solve, used by the modified-nodal-analysis circuit simulator.
 //! * [`faultinject`] — deterministic fault injection for testing the
 //!   recovery paths built on these factorizations.
+//! * [`block`] — cache-blocked packed GEMM/SYRK kernels and panel-blocked
+//!   triangular solves that the large products and solves route through,
+//!   with [`block::BlockConfig`] controlling blocking and thresholds.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 // index with offset bounds; iterator rewrites obscure the recurrences.
 #![allow(clippy::needless_range_loop)]
 
+pub mod block;
 mod cholesky;
 mod cmat;
 mod complex;

@@ -248,14 +248,59 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        PRODUCT_MACS.add((self.rows * self.cols * rhs.cols) as u64);
+        self.matmul_impl(rhs, &mut out);
+        Ok(out)
+    }
+
+    /// Matrix–matrix product `self * rhs` written into a preallocated `out`
+    /// (fully overwritten). With a warm [`crate::block`] workspace pool the
+    /// blocked path performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.rows()`
+    /// or `out` is not `self.rows() x rhs.cols()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_into(out)",
+                lhs: (self.rows, rhs.cols),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        self.matmul_impl(rhs, out);
+        Ok(())
+    }
+
+    /// Shared `matmul` body; `out` must be the right shape and zeroed.
+    fn matmul_impl(&self, rhs: &Matrix, out: &mut Matrix) {
+        let macs = self.rows * self.cols * rhs.cols;
+        PRODUCT_MACS.add(macs as u64);
         PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
+        let p = rhs.cols;
+        if crate::block::wants_blocking(macs) {
+            crate::block::gemm(
+                &mut out.data,
+                self.rows,
+                p,
+                &crate::block::View::normal(&self.data, self.rows, self.cols),
+                &crate::block::View::normal(&rhs.data, rhs.rows, p),
+            );
+            return;
+        }
         // ikj loop order: the innermost loop walks contiguous rows of `rhs`
         // and `out`, which is dramatically faster than the naive ijk order.
         // Output rows are independent, so they are computed in parallel row
         // chunks; each row accumulates in the same k order as the sequential
         // loop, keeping results bitwise identical at any thread count.
-        let p = rhs.cols;
         cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.cols * p), |i0, chunk| {
             for (li, out_row) in chunk.chunks_mut(p).enumerate() {
                 let i = i0 + li;
@@ -269,7 +314,6 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
     }
 
     /// Product `selfᵀ * rhs` without materializing the transpose.
@@ -286,13 +330,24 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, rhs.cols);
-        PRODUCT_MACS.add((self.rows * self.cols * rhs.cols) as u64);
+        let macs = self.rows * self.cols * rhs.cols;
+        PRODUCT_MACS.add(macs as u64);
         PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
+        let p = rhs.cols;
+        if crate::block::wants_blocking(macs) {
+            crate::block::gemm(
+                &mut out.data,
+                self.cols,
+                p,
+                &crate::block::View::transposed(&self.data, self.rows, self.cols),
+                &crate::block::View::normal(&rhs.data, rhs.rows, p),
+            );
+            return Ok(out);
+        }
         // Partition the *output* rows (columns of self): each worker streams
         // all of `rhs` once and scatters into its own disjoint row chunk.
         // Every output row still accumulates in ascending k, so the result is
         // bitwise identical to the sequential k-outer loop.
-        let p = rhs.cols;
         cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.rows * p), |i0, chunk| {
             let chunk_rows = chunk.len() / p;
             for k in 0..self.rows {
@@ -323,12 +378,57 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        PRODUCT_MACS.add((self.rows * self.cols * rhs.rows) as u64);
+        self.matmul_t_impl(rhs, &mut out);
+        Ok(out)
+    }
+
+    /// Product `self * rhsᵀ` written into a preallocated `out` (fully
+    /// overwritten). With a warm [`crate::block`] workspace pool the blocked
+    /// path performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `self.cols() != rhs.cols()`
+    /// or `out` is not `self.rows() x rhs.rows()`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), LinalgError> {
+        if self.cols != rhs.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_t_into",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        if out.shape() != (self.rows, rhs.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul_t_into(out)",
+                lhs: (self.rows, rhs.rows),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        self.matmul_t_impl(rhs, out);
+        Ok(())
+    }
+
+    /// Shared `matmul_t` body; `out` must be the right shape and zeroed.
+    fn matmul_t_impl(&self, rhs: &Matrix, out: &mut Matrix) {
+        let macs = self.rows * self.cols * rhs.rows;
+        PRODUCT_MACS.add(macs as u64);
         PRODUCT_F64S.add((self.data.len() + rhs.data.len() + out.data.len()) as u64);
+        let p = rhs.rows;
+        if crate::block::wants_blocking(macs) {
+            crate::block::gemm(
+                &mut out.data,
+                self.rows,
+                p,
+                &crate::block::View::normal(&self.data, self.rows, self.cols),
+                &crate::block::View::transposed(&rhs.data, p, rhs.cols),
+            );
+            return;
+        }
         // Four output entries per pass over a_row: the dot4 kernel reads each
         // a_row element once for four rhs rows instead of re-streaming it per
         // element, and output rows are computed in parallel chunks.
-        let p = rhs.rows;
         cbmf_parallel::par_rows_mut(&mut out.data, p, grain_rows(self.cols * p), |i0, chunk| {
             for (li, out_row) in chunk.chunks_mut(p).enumerate() {
                 let a_row = self.row(i0 + li);
@@ -350,7 +450,6 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
     }
 
     /// Symmetric product `self * selfᵀ` (a syrk-style Gram kernel).
@@ -382,15 +481,79 @@ impl Matrix {
         Ok(self.gram_with(Some(w)))
     }
 
+    /// Symmetric product `self * selfᵀ` written into a preallocated `out`
+    /// (fully overwritten). With a warm [`crate::block`] workspace pool the
+    /// blocked path performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `out` is not
+    /// `self.rows() x self.rows()`.
+    pub fn gram_into(&self, out: &mut Matrix) -> Result<(), LinalgError> {
+        if out.shape() != (self.rows, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "gram_into(out)",
+                lhs: (self.rows, self.rows),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        self.gram_impl(None, out);
+        Ok(())
+    }
+
+    /// Weighted symmetric product `self * diag(w) * selfᵀ` written into a
+    /// preallocated `out` (fully overwritten).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `w.len() != self.cols()` or
+    /// `out` is not `self.rows() x self.rows()`.
+    pub fn weighted_gram_into(&self, w: &[f64], out: &mut Matrix) -> Result<(), LinalgError> {
+        if w.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "weighted_gram_into",
+                lhs: self.shape(),
+                rhs: (w.len(), 1),
+            });
+        }
+        if out.shape() != (self.rows, self.rows) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "weighted_gram_into(out)",
+                lhs: (self.rows, self.rows),
+                rhs: out.shape(),
+            });
+        }
+        out.data.fill(0.0);
+        self.gram_impl(Some(w), out);
+        Ok(())
+    }
+
     fn gram_with(&self, w: Option<&[f64]>) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.rows);
+        self.gram_impl(w, &mut out);
+        out
+    }
+
+    /// Shared Gram body; `out` must be `rows x rows` and zeroed.
+    fn gram_impl(&self, w: Option<&[f64]>, out: &mut Matrix) {
         let n = self.rows;
-        // With weights, row i is pre-scaled once into `scaled_i` and dotted
-        // against the *unscaled* rows j ≤ i; dot(w ⊙ rᵢ, rⱼ) = rᵢᵀ diag(w) rⱼ.
-        let mut out = Matrix::zeros(n, n);
         // Lower triangle only: n(n+1)/2 dots of length `cols`, mirrored for
         // free (the mirror pass is counted as output traffic, not MACs).
-        PRODUCT_MACS.add((n * (n + 1) / 2 * self.cols) as u64);
+        let macs = n * (n + 1) / 2 * self.cols;
+        PRODUCT_MACS.add(macs as u64);
         PRODUCT_F64S.add((self.data.len() + out.data.len()) as u64);
+        if crate::block::wants_blocking(macs) {
+            crate::block::syrk(
+                &mut out.data,
+                n,
+                &crate::block::View::normal(&self.data, n, self.cols),
+                w,
+            );
+            return;
+        }
+        // With weights, row i is pre-scaled once into `scratch` and dotted
+        // against the *unscaled* rows j ≤ i; dot(w ⊙ rᵢ, rⱼ) = rᵢᵀ diag(w) rⱼ.
         let scratch_proto = w.map(|_| vec![0.0; self.cols]);
         // Lower-triangle rows grow linearly in cost, so halve the flops
         // estimate when sizing chunks.
@@ -431,7 +594,6 @@ impl Matrix {
                 out.data[i * n + j] = out.data[j * n + i];
             }
         }
-        out
     }
 
     /// Matrix–vector product `self * v`.

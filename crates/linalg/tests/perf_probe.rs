@@ -1,0 +1,81 @@
+//! Throwaway tuning probe (ignored by default): times the blocked kernels
+//! against the naive paths at paper scale. Run with
+//! `cargo test --release -p cbmf-linalg --test perf_probe -- --ignored --nocapture`.
+
+use std::time::Instant;
+
+use cbmf_linalg::block::{with_config, BlockConfig};
+use cbmf_linalg::Matrix;
+
+fn min_time_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    f(); // warmup
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+#[ignore]
+fn probe_paper_scale() {
+    let d = 1280;
+    let a = Matrix::from_fn(d, d, |i, j| ((i * 13 + j * 7) % 23) as f64 * 0.1 - 1.0);
+    let b = Matrix::from_fn(d, d, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.1 - 0.9);
+
+    let naive = BlockConfig {
+        min_macs: usize::MAX,
+        ..BlockConfig::default()
+    };
+    let g_naive = min_time_ns(3, || {
+        with_config(naive, || {
+            std::hint::black_box(a.gram());
+        })
+    });
+    let m_naive = min_time_ns(3, || {
+        with_config(naive, || {
+            std::hint::black_box(a.matmul_t(&b).unwrap());
+        })
+    });
+
+    for (mc, kc, nc) in [
+        (128, 256, 1024),
+        (96, 256, 2048),
+        (128, 384, 1280),
+        (256, 256, 1280),
+        (64, 512, 1280),
+    ] {
+        let cfg = BlockConfig {
+            mc,
+            kc,
+            nc,
+            min_macs: 0,
+            ..BlockConfig::default()
+        };
+        let g = min_time_ns(3, || {
+            with_config(cfg, || {
+                std::hint::black_box(a.gram());
+            })
+        });
+        let m = min_time_ns(3, || {
+            with_config(cfg, || {
+                std::hint::black_box(a.matmul_t(&b).unwrap());
+            })
+        });
+        println!(
+            "mc={mc:3} kc={kc:3} nc={nc:4}  gram {:>8.2} ms ({:.2}x)  matmul_t {:>8.2} ms ({:.2}x)",
+            g as f64 / 1e6,
+            g_naive as f64 / g as f64,
+            m as f64 / 1e6,
+            m_naive as f64 / m as f64,
+        );
+    }
+    println!(
+        "naive: gram {:.2} ms, matmul_t {:.2} ms",
+        g_naive as f64 / 1e6,
+        m_naive as f64 / 1e6
+    );
+}

@@ -9,7 +9,10 @@
 //! - [`with_threads`] — a scoped in-process override so benches and the
 //!   determinism test can compare thread counts without re-exec'ing;
 //! - [`par_map_indexed`] / [`par_for_each_chunk`] — statically partitioned
-//!   maps whose outputs are concatenated in index order.
+//!   maps whose outputs are concatenated in index order;
+//! - [`workspace`] — a global pool of grow-only scratch buffers so kernel
+//!   hot loops (packing panels, per-tile scratch) allocate nothing in steady
+//!   state.
 //!
 //! # Determinism policy
 //!
@@ -26,6 +29,8 @@ use std::sync::OnceLock;
 use std::thread;
 
 use cbmf_trace::Counter;
+
+pub mod workspace;
 
 /// Fork-joins that actually spawned scoped workers.
 static FORK_JOINS: Counter = Counter::new("parallel.fork_joins");

@@ -1,11 +1,13 @@
 //! The blocked batch prediction engine.
 //!
 //! Serving evaluates one fitted model at many variation samples — the
-//! yield-estimation inner loop. The engine tiles the sample rows into
-//! cache-friendly blocks, evaluates the basis dictionary once per sample,
-//! and reuses it across all K states; tiles fan out over `cbmf-parallel`
-//! and are stitched back in index order, so results are bitwise identical
-//! to the per-sample scalar path at any thread count.
+//! yield-estimation inner loop. The engine partitions the output rows into
+//! cache-friendly tiles, evaluates the basis dictionary once per sample
+//! into pooled workspace scratch (`cbmf_parallel::workspace`), and reuses
+//! it across all K states; workers write their rows of the output matrix
+//! in place, so steady-state batches perform no per-row heap allocation
+//! and results are bitwise identical to the per-sample scalar path at any
+//! thread count (each output element depends only on its own row).
 
 use cbmf::{PerStateModel, PosteriorPredictive};
 use cbmf_linalg::Matrix;
@@ -109,29 +111,27 @@ impl BatchPredictor {
         SERVE_BLOCKED_MACS.add((n * k * support_len) as u64);
 
         let m = self.model.basis_spec().num_basis(d);
-        let tile = self.tile_rows;
-        let num_tiles = n.div_ceil(tile.max(1));
-        // One tile per work item; each returns its rows_in_tile × K block.
-        let blocks = cbmf_parallel::par_map_indexed(num_tiles, 1, |t| {
-            let lo = t * tile;
-            let hi = (lo + tile).min(n);
-            let mut basis = vec![0.0; m];
-            let mut block = Vec::with_capacity((hi - lo) * k);
-            for i in lo..hi {
-                self.model.basis_spec().eval_into(xs.row(i), &mut basis);
-                for state in 0..k {
-                    block.push(self.model.predict_from_basis(state, &basis));
-                }
-            }
-            block
-        });
+        let spec = self.model.basis_spec();
         let mut out = Matrix::zeros(n, k);
-        for (t, block) in blocks.into_iter().enumerate() {
-            let lo = t * tile;
-            for (local, row) in block.chunks(k).enumerate() {
-                out.row_mut(lo + local).copy_from_slice(row);
-            }
-        }
+        // Workers write their own rows of `out` in place; the basis scratch
+        // is pooled workspace memory (`eval_into` overwrites all m entries,
+        // so a dirty recycled buffer is safe), leaving the row loop free of
+        // heap allocation in steady state.
+        cbmf_parallel::par_rows_mut(
+            out.as_mut_slice(),
+            k.max(1),
+            self.tile_rows,
+            |row0, rows| {
+                let mut ws = cbmf_parallel::workspace::acquire();
+                let basis = ws.one(m);
+                for (local, out_row) in rows.chunks_mut(k.max(1)).enumerate() {
+                    spec.eval_into(xs.row(row0 + local), basis);
+                    for (state, slot) in out_row.iter_mut().enumerate() {
+                        *slot = self.model.predict_from_basis(state, basis);
+                    }
+                }
+            },
+        );
         Ok(out)
     }
 

@@ -1,0 +1,84 @@
+//! Allocation contract of the batched prediction hot loop: after one
+//! warm-up batch has seeded the pooled basis workspace, a steady-state
+//! `predict_batch` call allocates **only the output matrix** — the per-row
+//! basis evaluation and state loop never touch the heap. Proven with a
+//! counting global allocator, matching the blocked-kernel test in
+//! `cbmf-linalg`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use cbmf::{BasisSpec, PerStateModel};
+use cbmf_linalg::Matrix;
+use cbmf_serve::BatchPredictor;
+
+/// Counts heap allocations while `ARMED` is set; delegates to the system
+/// allocator either way.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the allocation counter armed and returns how many heap
+/// allocations happened inside.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_batch_prediction_allocates_only_the_output() {
+    let d = 12;
+    let support: Vec<usize> = (0..d).step_by(2).collect();
+    let coeffs = Matrix::from_fn(4, support.len(), |k, j| {
+        ((k * 7 + j * 3) as f64 * 0.23).sin()
+    });
+    let intercepts: Vec<f64> = (0..4).map(|k| k as f64 * 0.5 - 1.0).collect();
+    let model = PerStateModel::new(BasisSpec::LinearSquares, d, support, coeffs, intercepts)
+        .expect("valid model");
+    let predictor = BatchPredictor::new(model);
+    let xs = Matrix::from_fn(200, d, |i, j| ((i * 9 + j) as f64 * 0.17).cos());
+
+    // Serial so the row loop runs inline (a scoped thread spawn allocates
+    // by design; the contract is about the per-row work itself).
+    cbmf_parallel::with_threads(1, || {
+        // Warm-up: seeds the pooled workspace's basis buffer.
+        let warm = predictor.predict_batch(&xs).expect("shapes");
+        std::hint::black_box(&warm);
+
+        let mut out = None;
+        let count = allocations_during(|| {
+            out = Some(predictor.predict_batch(&xs).expect("shapes"));
+        });
+        assert!(
+            count <= 1,
+            "steady-state predict_batch must allocate only the output \
+             matrix, saw {count} allocations"
+        );
+        // Same bits as the warmed run: the pooled (dirty) scratch buffer
+        // changes nothing.
+        let out = out.expect("ran");
+        for (p, q) in warm.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    });
+}
