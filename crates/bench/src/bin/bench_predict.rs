@@ -21,10 +21,11 @@ fn main() {
 
     let cal_before = Calibration::measure();
     let results = run_predict_suite(BASELINE_REPS, threads, |r| {
-        let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+        let fused_win = r.serial_min_ns as f64 / r.fused_serial_min_ns.max(1) as f64;
         println!(
-            "batch {:>5}   serial {:>8} ns/sample   parallel {:>8} ns/sample   speedup {speedup:.2}x",
-            r.batch, r.serial_ns, r.parallel_ns
+            "batch {:>5}   serial {:>8} ns/sample   parallel {:>8} ns/sample   \
+             fused {:>8} ns/sample ({fused_win:.2}x fused win)",
+            r.batch, r.serial_ns, r.parallel_ns, r.fused_serial_ns
         );
     });
     // Min of calibrations bracketing the suite: a single inflated probe

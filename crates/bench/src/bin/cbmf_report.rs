@@ -71,6 +71,10 @@ fn main() {
 
     let run = format!("lna_{}", metric_name.to_lowercase().replace(' ', "_"));
     let meta = ReportMeta::new(run)
+        .with(
+            "simd_isa",
+            Json::Str(cbmf_linalg::simd_isa_name().to_string()),
+        )
         .with("circuit", Json::Str("lna".to_string()))
         .with("metric", Json::Str(metric_name.to_string()))
         .with("samples_per_state", Json::Num(samples as f64))

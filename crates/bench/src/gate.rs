@@ -225,9 +225,20 @@ fn gate_min_times(
         };
         let dram = dram_gated.contains(&name.as_str());
         let scale = if dram { dram_scale } else { host_scale };
-        for field in ["serial_min_ns", "parallel_min_ns"] {
-            let b = base.get(field).and_then(Json::as_f64).expect("validated");
-            let c = cand.get(field).and_then(Json::as_f64).expect("validated");
+        // The fused fields are gated only where the baseline records them:
+        // an older (pre-fused-schema) baseline still gates the shared
+        // min-time fields, and a candidate that dropped a fused field the
+        // baseline has is flagged as missing (NaN never passes `<=`).
+        for field in [
+            "serial_min_ns",
+            "parallel_min_ns",
+            "fused_serial_min_ns",
+            "fused_parallel_min_ns",
+        ] {
+            let Some(b) = base.get(field).and_then(Json::as_f64) else {
+                continue;
+            };
+            let c = cand.get(field).and_then(Json::as_f64).unwrap_or(f64::NAN);
             let allowed = b * scale * (1.0 + tol);
             let passed = c <= allowed;
             out.row(format!("{name} {field}"), b, c, allowed, passed);
@@ -356,6 +367,22 @@ mod tests {
         .unwrap()
     }
 
+    fn predict_doc_fused(serial: f64, fused: f64, cal: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-bench-predict/3", "reps": 3, "calibration_ns": {cal},
+                "calibration_dram_ns": {cal}, "host": {{"threads": 1}},
+                "batches": {{"batch_0064": {{"serial_median_ns": {serial},
+                                            "parallel_median_ns": {serial},
+                                            "serial_min_ns": {serial},
+                                            "parallel_min_ns": {serial},
+                                            "fused_serial_median_ns": {fused},
+                                            "fused_parallel_median_ns": {fused},
+                                            "fused_serial_min_ns": {fused},
+                                            "fused_parallel_min_ns": {fused}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
     fn accuracy_doc(err: f64, support: u64) -> Json {
         accuracy_doc_with_recovery(err, support, 0, 0)
     }
@@ -445,6 +472,28 @@ mod tests {
         let kernels = bench_doc(1000.0, 900.0, 100.0);
         assert!(gate_predict(&base, &kernels, DEFAULT_TOL).is_err());
         assert!(gate_predict(&kernels, &base, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn predict_gate_covers_fused_fields_when_the_baseline_has_them() {
+        // A fused baseline gates four min-time fields per batch.
+        let base = predict_doc_fused(240.0, 150.0, 100.0);
+        let out = gate_predict(&base, &base, DEFAULT_TOL).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 4);
+        // A fused-path regression fails even when the materialized path is
+        // unchanged.
+        let slow_fused = predict_doc_fused(240.0, 200.0, 100.0);
+        let out = gate_predict(&base, &slow_fused, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures[0].contains("fused_serial_min_ns"));
+        // An old (v2) baseline gates only the shared fields against a new
+        // candidate — the schema bump cannot brick the gate.
+        let old_base = predict_doc(240.0, 220.0, 100.0);
+        let cand = predict_doc_fused(240.0, 150.0, 100.0);
+        let out = gate_predict(&old_base, &cand, DEFAULT_TOL).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checked, 2);
     }
 
     #[test]

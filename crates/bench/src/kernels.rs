@@ -30,8 +30,16 @@ use cbmf_linalg::{Cholesky, Matrix};
 use cbmf_trace::Json;
 
 /// Schema identifier of `BENCH_kernels.json`; bump on breaking layout
-/// changes so the gate refuses mixed-version comparisons.
-pub const BENCH_SCHEMA: &str = "cbmf-bench-kernels/3";
+/// changes. Version 4 records the resolved thread count per kernel row and
+/// replaces the meaningless `speedup` with a `"single_core": true` marker
+/// on one-thread hosts. The validator (and hence the gate) still accepts
+/// the prior version so a freshly-bumped tree can gate against a committed
+/// older baseline.
+pub const BENCH_SCHEMA: &str = "cbmf-bench-kernels/4";
+
+/// Previous schema version the validator also accepts (gate compatibility
+/// across the bump; min-time fields are unchanged between the two).
+pub const BENCH_SCHEMA_PREV: &str = "cbmf-bench-kernels/3";
 
 /// Repetitions used for the committed baseline.
 pub const BASELINE_REPS: usize = 9;
@@ -72,6 +80,11 @@ pub struct KernelResult {
     /// paper-scale rows as the before/after evidence, skipped by the CI
     /// gate's quick re-runs.
     pub naive_serial_min_ns: Option<u128>,
+    /// Resolved thread width the parallel timings ran at — recorded per row
+    /// so a reader of a single kernel entry can tell whether its parallel
+    /// numbers mean anything (on a one-thread host they are the serial path
+    /// re-measured).
+    pub threads: usize,
 }
 
 /// The two host-speed probes a bench document carries: [`Calibration::cache_ns`]
@@ -104,6 +117,26 @@ impl Calibration {
             dram_ns: self.dram_ns.min(other.dram_ns),
         }
     }
+}
+
+/// The shared host descriptor of a bench document: the trace layer's
+/// `{threads, os, arch}` plus the microkernel ISA tier the blocked kernels
+/// resolved to (`cbmf-trace` cannot record that itself — it sits below
+/// `cbmf-linalg` in the crate graph — so the bench layer inserts it).
+pub fn host_with_isa() -> Json {
+    let mut host = match cbmf_trace::report::host_meta() {
+        Json::Obj(m) => m,
+        other => {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("meta".to_string(), other);
+            m
+        }
+    };
+    host.insert(
+        "simd_isa".to_string(),
+        Json::Str(cbmf_linalg::simd_isa_name().to_string()),
+    );
+    Json::Obj(host)
 }
 
 /// (median, minimum) wall-clock nanoseconds of `reps` runs of `f` (after
@@ -227,6 +260,7 @@ pub fn run_suite(
             serial_min_ns,
             parallel_min_ns,
             naive_serial_min_ns,
+            threads,
         };
         report(&r);
         r
@@ -314,7 +348,6 @@ pub fn render_bench_report(
     let kernels: std::collections::BTreeMap<String, Json> = results
         .iter()
         .map(|r| {
-            let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
             let mut fields = vec![
                 (
                     "serial_median_ns".to_string(),
@@ -332,11 +365,20 @@ pub fn render_bench_report(
                     "parallel_min_ns".to_string(),
                     Json::Num(r.parallel_min_ns as f64),
                 ),
-                (
+                ("threads".to_string(), Json::Num(r.threads as f64)),
+            ];
+            if r.threads <= 1 {
+                // On a one-thread host the "parallel" timing re-measures the
+                // serial path — a speedup ratio would be ~1.0 noise. Mark
+                // the condition instead of reporting a meaningless number.
+                fields.push(("single_core".to_string(), Json::Bool(true)));
+            } else {
+                let speedup = r.serial_ns as f64 / r.parallel_ns.max(1) as f64;
+                fields.push((
                     "speedup".to_string(),
                     Json::Num((speedup * 1000.0).round() / 1000.0),
-                ),
-            ];
+                ));
+            }
             if let Some(naive) = r.naive_serial_min_ns {
                 let blocked = naive as f64 / r.serial_min_ns.max(1) as f64;
                 fields.push(("naive_serial_min_ns".to_string(), Json::Num(naive as f64)));
@@ -359,7 +401,7 @@ pub fn render_bench_report(
             "calibration_dram_ns".to_string(),
             Json::Num(calibration.dram_ns as f64),
         ),
-        ("host".to_string(), cbmf_trace::report::host_meta()),
+        ("host".to_string(), host_with_isa()),
         ("kernels".to_string(), Json::Obj(kernels)),
     ];
     if threads <= 1 {
@@ -380,11 +422,13 @@ pub fn render_bench_report(
 /// calibrations, host object, and a non-empty kernel map whose entries carry
 /// both medians. Returns a human-readable reason on failure.
 pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == BENCH_SCHEMA => {}
-        Some(s) => return Err(format!("schema '{s}' != '{BENCH_SCHEMA}'")),
+    let schema = match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == BENCH_SCHEMA || s == BENCH_SCHEMA_PREV => s,
+        Some(s) => return Err(format!(
+            "schema '{s}' is not '{BENCH_SCHEMA}' (or the still-accepted '{BENCH_SCHEMA_PREV}')"
+        )),
         None => return Err("missing 'schema' field".to_string()),
-    }
+    };
     for cal in ["calibration_ns", "calibration_dram_ns"] {
         match doc.get(cal).and_then(Json::as_f64) {
             Some(c) if c > 0.0 => {}
@@ -418,6 +462,21 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
             match v.as_f64() {
                 Some(n) if n > 0.0 => {}
                 _ => return Err(format!("kernel '{name}': bad 'naive_serial_min_ns'")),
+            }
+        }
+        if schema == BENCH_SCHEMA {
+            // v4 rows carry the resolved thread count, and exactly one of
+            // the speedup / single-core marker.
+            match k.get("threads").and_then(Json::as_f64) {
+                Some(t) if t >= 1.0 => {}
+                _ => return Err(format!("kernel '{name}': bad 'threads'")),
+            }
+            let single = k.get("single_core").is_some();
+            let speedup = k.get("speedup").is_some();
+            if single == speedup {
+                return Err(format!(
+                    "kernel '{name}': expected exactly one of 'speedup' or 'single_core'"
+                ));
             }
         }
     }
@@ -489,6 +548,7 @@ mod tests {
                 serial_min_ns: 950,
                 parallel_min_ns: 380,
                 naive_serial_min_ns: None,
+                threads: 4,
             },
             KernelResult {
                 name: "matmul_t_1280",
@@ -497,6 +557,7 @@ mod tests {
                 serial_min_ns: 1900,
                 parallel_min_ns: 880,
                 naive_serial_min_ns: Some(9500),
+                threads: 4,
             },
         ];
         let doc = render_bench_report(&results, 9, 4, cal(12345, 67890));
@@ -532,11 +593,79 @@ mod tests {
             parsed.get("calibration_dram_ns").unwrap().as_f64(),
             Some(67890.0)
         );
+        // v4: rows carry the resolved thread count and the ISA lands in the
+        // host section.
+        assert_eq!(big.get("threads").unwrap().as_f64(), Some(4.0));
+        assert!(big.get("single_core").is_none());
+        assert!(parsed
+            .get("host")
+            .unwrap()
+            .get("simd_isa")
+            .and_then(Json::as_str)
+            .is_some());
         // Multi-thread render carries no single-core note.
         assert!(parsed.get("note").is_none());
         assert!(render_bench_report(&results, 9, 1, cal(12345, 67890))
             .get("note")
             .is_some());
+    }
+
+    #[test]
+    fn single_core_rows_mark_instead_of_reporting_speedup() {
+        let results = vec![KernelResult {
+            name: "matmul_800",
+            serial_ns: 1000,
+            parallel_ns: 1000,
+            serial_min_ns: 950,
+            parallel_min_ns: 960,
+            naive_serial_min_ns: None,
+            threads: 1,
+        }];
+        let doc = render_bench_report(&results, 5, 1, cal(100, 200));
+        validate_bench_report(&doc).unwrap();
+        let row = doc.get("kernels").unwrap().get("matmul_800").unwrap();
+        assert_eq!(row.get("single_core"), Some(&Json::Bool(true)));
+        assert!(row.get("speedup").is_none());
+        assert_eq!(row.get("threads").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn validator_accepts_the_previous_schema_version() {
+        // A committed v3 baseline (no per-row threads, unconditional
+        // speedup) must still validate so the gate can compare across the
+        // schema bump.
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-bench-kernels/3", "calibration_ns": 10,
+                "calibration_dram_ns": 20, "host": {},
+                "kernels": {"k": {"serial_median_ns": 5,
+                "parallel_median_ns": 5, "serial_min_ns": 4,
+                "parallel_min_ns": 4, "speedup": 1.0}}}"#,
+        )
+        .unwrap();
+        validate_bench_report(&doc).unwrap();
+        // v4 without per-row threads is rejected.
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-bench-kernels/4", "calibration_ns": 10,
+                "calibration_dram_ns": 20, "host": {},
+                "kernels": {"k": {"serial_median_ns": 5,
+                "parallel_median_ns": 5, "serial_min_ns": 4,
+                "parallel_min_ns": 4, "speedup": 1.0}}}"#,
+        )
+        .unwrap();
+        assert!(validate_bench_report(&doc).unwrap_err().contains("threads"));
+        // v4 with both (or neither) of speedup / single_core is rejected.
+        let doc = Json::parse(
+            r#"{"schema": "cbmf-bench-kernels/4", "calibration_ns": 10,
+                "calibration_dram_ns": 20, "host": {},
+                "kernels": {"k": {"serial_median_ns": 5,
+                "parallel_median_ns": 5, "serial_min_ns": 4,
+                "parallel_min_ns": 4, "threads": 1, "speedup": 1.0,
+                "single_core": true}}}"#,
+        )
+        .unwrap();
+        assert!(validate_bench_report(&doc)
+            .unwrap_err()
+            .contains("exactly one"));
     }
 
     #[test]
@@ -585,6 +714,7 @@ mod tests {
             serial_min_ns: 90,
             parallel_min_ns: 45,
             naive_serial_min_ns: Some(400),
+            threads: 4,
         }];
         let rerun = vec![KernelResult {
             name: "matmul_800",
@@ -593,6 +723,7 @@ mod tests {
             serial_min_ns: 75,
             parallel_min_ns: 50,
             naive_serial_min_ns: None,
+            threads: 4,
         }];
         merge_min(&mut acc, &rerun);
         assert_eq!(acc[0].serial_ns, 80);

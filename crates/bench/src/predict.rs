@@ -32,8 +32,14 @@ use cbmf_trace::Json;
 
 use crate::kernels::{time_stats, Calibration};
 
-/// Schema tag of `BENCH_predict.json`.
-pub const PREDICT_SCHEMA: &str = "cbmf-bench-predict/2";
+/// Schema tag of `BENCH_predict.json`. Version 3 adds the fused
+/// basis→GEMM path's per-sample timings (`fused_*`) next to the
+/// materialized-path timings; `serial_*`/`parallel_*` keep timing the
+/// materialized path so min-time gating stays continuous across the bump.
+pub const PREDICT_SCHEMA: &str = "cbmf-bench-predict/3";
+
+/// Previous schema version the validator also accepts (no fused fields).
+pub const PREDICT_SCHEMA_PREV: &str = "cbmf-bench-predict/2";
 
 /// Batch sizes the suite times: latency (1), a cache tile (64), and a
 /// Monte-Carlo-scale block (4096).
@@ -68,6 +74,16 @@ pub struct PredictResult {
     pub serial_min_ns: u128,
     /// Minimum nanoseconds per sample, parallel.
     pub parallel_min_ns: u128,
+    /// Median nanoseconds per sample through the fused basis→GEMM path,
+    /// serial.
+    pub fused_serial_ns: u128,
+    /// Median nanoseconds per sample through the fused path at thread
+    /// width.
+    pub fused_parallel_ns: u128,
+    /// Minimum nanoseconds per sample through the fused path, serial.
+    pub fused_serial_min_ns: u128,
+    /// Minimum nanoseconds per sample through the fused path, parallel.
+    pub fused_parallel_min_ns: u128,
 }
 
 /// The fixed synthetic serving model: deterministic support, coefficients
@@ -99,25 +115,44 @@ pub fn run_predict_suite(
     threads: usize,
     mut report: impl FnMut(&PredictResult),
 ) -> Vec<PredictResult> {
-    let predictor = BatchPredictor::new(serving_model());
+    // The materialized path stays on `serial_*`/`parallel_*` (the fields the
+    // gate has always compared); the fused path is timed separately so the
+    // baseline carries its own before/after.
+    let plain = BatchPredictor::new(serving_model()).with_fused(false);
+    let fused = BatchPredictor::new(serving_model()).with_fused(true);
     let mut results = Vec::with_capacity(BATCH_SIZES.len());
     for batch in BATCH_SIZES {
         let xs = query_batch(batch);
         let calls = SAMPLES_PER_REP.div_ceil(batch);
         let samples = (batch * calls) as u128;
-        let run = || {
-            for _ in 0..calls {
-                std::hint::black_box(predictor.predict_batch(&xs).expect("valid batch"));
-            }
+        let time_path = |predictor: &BatchPredictor| {
+            let run = || {
+                for _ in 0..calls {
+                    std::hint::black_box(predictor.predict_batch(&xs).expect("valid batch"));
+                }
+            };
+            let (s_med, s_min) = time_stats(reps, || cbmf_parallel::with_threads(1, run));
+            let (p_med, p_min) = time_stats(reps, || cbmf_parallel::with_threads(threads, run));
+            (
+                (s_med / samples).max(1),
+                (p_med / samples).max(1),
+                (s_min / samples).max(1),
+                (p_min / samples).max(1),
+            )
         };
-        let (s_med, s_min) = time_stats(reps, || cbmf_parallel::with_threads(1, run));
-        let (p_med, p_min) = time_stats(reps, || cbmf_parallel::with_threads(threads, run));
+        let (serial_ns, parallel_ns, serial_min_ns, parallel_min_ns) = time_path(&plain);
+        let (fused_serial_ns, fused_parallel_ns, fused_serial_min_ns, fused_parallel_min_ns) =
+            time_path(&fused);
         let r = PredictResult {
             batch,
-            serial_ns: (s_med / samples).max(1),
-            parallel_ns: (p_med / samples).max(1),
-            serial_min_ns: (s_min / samples).max(1),
-            parallel_min_ns: (p_min / samples).max(1),
+            serial_ns,
+            parallel_ns,
+            serial_min_ns,
+            parallel_min_ns,
+            fused_serial_ns,
+            fused_parallel_ns,
+            fused_serial_min_ns,
+            fused_parallel_min_ns,
         };
         report(&r);
         results.push(r);
@@ -134,6 +169,10 @@ pub fn merge_min_predict(into: &mut [PredictResult], rerun: &[PredictResult]) {
             r.parallel_ns = r.parallel_ns.min(n.parallel_ns);
             r.serial_min_ns = r.serial_min_ns.min(n.serial_min_ns);
             r.parallel_min_ns = r.parallel_min_ns.min(n.parallel_min_ns);
+            r.fused_serial_ns = r.fused_serial_ns.min(n.fused_serial_ns);
+            r.fused_parallel_ns = r.fused_parallel_ns.min(n.fused_parallel_ns);
+            r.fused_serial_min_ns = r.fused_serial_min_ns.min(n.fused_serial_min_ns);
+            r.fused_parallel_min_ns = r.fused_parallel_min_ns.min(n.fused_parallel_min_ns);
         }
     }
 }
@@ -155,6 +194,7 @@ pub fn render_predict_report(
     let batches: std::collections::BTreeMap<String, Json> = results
         .iter()
         .map(|r| {
+            let fused_speedup = r.serial_min_ns as f64 / r.fused_serial_min_ns.max(1) as f64;
             (
                 batch_key(r.batch),
                 Json::obj([
@@ -173,6 +213,26 @@ pub fn render_predict_report(
                     (
                         "parallel_min_ns".to_string(),
                         Json::Num(r.parallel_min_ns as f64),
+                    ),
+                    (
+                        "fused_serial_median_ns".to_string(),
+                        Json::Num(r.fused_serial_ns as f64),
+                    ),
+                    (
+                        "fused_parallel_median_ns".to_string(),
+                        Json::Num(r.fused_parallel_ns as f64),
+                    ),
+                    (
+                        "fused_serial_min_ns".to_string(),
+                        Json::Num(r.fused_serial_min_ns as f64),
+                    ),
+                    (
+                        "fused_parallel_min_ns".to_string(),
+                        Json::Num(r.fused_parallel_min_ns as f64),
+                    ),
+                    (
+                        "fused_speedup".to_string(),
+                        Json::Num((fused_speedup * 1000.0).round() / 1000.0),
                     ),
                 ]),
             )
@@ -194,7 +254,7 @@ pub fn render_predict_report(
             "calibration_dram_ns".to_string(),
             Json::Num(calibration.dram_ns as f64),
         ),
-        ("host".to_string(), cbmf_trace::report::host_meta()),
+        ("host".to_string(), crate::kernels::host_with_isa()),
         ("batches".to_string(), Json::Obj(batches)),
         ("workload".to_string(), workload),
     ];
@@ -216,11 +276,11 @@ pub fn render_predict_report(
 /// positive calibration, host object, and a non-empty batch map whose
 /// entries carry all four per-sample statistics.
 pub fn validate_predict_report(doc: &Json) -> Result<(), String> {
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(s) if s == PREDICT_SCHEMA => {}
-        Some(s) => return Err(format!("schema '{s}' != '{PREDICT_SCHEMA}'")),
+    let schema = match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == PREDICT_SCHEMA || s == PREDICT_SCHEMA_PREV => s,
+        Some(s) => return Err(format!("schema '{s}' is not '{PREDICT_SCHEMA}' (or the still-accepted '{PREDICT_SCHEMA_PREV}')")),
         None => return Err("missing 'schema' field".to_string()),
-    }
+    };
     for cal in ["calibration_ns", "calibration_dram_ns"] {
         match doc.get(cal).and_then(Json::as_f64) {
             Some(c) if c > 0.0 => {}
@@ -247,6 +307,19 @@ pub fn validate_predict_report(doc: &Json) -> Result<(), String> {
             match b.get(field).and_then(Json::as_f64) {
                 Some(v) if v > 0.0 => {}
                 _ => return Err(format!("batch '{name}': bad '{field}'")),
+            }
+        }
+        if schema == PREDICT_SCHEMA {
+            for field in [
+                "fused_serial_median_ns",
+                "fused_parallel_median_ns",
+                "fused_serial_min_ns",
+                "fused_parallel_min_ns",
+            ] {
+                match b.get(field).and_then(Json::as_f64) {
+                    Some(v) if v > 0.0 => {}
+                    _ => return Err(format!("batch '{name}': bad '{field}'")),
+                }
             }
         }
     }
@@ -279,17 +352,23 @@ mod tests {
 
     #[test]
     fn merge_min_takes_elementwise_minimum() {
-        let mk = |s, p| PredictResult {
+        let mk = |s: u128, p: u128| PredictResult {
             batch: 64,
             serial_ns: s,
             parallel_ns: p,
             serial_min_ns: s,
             parallel_min_ns: p,
+            fused_serial_ns: s / 2,
+            fused_parallel_ns: p / 2,
+            fused_serial_min_ns: s / 2,
+            fused_parallel_min_ns: p / 2,
         };
         let mut acc = vec![mk(100, 90)];
         merge_min_predict(&mut acc, &[mk(80, 95)]);
         assert_eq!(acc[0].serial_min_ns, 80);
         assert_eq!(acc[0].parallel_min_ns, 90);
+        assert_eq!(acc[0].fused_serial_min_ns, 40);
+        assert_eq!(acc[0].fused_parallel_min_ns, 45);
     }
 
     #[test]
@@ -301,12 +380,40 @@ mod tests {
                 parallel_ns: 10,
                 serial_min_ns: 9,
                 parallel_min_ns: 9,
+                fused_serial_ns: 6,
+                fused_parallel_ns: 6,
+                fused_serial_min_ns: 5,
+                fused_parallel_min_ns: 5,
             }],
             1,
             1,
             cal(100, 200),
         );
         validate_predict_report(&good).unwrap();
+        // Rendered rows carry the fused before/after and its speedup.
+        let row = good.get("batches").unwrap().get("batch_0001").unwrap();
+        assert_eq!(row.get("fused_serial_min_ns").unwrap().as_f64(), Some(5.0));
+        assert_eq!(row.get("fused_speedup").unwrap().as_f64(), Some(1.8));
+        // The previous schema (no fused fields) still validates; the current
+        // schema without them does not.
+        let v2 = Json::parse(
+            r#"{"schema": "cbmf-bench-predict/2", "calibration_ns": 1,
+                "calibration_dram_ns": 1, "host": {},
+                "batches": {"batch_0001": {"serial_median_ns": 1,
+                "parallel_median_ns": 1, "serial_min_ns": 1, "parallel_min_ns": 1}}}"#,
+        )
+        .unwrap();
+        validate_predict_report(&v2).unwrap();
+        let v3_missing_fused = Json::parse(
+            r#"{"schema": "cbmf-bench-predict/3", "calibration_ns": 1,
+                "calibration_dram_ns": 1, "host": {},
+                "batches": {"batch_0001": {"serial_median_ns": 1,
+                "parallel_median_ns": 1, "serial_min_ns": 1, "parallel_min_ns": 1}}}"#,
+        )
+        .unwrap();
+        assert!(validate_predict_report(&v3_missing_fused)
+            .unwrap_err()
+            .contains("fused_serial_median_ns"));
         assert!(validate_predict_report(&Json::Null).is_err());
         let wrong_schema = Json::parse(
             r#"{"schema": "cbmf-bench-predict/9", "calibration_ns": 1,
@@ -365,6 +472,34 @@ mod tests {
             format!("{}\n", doc.to_pretty()),
             text,
             "BENCH_predict.json is not in canonical form"
+        );
+    }
+
+    /// The acceptance evidence for the fused serving path lives in the
+    /// committed baseline: at the 64-row tile batch the fused path must be
+    /// at least 1.3× faster (by minimum per-sample time, serial) than the
+    /// materialized path measured in the same document.
+    #[test]
+    fn committed_baseline_fused_batch64_beats_materialized() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predict.json");
+        let text = std::fs::read_to_string(path).expect("read BENCH_predict.json");
+        let doc = Json::parse(&text).expect("parse");
+        let row = doc
+            .get("batches")
+            .and_then(|b| b.get(&batch_key(64)))
+            .expect("batch_0064 row");
+        let plain = row
+            .get("serial_min_ns")
+            .and_then(Json::as_f64)
+            .expect("serial_min_ns");
+        let fused = row
+            .get("fused_serial_min_ns")
+            .and_then(Json::as_f64)
+            .expect("fused_serial_min_ns");
+        assert!(
+            plain >= 1.3 * fused,
+            "batch_0064: fused {fused} ns/sample is not ≥1.3x faster than \
+             materialized {plain} ns/sample"
         );
     }
 }

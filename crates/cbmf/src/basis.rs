@@ -51,6 +51,33 @@ impl BasisSpec {
         }
     }
 
+    /// Evaluates only the dictionary columns named by `support` at one
+    /// point, writing `out[j] = b_{support[j]}(x)` — the fused serving path
+    /// skips the full dictionary when the model keeps a sparse support.
+    ///
+    /// Each column is computed by the **same expression** as
+    /// [`eval_into`](Self::eval_into), so the produced values are bitwise
+    /// identical to gathering them out of a full evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != support.len()` or any index is out of range
+    /// for `self.num_basis(x.len())`.
+    pub fn eval_support_into(&self, x: &[f64], support: &[usize], out: &mut [f64]) {
+        let d = x.len();
+        let m = self.num_basis(d);
+        assert_eq!(out.len(), support.len(), "support output length");
+        for (o, &idx) in out.iter_mut().zip(support) {
+            assert!(idx < m, "support index {idx} out of range for {m} basis");
+            *o = if idx < d {
+                x[idx]
+            } else {
+                let xi = x[idx - d];
+                (xi * xi - 1.0) / std::f64::consts::SQRT_2
+            };
+        }
+    }
+
     /// Evaluates the dictionary at one point into a new vector.
     pub fn eval(&self, x: &[f64]) -> Vec<f64> {
         let mut out = vec![0.0; self.num_basis(x.len())];
@@ -112,6 +139,27 @@ mod tests {
         assert_eq!(b.shape(), (2, 4));
         let row0 = BasisSpec::LinearSquares.eval(x.row(0));
         assert_eq!(b.row(0), row0.as_slice());
+    }
+
+    #[test]
+    fn support_evaluation_matches_full_dictionary_bitwise() {
+        let x = [0.3, -1.7, 2.9, 0.001];
+        for spec in [BasisSpec::Linear, BasisSpec::LinearSquares] {
+            let full = spec.eval(&x);
+            let support: Vec<usize> = (0..full.len()).rev().step_by(2).collect();
+            let mut got = vec![f64::NAN; support.len()];
+            spec.eval_support_into(&x, &support, &mut got);
+            for (g, &idx) in got.iter().zip(&support) {
+                assert_eq!(g.to_bits(), full[idx].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support index")]
+    fn eval_support_into_checks_indices() {
+        let mut out = [0.0; 1];
+        BasisSpec::Linear.eval_support_into(&[1.0, 2.0], &[2], &mut out);
     }
 
     #[test]

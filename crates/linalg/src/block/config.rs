@@ -16,13 +16,14 @@
 use std::cell::Cell;
 use std::sync::OnceLock;
 
-use super::kernel::{MR, NR};
+use super::kernel::{MR_MAX, NR};
 
 /// Cache-blocking and routing parameters for the packed kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockConfig {
     /// Row-panel height of the packed left operand (rounded up to a multiple
-    /// of the register tile height `MR`). Env: `CBMF_BLOCK_MC`.
+    /// of the widest register tile height `MR_MAX`, so panels tile exactly
+    /// under every ISA's tile height). Env: `CBMF_BLOCK_MC`.
     pub mc: usize,
     /// Depth of one packed rank-update slab. Env: `CBMF_BLOCK_KC`.
     pub kc: usize,
@@ -38,9 +39,10 @@ pub struct BlockConfig {
     /// the unblocked per-row loops (same bit-compatibility reasoning).
     /// Env: `CBMF_BLOCK_MIN_SOLVE`.
     pub min_solve_dim: usize,
-    /// Whether the AVX2+FMA microkernel may be used when the CPU supports
-    /// it. `CBMF_BLOCK_SIMD=0` forces the scalar microkernel (the blocked
-    /// *structure* stays on).
+    /// Whether a SIMD microkernel (AVX2+FMA or AVX-512, runtime-detected)
+    /// may be used when the CPU supports it. `CBMF_BLOCK_SIMD=0` forces the
+    /// scalar microkernel (the blocked *structure* stays on); `CBMF_SIMD_ISA`
+    /// picks between the SIMD tiers.
     pub simd: bool,
 }
 
@@ -67,7 +69,7 @@ impl BlockConfig {
     /// tile, `mc`/`nc` rounded up to tile multiples so packed panels tile
     /// exactly.
     pub fn sanitized(mut self) -> Self {
-        self.mc = self.mc.max(MR).next_multiple_of(MR);
+        self.mc = self.mc.max(MR_MAX).next_multiple_of(MR_MAX);
         self.nc = self.nc.max(NR).next_multiple_of(NR);
         self.kc = self.kc.max(1);
         self.min_solve_dim = self.min_solve_dim.max(2);
@@ -192,16 +194,16 @@ mod tests {
             ..BlockConfig::default()
         }
         .sanitized();
-        assert_eq!(cfg.mc % MR, 0);
+        assert_eq!(cfg.mc % MR_MAX, 0);
         assert_eq!(cfg.nc % NR, 0);
-        assert!(cfg.mc >= MR && cfg.nc >= NR && cfg.kc >= 1);
+        assert!(cfg.mc >= MR_MAX && cfg.nc >= NR && cfg.kc >= 1);
     }
 
     #[test]
     fn with_config_overrides_and_restores() {
         let base = current();
         let forced = BlockConfig {
-            mc: MR,
+            mc: MR_MAX,
             kc: 3,
             nc: NR,
             min_macs: 0,

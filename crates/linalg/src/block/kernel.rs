@@ -1,67 +1,156 @@
-//! Register-tile microkernels: one `MR × NR` output tile per call.
+//! Register-tile microkernels: one `mr × NR` output tile per call, with
+//! runtime ISA dispatch.
 //!
 //! The microkernel is the only code that touches packed data. It reads an
-//! `MR`-interleaved A micro-panel and an `NR`-interleaved B micro-panel
+//! `mr`-interleaved A micro-panel and an `NR`-interleaved B micro-panel
 //! (see `pack.rs`) and accumulates the full-depth rank-`kc` update of one
 //! output tile into a stack buffer, which the macro kernel then adds into C
 //! (masking ragged edges).
 //!
+//! # ISA dispatch
+//!
+//! Three implementations exist: portable scalar (`mr = 4`), AVX2+FMA
+//! (`mr = 4`, 8 ymm accumulators) and AVX-512F (`mr = 8`, 8 zmm
+//! accumulators — a full 8 × 8 f64 tile). [`active_isa`] picks one **once
+//! per process** from CPU feature detection, optionally narrowed by the
+//! `CBMF_SIMD_ISA` environment variable (`scalar` / `avx2` / `avx512` /
+//! `auto`, resolved with the same once-per-process policy as the
+//! `CBMF_BLOCK_*` knobs). The knob can only *narrow* the selection — asking
+//! for an ISA the CPU lacks falls back to the best supported one — so a
+//! forced run never executes illegal instructions.
+//!
 //! # Determinism
 //!
-//! Both implementations accumulate each output element strictly
+//! Every implementation accumulates each output element strictly
 //! sequentially over `k` — SIMD lanes span the *columns* of the tile, never
-//! the reduction dimension — so for a fixed implementation the result is a
-//! pure function of the packed inputs, independent of thread count or tile
-//! position. The AVX2 path uses FMA (one rounding per multiply-add) and the
-//! scalar path two roundings, so the *implementations* differ bitwise from
-//! each other; selection is per-process (CPU features + config), never
-//! per-thread, which keeps cross-thread-count runs bitwise identical.
+//! the reduction dimension — so for a fixed ISA the result is a pure
+//! function of the packed inputs, independent of thread count or tile
+//! position. The AVX2 and AVX-512 paths both use FMA (one rounding per
+//! multiply-add) over the identical per-element operand sequence, so they
+//! are **bitwise identical to each other**; the scalar path uses separate
+//! multiply + add (two roundings) and differs from both. Selection is
+//! per-process, never per-thread, which keeps cross-thread-count runs
+//! bitwise identical.
 
-/// Register tile height (rows of A per microkernel call).
-pub const MR: usize = 4;
-/// Register tile width (columns of B per microkernel call).
+use std::sync::OnceLock;
+
+/// Register tile width (columns of B per microkernel call), fixed across
+/// ISAs — packed B panels are ISA-independent.
 pub const NR: usize = 8;
 
-/// Whether the AVX2+FMA microkernel is usable on this CPU (resolved once).
+/// Largest register tile height any ISA uses; sizes the stack accumulator
+/// and the `mc` rounding in `BlockConfig::sanitized`, so one packed-A
+/// buffer layout serves every ISA.
+pub const MR_MAX: usize = 8;
+
+/// The microkernel implementation the blocked drivers dispatch to.
+///
+/// Ordered by capability so an env-forced ISA can be clamped to what the
+/// CPU supports with `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Isa {
+    /// Portable multiply + add fallback.
+    Scalar,
+    /// AVX2 + FMA, 4 × 8 tile.
+    Avx2,
+    /// AVX-512F, 8 × 8 tile.
+    Avx512,
+}
+
+impl Isa {
+    /// Register tile height (rows of A per microkernel call) for this ISA.
+    pub(super) fn mr(self) -> usize {
+        match self {
+            Isa::Avx512 => 8,
+            Isa::Scalar | Isa::Avx2 => 4,
+        }
+    }
+
+    /// Stable lowercase name, as recorded in bench reports and CI logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+}
+
+/// The best microkernel this CPU can run, from feature detection alone.
 #[cfg(target_arch = "x86_64")]
-pub(super) fn simd_available() -> bool {
-    use std::sync::OnceLock;
-    static AVAILABLE: OnceLock<bool> = OnceLock::new();
-    *AVAILABLE.get_or_init(|| {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
-    })
+pub(super) fn detected_isa() -> Isa {
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        Isa::Avx512
+    } else if std::arch::is_x86_feature_detected!("avx2")
+        && std::arch::is_x86_feature_detected!("fma")
+    {
+        Isa::Avx2
+    } else {
+        Isa::Scalar
+    }
 }
 
 #[cfg(not(target_arch = "x86_64"))]
-pub(super) fn simd_available() -> bool {
-    false
+pub(super) fn detected_isa() -> Isa {
+    Isa::Scalar
 }
 
-/// Computes `acc = Ap · Bp` for one `MR × NR` tile over depth `kc`, where
-/// `pa` is an `MR`-interleaved micro-panel (`MR` values per `k`) and `pb`
-/// an `NR`-interleaved one. `acc` is row-major `MR × NR`.
+/// The process-wide microkernel ISA: CPU detection, narrowed by
+/// `CBMF_SIMD_ISA` when set. Resolved once on first kernel call (env reads
+/// lock and allocate; the kernels cannot pay that per call) — the same
+/// policy as the `CBMF_BLOCK_*` knobs and `RAYON_NUM_THREADS`.
+pub(super) fn active_isa() -> Isa {
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        let detected = detected_isa();
+        let requested = match std::env::var("CBMF_SIMD_ISA")
+            .ok()
+            .as_deref()
+            .map(|s| s.trim().to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("scalar") => Isa::Scalar,
+            Some("avx2") => Isa::Avx2,
+            Some("avx512") => Isa::Avx512,
+            // Unset, "auto", or junk: trust detection.
+            _ => detected,
+        };
+        requested.min(detected)
+    })
+}
+
+/// Computes `acc = Ap · Bp` for one `mr × NR` tile over depth `kc`, where
+/// `pa` is an `mr`-interleaved micro-panel (`mr = isa.mr()` values per `k`)
+/// and `pb` an `NR`-interleaved one. `acc` is row-major `mr × NR`.
 #[inline]
-pub(super) fn microkernel(use_simd: bool, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
-    debug_assert!(pa.len() >= kc * MR);
+pub(super) fn microkernel(isa: Isa, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+    let mr = isa.mr();
+    debug_assert!(pa.len() >= kc * mr);
     debug_assert!(pb.len() >= kc * NR);
-    debug_assert!(acc.len() >= MR * NR);
+    debug_assert!(acc.len() >= mr * NR);
     #[cfg(target_arch = "x86_64")]
-    if use_simd {
-        // Safety: `simd_available()` gated the caller's `use_simd`, and the
-        // slice lengths were checked above.
-        unsafe { microkernel_avx2(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) };
-        return;
+    match isa {
+        // Safety: `active_isa()` clamped the selection to detected CPU
+        // features, and the slice lengths were checked above.
+        Isa::Avx2 => {
+            unsafe { microkernel_avx2(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) };
+            return;
+        }
+        Isa::Avx512 => {
+            unsafe { microkernel_avx512(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) };
+            return;
+        }
+        Isa::Scalar => {}
     }
-    let _ = use_simd;
-    microkernel_scalar(kc, pa, pb, acc);
+    microkernel_scalar(mr, kc, pa, pb, acc);
 }
 
 /// Portable fallback: plain multiply + add (two roundings per term), column
 /// loop innermost so each element's `k` reduction stays sequential.
-fn microkernel_scalar(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
-    acc[..MR * NR].fill(0.0);
+fn microkernel_scalar(mr: usize, kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
+    acc[..mr * NR].fill(0.0);
     for k in 0..kc {
-        let a = &pa[k * MR..k * MR + MR];
+        let a = &pa[k * mr..k * mr + mr];
         let b = &pb[k * NR..k * NR + NR];
         for (i, &aik) in a.iter().enumerate() {
             let row = &mut acc[i * NR..i * NR + NR];
@@ -79,11 +168,12 @@ fn microkernel_scalar(kc: usize, pa: &[f64], pb: &[f64], acc: &mut [f64]) {
 /// # Safety
 ///
 /// Caller must ensure AVX2+FMA are available and that `pa`/`pb`/`acc`
-/// point to at least `kc*MR`, `kc*NR` and `MR*NR` elements respectively.
+/// point to at least `kc*4`, `kc*NR` and `4*NR` elements respectively.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn microkernel_avx2(kc: usize, pa: *const f64, pb: *const f64, acc: *mut f64) {
     use std::arch::x86_64::*;
+    const MR: usize = 4;
     let mut c00 = _mm256_setzero_pd();
     let mut c01 = _mm256_setzero_pd();
     let mut c10 = _mm256_setzero_pd();
@@ -122,56 +212,168 @@ unsafe fn microkernel_avx2(kc: usize, pa: *const f64, pb: *const f64, acc: *mut 
     _mm256_storeu_pd(acc.add(28), c31);
 }
 
+/// AVX-512F tile: a full 8 × 8 f64 tile in 8 zmm accumulators, one B load
+/// and eight A broadcasts per `k` step. Each accumulator holds one tile
+/// *row*, so lanes span columns and the per-element `k` reduction is the
+/// same FMA sequence as the AVX2 kernel — the two are bitwise identical.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available and that `pa`/`pb`/`acc`
+/// point to at least `kc*8`, `kc*NR` and `8*NR` elements respectively.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(kc: usize, pa: *const f64, pb: *const f64, acc: *mut f64) {
+    use std::arch::x86_64::*;
+    const MR: usize = 8;
+    let mut c = [_mm512_setzero_pd(); MR];
+    let mut ap = pa;
+    let mut bp = pb;
+    for _ in 0..kc {
+        let b = _mm512_loadu_pd(bp);
+        // The loop unrolls; `c` stays in registers (8 of the 32 zmm).
+        for (r, cr) in c.iter_mut().enumerate() {
+            *cr = _mm512_fmadd_pd(_mm512_set1_pd(*ap.add(r)), b, *cr);
+        }
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    for (r, cr) in c.iter().enumerate() {
+        _mm512_storeu_pd(acc.add(r * NR), *cr);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn reference_tile(kc: usize, pa: &[f64], pb: &[f64]) -> Vec<f64> {
-        let mut out = vec![0.0; MR * NR];
+    fn reference_tile(mr: usize, kc: usize, pa: &[f64], pb: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; mr * NR];
         for k in 0..kc {
-            for i in 0..MR {
+            for i in 0..mr {
                 for j in 0..NR {
-                    out[i * NR + j] += pa[k * MR + i] * pb[k * NR + j];
+                    out[i * NR + j] += pa[k * mr + i] * pb[k * NR + j];
                 }
             }
         }
         out
     }
 
+    fn panels(mr: usize, kc: usize) -> (Vec<f64>, Vec<f64>) {
+        let pa: Vec<f64> = (0..kc * mr).map(|i| (i as f64 * 0.37).sin()).collect();
+        let pb: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.21).cos()).collect();
+        (pa, pb)
+    }
+
     #[test]
     fn scalar_kernel_matches_reference_exactly() {
         let kc = 13;
-        let pa: Vec<f64> = (0..kc * MR).map(|i| (i as f64 * 0.37).sin()).collect();
-        let pb: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.21).cos()).collect();
-        let mut acc = vec![f64::NAN; MR * NR];
-        microkernel(false, kc, &pa, &pb, &mut acc);
-        let want = reference_tile(kc, &pa, &pb);
+        let mr = Isa::Scalar.mr();
+        let (pa, pb) = panels(mr, kc);
+        let mut acc = vec![f64::NAN; mr * NR];
+        microkernel(Isa::Scalar, kc, &pa, &pb, &mut acc);
+        let want = reference_tile(mr, kc, &pa, &pb);
         for (g, w) in acc.iter().zip(&want) {
             assert_eq!(g.to_bits(), w.to_bits());
         }
     }
 
     #[test]
-    fn simd_kernel_matches_reference_numerically() {
-        if !simd_available() {
-            return; // nothing to test on this host
+    fn simd_kernels_match_reference_numerically() {
+        for isa in [Isa::Avx2, Isa::Avx512] {
+            if detected_isa() < isa {
+                continue; // not runnable on this host
+            }
+            let kc = 57;
+            let mr = isa.mr();
+            let (pa, pb) = panels(mr, kc);
+            let mut acc = vec![f64::NAN; mr * NR];
+            microkernel(isa, kc, &pa, &pb, &mut acc);
+            let want = reference_tile(mr, kc, &pa, &pb);
+            for (g, w) in acc.iter().zip(&want) {
+                // FMA skips an intermediate rounding, so allow a tiny drift.
+                assert!(
+                    (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                    "{isa:?}: {g} vs {w}"
+                );
+            }
         }
-        let kc = 57;
-        let pa: Vec<f64> = (0..kc * MR).map(|i| (i as f64 * 0.11).sin()).collect();
+    }
+
+    /// AVX2 and AVX-512 run the identical per-element FMA sequence, so on a
+    /// host with both the two tiles agree bitwise (the determinism argument
+    /// for letting dispatch pick either).
+    #[test]
+    fn avx2_and_avx512_tiles_are_bitwise_identical() {
+        if detected_isa() < Isa::Avx512 {
+            return; // needs both SIMD kernels runnable
+        }
+        let kc = 41;
+        // One shared operand set; each ISA packs A at its own mr, so build
+        // the 8-row packing and derive the 4-row one from the same values.
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|r| {
+                (0..kc)
+                    .map(|k| ((r * 31 + k * 7) as f64 * 0.13).sin())
+                    .collect()
+            })
+            .collect();
         let pb: Vec<f64> = (0..kc * NR).map(|i| (i as f64 * 0.19).cos()).collect();
-        let mut acc = vec![f64::NAN; MR * NR];
-        microkernel(true, kc, &pa, &pb, &mut acc);
-        let want = reference_tile(kc, &pa, &pb);
-        for (g, w) in acc.iter().zip(&want) {
-            // FMA skips an intermediate rounding, so allow a tiny drift.
-            assert!((g - w).abs() <= 1e-12 * w.abs().max(1.0), "{g} vs {w}");
+        let mut pa8 = vec![0.0; kc * 8];
+        for k in 0..kc {
+            for r in 0..8 {
+                pa8[k * 8 + r] = rows[r][k];
+            }
+        }
+        let mut acc8 = vec![f64::NAN; 8 * NR];
+        microkernel(Isa::Avx512, kc, &pa8, &pb, &mut acc8);
+        // Two 4-row AVX2 tiles cover the same 8 rows.
+        for half in 0..2 {
+            let mut pa4 = vec![0.0; kc * 4];
+            for k in 0..kc {
+                for r in 0..4 {
+                    pa4[k * 4 + r] = rows[half * 4 + r][k];
+                }
+            }
+            let mut acc4 = vec![f64::NAN; 4 * NR];
+            microkernel(Isa::Avx2, kc, &pa4, &pb, &mut acc4);
+            for r in 0..4 {
+                for j in 0..NR {
+                    assert_eq!(
+                        acc4[r * NR + j].to_bits(),
+                        acc8[(half * 4 + r) * NR + j].to_bits(),
+                        "row {} col {j}",
+                        half * 4 + r
+                    );
+                }
+            }
         }
     }
 
     #[test]
     fn zero_depth_tile_is_all_zeros() {
-        let mut acc = vec![f64::NAN; MR * NR];
-        microkernel(false, 0, &[], &[], &mut acc);
-        assert!(acc.iter().all(|&v| v == 0.0));
+        let mut acc = vec![f64::NAN; MR_MAX * NR];
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+            if detected_isa() < isa {
+                continue;
+            }
+            acc.fill(f64::NAN);
+            microkernel(isa, 0, &[], &[], &mut acc);
+            assert!(acc[..isa.mr() * NR].iter().all(|&v| v == 0.0), "{isa:?}");
+        }
+    }
+
+    #[test]
+    fn isa_order_names_and_tile_heights_are_consistent() {
+        assert!(Isa::Scalar < Isa::Avx2 && Isa::Avx2 < Isa::Avx512);
+        assert_eq!(Isa::Scalar.name(), "scalar");
+        assert_eq!(Isa::Avx2.name(), "avx2");
+        assert_eq!(Isa::Avx512.name(), "avx512");
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+            assert!(isa.mr() <= MR_MAX);
+            assert_eq!(MR_MAX % isa.mr(), 0, "mc rounding must cover {isa:?}");
+        }
+        // The active ISA never exceeds what the CPU reports.
+        assert!(active_isa() <= detected_isa());
     }
 }

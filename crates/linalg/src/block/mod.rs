@@ -7,13 +7,15 @@
 //!
 //! * [`config`] — `MC`/`KC`/`NC` blocking parameters with one-time env
 //!   resolution (`CBMF_BLOCK_*`) and a scoped per-thread override;
-//! * `pack` — copies operand blocks into `MR`/`NR`-interleaved panels
+//! * `pack` — copies operand blocks into `mr`/`NR`-interleaved panels
 //!   (zero-padded edges) that the microkernel streams with unit stride;
-//! * `kernel` — the `4 × 8` register-tile microkernel, AVX2+FMA when the
-//!   CPU has it (runtime-detected; the workspace builds for baseline
-//!   x86-64), portable scalar otherwise;
-//! * `gemm` — the blocked GEMM / SYRK drivers with a thread-count-
-//!   independent accumulation order;
+//! * `kernel` — the register-tile microkernels behind a runtime ISA
+//!   dispatch: `8 × 8` AVX-512, `4 × 8` AVX2+FMA, `4 × 8` portable scalar
+//!   (the workspace builds for baseline x86-64; the ISA is detected once
+//!   per process and can be narrowed with `CBMF_SIMD_ISA`);
+//! * `gemm` — the blocked GEMM / SYRK drivers: right-operand panels packed
+//!   once per slab on the calling thread, macro-panels fanned out over
+//!   threads, with a thread-count-independent accumulation order;
 //! * `solve` — panel-blocked forward/back substitution for the Cholesky
 //!   solves.
 //!
@@ -35,8 +37,9 @@ mod pack;
 pub(crate) mod solve;
 
 pub use config::{with_config, BlockConfig};
+pub use kernel::Isa;
 
-use cbmf_trace::Counter;
+use cbmf_trace::{Counter, Gauge};
 
 pub(crate) use pack::View;
 
@@ -45,6 +48,9 @@ static PACK_BYTES: Counter = Counter::new("linalg.pack_bytes");
 /// Kernel workers that got a recycled workspace from the pool instead of
 /// allocating a fresh one.
 static WORKSPACE_REUSES: Counter = Counter::new("linalg.workspace_reuses");
+/// The microkernel ISA tier in effect (0 = scalar, 1 = AVX2, 2 = AVX-512),
+/// recorded each time a blocked product resolves its dispatch.
+static SIMD_ISA: Gauge = Gauge::new("linalg.simd_isa");
 
 /// Whether a product of `macs` multiply-accumulate pairs should take the
 /// packed blocked path under the current config.
@@ -52,17 +58,37 @@ pub(crate) fn wants_blocking(macs: usize) -> bool {
     macs >= config::current().min_macs
 }
 
+/// The microkernel ISA a blocked product will run under `cfg`: the
+/// process-wide detected/requested tier, or scalar when the config turns
+/// SIMD off. Publishes the tier on the `linalg.simd_isa` gauge.
+fn effective_isa(cfg: BlockConfig) -> Isa {
+    let isa = if cfg.simd {
+        kernel::active_isa()
+    } else {
+        Isa::Scalar
+    };
+    SIMD_ISA.set(isa as u8 as f64);
+    isa
+}
+
+/// The name of the microkernel ISA tier the process default config resolves
+/// to (`"scalar"`, `"avx2"` or `"avx512"`) — what benches and run reports
+/// record alongside their timings.
+pub fn simd_isa_name() -> &'static str {
+    effective_isa(config::current()).name()
+}
+
 /// `c += op(a) · op(b)` (`c` zeroed by the caller), blocked and packed.
 pub(crate) fn gemm(c: &mut [f64], m: usize, n: usize, a: &View<'_>, b: &View<'_>) {
     let cfg = config::current();
-    gemm::gemm_into(c, m, n, a, b, cfg, cfg.simd && kernel::simd_available());
+    gemm::gemm_into(c, m, n, a, b, cfg, effective_isa(cfg));
 }
 
 /// `c += op(a) · diag(w) · op(a)ᵀ` (`c` zeroed by the caller), lower
 /// triangle computed and mirrored.
 pub(crate) fn syrk(c: &mut [f64], n: usize, a: &View<'_>, w: Option<&[f64]>) {
     let cfg = config::current();
-    gemm::syrk_into(c, n, a, w, cfg, cfg.simd && kernel::simd_available());
+    gemm::syrk_into(c, n, a, w, cfg, effective_isa(cfg));
 }
 
 #[cfg(test)]
@@ -119,6 +145,45 @@ mod tests {
             for (g, w) in c.iter().zip(&want) {
                 assert!((g - w).abs() < 1e-12, "simd={simd}: {g} vs {w}");
             }
+        }
+    }
+
+    #[test]
+    fn avx2_and_avx512_products_are_bitwise_identical() {
+        // Both SIMD tiers run the same per-element FMA sequence — only the
+        // tile height differs, which never enters any element's accumulation
+        // order. Skipped (trivially passing) on hosts without AVX-512.
+        if kernel::detected_isa() < Isa::Avx512 {
+            return;
+        }
+        let (m, n, k) = (37, 23, 19);
+        let a: Vec<f64> = (0..m * k).map(|i| ((i * 13) % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 11) % 23) as f64 * 0.125).collect();
+        let cfg = BlockConfig {
+            mc: 16,
+            kc: 5,
+            nc: 16,
+            min_macs: 0,
+            ..BlockConfig::default()
+        }
+        .sanitized();
+        let run = |isa: Isa| {
+            let mut c = vec![0.0; m * n];
+            gemm::gemm_into(
+                &mut c,
+                m,
+                n,
+                &View::normal(&a, m, k),
+                &View::normal(&b, k, n),
+                cfg,
+                isa,
+            );
+            c
+        };
+        let c2 = run(Isa::Avx2);
+        let c5 = run(Isa::Avx512);
+        for (x, y) in c2.iter().zip(&c5) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

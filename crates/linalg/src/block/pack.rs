@@ -7,14 +7,18 @@
 //! SYRK. Second, each packed panel is reused across a whole blocked loop
 //! nest — `O(MC·KC)` copy work buys `O(MC·KC·NC)` cache-resident reads.
 //!
-//! Edge tiles are padded with explicit zeros up to the `MR`/`NR` tile
+//! Edge tiles are padded with explicit zeros up to the `mr`/`NR` tile
 //! boundary: the microkernel then always runs full tiles, and the padded
 //! rows/columns contribute exact `±0.0` products that are never stored.
 //! The depth dimension `k` is never padded. Every element of the packed
 //! region is written on every pack, so recycled (dirty) workspace buffers
 //! are safe.
+//!
+//! The A-side interleave width `mr` is the *ISA's* register tile height
+//! (4 for scalar/AVX2, 8 for AVX-512) and is passed per call; the B-side
+//! width `NR` is fixed across ISAs.
 
-use super::kernel::{MR, NR};
+use super::kernel::NR;
 
 /// A borrowed, possibly transposed matrix operand: element `(i, j)` of the
 /// logical operand is `data[i * rs + j * cs]`.
@@ -64,8 +68,8 @@ impl<'a> View<'a> {
 }
 
 /// Packs rows `[i0, i0 + m_eff)` over depth `[p0, p0 + k_eff)` of `a` into
-/// `MR`-interleaved micro-panels: for each panel of `MR` rows, `k` varies
-/// slowest and the `MR` row values for one `k` are contiguous. Rows past
+/// `mr`-interleaved micro-panels: for each panel of `mr` rows, `k` varies
+/// slowest and the `mr` row values for one `k` are contiguous. Rows past
 /// the matrix edge are zero. Returns the packed length in elements.
 pub(super) fn pack_a(
     dst: &mut [f64],
@@ -74,21 +78,22 @@ pub(super) fn pack_a(
     m_eff: usize,
     p0: usize,
     k_eff: usize,
+    mr: usize,
 ) -> usize {
-    let panels = m_eff.div_ceil(MR);
-    let len = panels * MR * k_eff;
+    let panels = m_eff.div_ceil(mr);
+    let len = panels * mr * k_eff;
     debug_assert!(dst.len() >= len);
     let mut w = 0;
     for panel in 0..panels {
-        let r0 = i0 + panel * MR;
-        let live = MR.min(i0 + m_eff - r0);
+        let r0 = i0 + panel * mr;
+        let live = mr.min(i0 + m_eff - r0);
         for k in 0..k_eff {
             let col = p0 + k;
             for r in 0..live {
                 dst[w] = a.at(r0 + r, col);
                 w += 1;
             }
-            for _ in live..MR {
+            for _ in live..mr {
                 dst[w] = 0.0;
                 w += 1;
             }
@@ -151,15 +156,29 @@ mod tests {
 
     #[test]
     fn pack_a_interleaves_and_zero_pads() {
-        // 5 rows packed from row 3: 2 live rows → one MR panel, 2 padded.
+        // 5 rows packed from row 3: 2 live rows → one mr = 4 panel, 2 padded.
         let data: Vec<f64> = (0..5 * 3).map(|v| v as f64).collect();
         let a = View::normal(&data, 5, 3);
-        let mut dst = vec![f64::NAN; MR * 2];
-        let len = pack_a(&mut dst, &a, 3, 2, 1, 2);
-        assert_eq!(len, MR * 2);
+        let mut dst = vec![f64::NAN; 4 * 2];
+        let len = pack_a(&mut dst, &a, 3, 2, 1, 2, 4);
+        assert_eq!(len, 4 * 2);
         // k = 1 then k = 2; rows 3, 4, pad, pad.
-        assert_eq!(&dst[..MR], &[10.0, 13.0, 0.0, 0.0]);
-        assert_eq!(&dst[MR..2 * MR], &[11.0, 14.0, 0.0, 0.0]);
+        assert_eq!(&dst[..4], &[10.0, 13.0, 0.0, 0.0]);
+        assert_eq!(&dst[4..8], &[11.0, 14.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn pack_a_widens_panels_for_the_avx512_tile() {
+        // Same source, mr = 8: 2 live rows then 6 rows of zero padding.
+        let data: Vec<f64> = (0..5 * 3).map(|v| v as f64).collect();
+        let a = View::normal(&data, 5, 3);
+        let mut dst = vec![f64::NAN; 8 * 2];
+        let len = pack_a(&mut dst, &a, 3, 2, 1, 2, 8);
+        assert_eq!(len, 8 * 2);
+        assert_eq!(&dst[..2], &[10.0, 13.0]);
+        assert!(dst[2..8].iter().all(|&v| v == 0.0));
+        assert_eq!(&dst[8..10], &[11.0, 14.0]);
+        assert!(dst[10..16].iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -53,6 +53,7 @@ mod mat;
 mod qr;
 pub mod vecops;
 
+pub use block::simd_isa_name;
 pub use cholesky::Cholesky;
 pub use cmat::{CLu, CMatrix};
 pub use complex::Complex64;

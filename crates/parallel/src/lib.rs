@@ -222,6 +222,56 @@ where
     });
 }
 
+/// Like [`par_rows_mut`], but chunk boundaries fall on multiples of
+/// `block_rows` (the last chunk absorbs the ragged tail). The blocked
+/// kernels fan `MC`-row macro-panels out with this: every worker owns whole
+/// panels, so per-panel packing work is never split across threads.
+///
+/// `f(row_start, rows)` receives the slice for rows starting at
+/// `row_start`, which is always a multiple of `block_rows`.
+pub fn par_row_blocks_mut<F>(
+    data: &mut [f64],
+    stride: usize,
+    block_rows: usize,
+    grain_rows: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [f64]) + Sync,
+{
+    assert!(stride > 0, "stride must be positive");
+    assert!(block_rows > 0, "block_rows must be positive");
+    assert_eq!(
+        data.len() % stride,
+        0,
+        "data length not a multiple of stride"
+    );
+    let n = data.len() / stride;
+    let blocks = n.div_ceil(block_rows);
+    let threads = max_threads();
+    let workers = threads.min(blocks).min((n / grain_rows.max(1)).max(1));
+    if workers <= 1 || n < 2 * grain_rows.max(1) {
+        INLINE_RUNS.inc();
+        if n > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let ranges = chunk_ranges(blocks, workers);
+    FORK_JOINS.inc();
+    CHUNKS_SPAWNED.add(ranges.len() as u64);
+    thread::scope(|scope| {
+        let mut rest = data;
+        for &(bstart, bend) in &ranges {
+            let row_start = bstart * block_rows;
+            let row_end = (bend * block_rows).min(n);
+            let (head, tail) = rest.split_at_mut((row_end - row_start) * stride);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(row_start, head));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +340,57 @@ mod tests {
         for (r, row) in data.chunks(stride).enumerate() {
             assert!(row.iter().all(|&v| v == r as f64), "row {r}");
         }
+    }
+
+    #[test]
+    fn par_row_blocks_mut_aligns_chunks_to_blocks() {
+        use std::sync::Mutex;
+        let stride = 2;
+        let block = 4;
+        // 18 rows → blocks of 4,4,4,4,2; ragged tail must stay whole.
+        let mut data = vec![0.0; 18 * stride];
+        let starts = Mutex::new(Vec::new());
+        with_threads(3, || {
+            par_row_blocks_mut(&mut data, stride, block, 1, |row_start, rows| {
+                starts
+                    .lock()
+                    .unwrap()
+                    .push((row_start, rows.len() / stride));
+                for (r, row) in rows.chunks_mut(stride).enumerate() {
+                    row.fill((row_start + r) as f64);
+                }
+            });
+        });
+        let mut starts = starts.into_inner().unwrap();
+        starts.sort_unstable();
+        // Every chunk starts on a block boundary and they tile 0..18.
+        let mut next = 0;
+        for &(start, rows) in &starts {
+            assert_eq!(start, next);
+            assert_eq!(start % block, 0);
+            next = start + rows;
+        }
+        assert_eq!(next, 18);
+        for (r, row) in data.chunks(stride).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f64), "row {r}");
+        }
+    }
+
+    #[test]
+    fn par_row_blocks_mut_runs_inline_when_single_block_or_thread() {
+        let mut data = vec![0.0; 6];
+        with_threads(8, || {
+            // 3 rows in one block of 4 → single chunk, inline.
+            par_row_blocks_mut(&mut data, 2, 4, 1, |row_start, rows| {
+                assert_eq!(row_start, 0);
+                rows.fill(1.0);
+            });
+        });
+        assert!(data.iter().all(|&v| v == 1.0));
+        with_threads(1, || {
+            par_row_blocks_mut(&mut data, 2, 1, 1, |_, rows| rows.fill(2.0));
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
     }
 
     #[test]

@@ -50,6 +50,20 @@ impl Workspace {
         (slice_of(a, len_a), slice_of(&mut rest[0], len_b))
     }
 
+    /// One scratch buffer in a caller-chosen slot. Call sites whose buffer
+    /// roles are split across threads (the blocked kernels pack A panels in
+    /// workers and the B panel on the calling thread) pin each role to a
+    /// fixed slot, so every pooled workspace converges to one high-water
+    /// size per slot no matter which role pops it — steady state never
+    /// reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= WORKSPACE_SLOTS`.
+    pub fn slot(&mut self, slot: usize, len: usize) -> &mut [f64] {
+        slice_of(&mut self.bufs[slot], len)
+    }
+
     /// Three disjoint scratch buffers (slots 0, 1, 2).
     pub fn three(
         &mut self,
@@ -158,6 +172,18 @@ mod tests {
         // no-realloc slice.
         let buf = g.one(1024);
         assert_eq!(buf.len(), 1024);
+    }
+
+    #[test]
+    fn slot_addresses_one_buffer_without_touching_others() {
+        let mut g = acquire();
+        g.slot(0, 4).fill(1.0);
+        g.slot(3, 8).fill(4.0);
+        assert!(g.slot(0, 4).iter().all(|&v| v == 1.0));
+        assert!(g.slot(3, 8).iter().all(|&v| v == 4.0));
+        // Same storage as the positional helpers.
+        g.one(4).fill(7.0);
+        assert!(g.slot(0, 4).iter().all(|&v| v == 7.0));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Equivalence contract of the fused basis→GEMM serving path: for every
+//! batch shape (empty tail, exact tile, tile + 1, multi-tile) and thread
+//! count, the fused path returns **bitwise** the same matrix as the
+//! materialized path and as per-sample scalar prediction. This is the
+//! property that lets `CBMF_FUSE_PREDICT` default on without perturbing
+//! any committed artifact.
+
+use cbmf::{BasisSpec, PerStateModel};
+use cbmf_linalg::Matrix;
+use cbmf_serve::BatchPredictor;
+
+/// A model whose support mixes linear and centered-quadratic columns in
+/// non-monotone order, so the fused support evaluation exercises both
+/// column kinds and arbitrary gather patterns.
+fn model() -> PerStateModel {
+    let d = 10;
+    let support = vec![0, 3, 4, 9, 10, 13, 17, 19];
+    let coeffs = Matrix::from_fn(6, support.len(), |k, j| {
+        ((k * 13 + j * 5) as f64 * 0.31).sin() * 1.5
+    });
+    let intercepts: Vec<f64> = (0..6).map(|k| (k as f64 * 0.7).cos()).collect();
+    PerStateModel::new(BasisSpec::LinearSquares, d, support, coeffs, intercepts)
+        .expect("valid model")
+}
+
+fn batch(n: usize, d: usize) -> Matrix {
+    Matrix::from_fn(n, d, |i, j| ((i * d + j) as f64 * 0.0137).sin() * 3.0 - 0.5)
+}
+
+#[test]
+fn fused_is_bitwise_equal_to_materialized_and_per_sample_everywhere() {
+    let model = model();
+    let d = model.num_variables();
+    let k = model.num_states();
+    // One below / at / above the 64-row tile, a single row, and a
+    // multi-tile batch large enough to split across every thread count.
+    for n in [1usize, 63, 64, 65, 1024] {
+        let xs = batch(n, d);
+        let reference: Vec<u64> = (0..n)
+            .flat_map(|i| {
+                let xs = &xs;
+                let model = &model;
+                (0..k).map(move |state| model.predict(state, xs.row(i)).unwrap().to_bits())
+            })
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            for fused in [false, true] {
+                let predictor = BatchPredictor::new(model.clone()).with_fused(fused);
+                let out =
+                    cbmf_parallel::with_threads(threads, || predictor.predict_batch(&xs).unwrap());
+                assert_eq!(out.shape(), (n, k));
+                for (got, want) in out.as_slice().iter().zip(&reference) {
+                    assert_eq!(
+                        got.to_bits(),
+                        *want,
+                        "n={n} threads={threads} fused={fused}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_handles_ragged_tiles_and_tiny_tile_heights() {
+    let model = model();
+    let d = model.num_variables();
+    let xs = batch(131, d);
+    let want = BatchPredictor::new(model.clone())
+        .with_fused(false)
+        .predict_batch(&xs)
+        .unwrap();
+    for tile in [1usize, 3, 7, 64, 200] {
+        let out = BatchPredictor::new(model.clone())
+            .with_fused(true)
+            .with_tile_rows(tile)
+            .predict_batch(&xs)
+            .unwrap();
+        for (p, q) in out.as_slice().iter().zip(want.as_slice()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "tile={tile}");
+        }
+    }
+}
+
+#[test]
+fn fused_serves_linear_models_and_empty_support() {
+    // Linear dictionary (the paper's default) and the degenerate
+    // intercept-only model both round-trip through the fused path.
+    let d = 5;
+    let linear = PerStateModel::new(
+        BasisSpec::Linear,
+        d,
+        vec![1, 2, 4],
+        Matrix::from_fn(3, 3, |k, j| (k + j) as f64 * 0.5 - 1.0),
+        vec![0.25, -0.5, 1.0],
+    )
+    .expect("valid model");
+    let empty = PerStateModel::new(
+        BasisSpec::Linear,
+        d,
+        Vec::new(),
+        Matrix::zeros(2, 0),
+        vec![3.5, -2.25],
+    )
+    .expect("valid model");
+    for model in [linear, empty] {
+        let xs = batch(70, d);
+        let fused = BatchPredictor::new(model.clone())
+            .with_fused(true)
+            .predict_batch(&xs)
+            .unwrap();
+        for i in 0..70 {
+            for state in 0..model.num_states() {
+                let scalar = model.predict(state, xs.row(i)).unwrap();
+                assert_eq!(fused[(i, state)].to_bits(), scalar.to_bits());
+            }
+        }
+    }
+}
