@@ -7,8 +7,9 @@
 //!    S-OMP's assumption, inside the Bayesian solver).
 //! 4. `init_only` — Algorithm-1 steps 1–17 without EM refinement.
 //! 5. `somp` — the S-OMP baseline for reference, plus two related-work
-//!    baselines: multi-task `group_lasso` ([20]-[21]) and `sequential_bmf`
-//!    (classic BMF [18] chained along the knob axis).
+//!    baselines: multi-task `group_lasso` (refs \[20\]–\[21\] of the paper)
+//!    and `sequential_bmf` (classic BMF, ref \[18\], chained along the knob
+//!    axis).
 //! 6. `clustered` — the §5 extension on a deliberately heterogeneous
 //!    two-family synthetic (homogeneous circuits don't need it; this shows
 //!    when it matters).

@@ -1,8 +1,9 @@
-//! The CI regression gate: re-times the kernel and predict suites, re-runs
-//! the accuracy smoke fits, and compares all three against the committed
-//! baselines (`BENCH_kernels.json`, `BENCH_predict.json`,
-//! `BASELINE_accuracy.json`). Exits nonzero on any regression beyond the
-//! tolerance.
+//! The CI regression gate: re-times the kernel, predict and serving
+//! suites, re-runs the accuracy smoke fits, and compares all four against
+//! the committed baselines (`BENCH_kernels.json`, `BENCH_predict.json`,
+//! `BENCH_serve.json`, `BASELINE_accuracy.json`). Exits nonzero on any
+//! regression beyond the tolerance; the serve gate additionally enforces
+//! the dynamic-batching coalescing-gain floor at 64 clients.
 //!
 //! ```text
 //! cargo run --release -p cbmf-bench --bin ci_gate
@@ -18,11 +19,12 @@
 //!
 //! Flags:
 //! * `--tol <f64>` — relative tolerance for all gates (default 0.20).
-//! * `--skip-bench` / `--skip-predict` / `--skip-accuracy` — skip a gate.
+//! * `--skip-bench` / `--skip-predict` / `--skip-serve` /
+//!   `--skip-accuracy` — skip a gate.
 //! * `--candidate-bench <path>` / `--candidate-predict <path>` /
-//!   `--candidate-accuracy <path>` — gate a pre-recorded candidate document
-//!   instead of running fresh (used by the gate's own CI self-test to prove
-//!   doctored regressions are caught).
+//!   `--candidate-serve <path>` / `--candidate-accuracy <path>` — gate a
+//!   pre-recorded candidate document instead of running fresh (used by the
+//!   gate's own CI self-test to prove doctored regressions are caught).
 //! * `--write-accuracy-baseline` — regenerate `BASELINE_accuracy.json`
 //!   from a fresh smoke run and exit (no gating).
 
@@ -30,10 +32,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cbmf_bench::gate::{
-    gate_accuracy, gate_kernels, gate_predict, render_step_summary, GateOutcome, DEFAULT_TOL,
+    gate_accuracy, gate_kernels, gate_predict, gate_serve, render_step_summary, GateOutcome,
+    DEFAULT_TOL,
 };
 use cbmf_bench::kernels::{merge_min, render_bench_report, run_suite, Calibration, QUICK_REPS};
 use cbmf_bench::predict::{merge_min_predict, render_predict_report, run_predict_suite};
+use cbmf_bench::serve::{
+    merge_min_serve, render_serve_report, run_serve_suite, var_gain, ServeLoad,
+};
 use cbmf_bench::smoke::{render_accuracy_report, run_accuracy_smoke};
 use cbmf_trace::Json;
 
@@ -233,6 +239,54 @@ fn main() -> ExitCode {
                 Some(outcome) => {
                     all_passed &= outcome.passed();
                     summary.push(("predict", outcome));
+                }
+                None => all_passed = false,
+            },
+        }
+    }
+
+    if !args.iter().any(|a| a == "--skip-serve") {
+        let baseline = match load_json(&root.join("BENCH_serve.json")) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("serve gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match arg_path(&args, "--candidate-serve") {
+            Some(p) => match load_json(&p).and_then(|cand| gate_serve(&baseline, &cand, tol)) {
+                Ok(outcome) => {
+                    all_passed &= report_outcome("serve gate", &outcome);
+                    summary.push(("serve", outcome));
+                }
+                Err(e) => {
+                    eprintln!("serve gate: {e}");
+                    all_passed = false;
+                }
+            },
+            None => match gated_min_time_suite(
+                "serve gate",
+                &baseline,
+                tol,
+                &out_dir,
+                "candidate_serve.json",
+                |_| {
+                    run_serve_suite(QUICK_REPS, ServeLoad::default(), |r| {
+                        println!(
+                            "  clients {:>3} var {:>9} ns/req (gain {:.2}x)",
+                            r.clients,
+                            r.var_coalesced_min_ns,
+                            var_gain(r)
+                        );
+                    })
+                },
+                merge_min_serve,
+                |merged, cal| render_serve_report(merged, QUICK_REPS, ServeLoad::default(), cal),
+                gate_serve,
+            ) {
+                Some(outcome) => {
+                    all_passed &= outcome.passed();
+                    summary.push(("serve", outcome));
                 }
                 None => all_passed = false,
             },

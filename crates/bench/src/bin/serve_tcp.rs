@@ -1,0 +1,62 @@
+//! Standalone TCP prediction server: loads a saved model artifact and
+//! serves it over the `cbmf-server` wire protocol until killed.
+//!
+//! ```text
+//! cargo run --release -p cbmf-bench --bin serve_tcp -- \
+//!     --artifact results/lna_gain.cbmf.json --addr 127.0.0.1:7070
+//! ```
+//!
+//! Flags:
+//! * `--artifact <path>` — the `.cbmf.json` artifact to serve (default:
+//!   the golden LNA artifact under `tests/golden/`).
+//! * `--addr <host:port>` — bind address (default `127.0.0.1:7070`; use
+//!   port 0 for an OS-assigned port, printed on startup).
+//!
+//! Requests coalesce through the dynamic-batching queue; tune the window
+//! with `CBMF_SERVE_BATCH`, `CBMF_SERVE_DEADLINE_US` and
+//! `CBMF_SERVE_DEPTH` (read once at startup).
+
+use std::sync::Arc;
+
+use cbmf_serve::{BatchPredictor, ModelArtifact};
+use cbmf_server::{PredictionServer, ServerConfig};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let artifact_path = arg_value(&args, "--artifact").unwrap_or_else(|| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/lna_small.cbmf.json"
+        )
+        .to_string()
+    });
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+
+    let artifact = ModelArtifact::load(&artifact_path).expect("load artifact");
+    let predictor = Arc::new(BatchPredictor::from_artifact(&artifact).expect("artifact validates"));
+    println!(
+        "serving {} (d={}, uncertainty: {})",
+        artifact_path,
+        predictor.model().num_variables(),
+        if predictor.has_uncertainty() {
+            "yes"
+        } else {
+            "no"
+        },
+    );
+
+    let server = PredictionServer::bind(addr.as_str(), predictor, ServerConfig::default())
+        .expect("bind listener");
+    println!("listening on {}", server.local_addr());
+    println!("press Ctrl-C to stop");
+    loop {
+        std::thread::park();
+    }
+}

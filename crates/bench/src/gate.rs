@@ -1,5 +1,6 @@
-//! The CI regression gates: perf (kernel medians vs `BENCH_kernels.json`)
-//! and accuracy (smoke-fit errors vs `BASELINE_accuracy.json`).
+//! The CI regression gates: perf (kernel medians vs `BENCH_kernels.json`),
+//! accuracy (smoke-fit errors vs `BASELINE_accuracy.json`), predict
+//! (`BENCH_predict.json`) and serving (`BENCH_serve.json`).
 //!
 //! The gate logic lives here as plain functions over parsed [`Json`]
 //! documents so it is unit-testable without running any benchmark; the
@@ -31,6 +32,7 @@ use cbmf_trace::Json;
 
 use crate::kernels::validate_bench_report;
 use crate::predict::validate_predict_report;
+use crate::serve::{validate_serve_report, MIN_COALESCING_GAIN, SERVE_MIN_FIELDS};
 use crate::smoke::validate_accuracy_report;
 
 /// Default relative tolerance of the gates (20 %).
@@ -46,9 +48,9 @@ pub const ACCURACY_ABS_SLACK: f64 = 0.01;
 pub const DRAM_GATED_BATCHES: &[&str] = &["batch_4096"];
 
 /// One comparison a gate performed, in table-renderable form. Units depend
-/// on the check (nanoseconds for perf/predict rows, error-percent or counts
-/// for accuracy rows); the check name carries the field. A `candidate` of
-/// NaN marks an entry missing from the candidate document.
+/// on the check (nanoseconds for perf/predict/serve rows, error-percent or
+/// counts for accuracy rows); the check name carries the field. A
+/// `candidate` of NaN marks an entry missing from the candidate document.
 #[derive(Debug, Clone)]
 pub struct GateRow {
     /// What was compared, e.g. `matmul_800 serial_min_ns`.
@@ -57,7 +59,8 @@ pub struct GateRow {
     pub baseline: f64,
     /// Candidate value (NaN when missing from the candidate run).
     pub candidate: f64,
-    /// Largest candidate value that still passes.
+    /// Threshold: the largest candidate value that still passes — or, for
+    /// floor-style checks (marked `(floor)` in the name), the smallest.
     pub allowed: f64,
     /// Whether this comparison passed.
     pub passed: bool,
@@ -154,7 +157,15 @@ pub fn render_step_summary(gates: &[(&str, &GateOutcome)]) -> String {
 pub fn gate_kernels(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
     validate_bench_report(baseline).map_err(|e| format!("baseline: {e}"))?;
     validate_bench_report(candidate).map_err(|e| format!("candidate: {e}"))?;
-    gate_min_times(baseline, candidate, tol, "kernels", "kernel", &[])
+    gate_min_times(
+        baseline,
+        candidate,
+        tol,
+        "kernels",
+        "kernel",
+        &[],
+        MIN_TIME_FIELDS,
+    )
 }
 
 /// Compares a fresh predict-suite run against the committed
@@ -177,14 +188,96 @@ pub fn gate_predict(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateO
         "batches",
         "batch",
         DRAM_GATED_BATCHES,
+        MIN_TIME_FIELDS,
     )
 }
 
-/// Shared min-time-vs-scaled-threshold comparison behind the perf and
-/// predict gates. `section` is the document key holding the timing map,
+/// Compares a fresh serving-suite run against the committed
+/// `BENCH_serve.json` baseline.
+///
+/// Two families of checks:
+///
+/// 1. **Min-time rows** — every concurrency level's per-request minimum
+///    times ([`SERVE_MIN_FIELDS`]) must stay within
+///    `baseline · host_scale · (1 + tol)`, exactly like [`gate_kernels`].
+/// 2. **Coalescing-gain floor** — at 64 clients, the candidate's
+///    uncertainty-path gain (`var_uncoalesced_min_ns /
+///    var_coalesced_min_ns`, recomputed from the minima rather than read
+///    from the rounded `var_coalescing_gain` field) must stay at least
+///    [`MIN_COALESCING_GAIN`]` / (1 + tol)`. The gain is a same-host ratio,
+///    so no calibration scaling applies; the tolerance division gives the
+///    floor the same relative slack as the time rows.
+///
+/// # Errors
+///
+/// Returns a reason string when either document fails schema validation or
+/// lacks a usable `calibration_ns`.
+pub fn gate_serve(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
+    validate_serve_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_serve_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let mut out = gate_min_times(
+        baseline,
+        candidate,
+        tol,
+        "clients",
+        "clients entry",
+        &[],
+        SERVE_MIN_FIELDS,
+    )?;
+
+    let gain_key = crate::serve::clients_key(64);
+    let gain_of = |doc: &Json| -> Option<f64> {
+        let entry = doc.get("clients")?.get(&gain_key)?;
+        let co = entry.get("var_coalesced_min_ns").and_then(Json::as_f64)?;
+        let un = entry.get("var_uncoalesced_min_ns").and_then(Json::as_f64)?;
+        Some(un / co)
+    };
+    let required = MIN_COALESCING_GAIN / (1.0 + tol);
+    let check = format!("{gain_key} var_coalescing_gain (floor)");
+    match (gain_of(baseline), gain_of(candidate)) {
+        (Some(b), Some(c)) => {
+            let passed = c >= required;
+            out.row(check, b, c, required, passed);
+            if !passed {
+                out.failures.push(format!(
+                    "clients entry '{gain_key}' coalescing gain: {c:.3} < required \
+                     {required:.3} (floor {MIN_COALESCING_GAIN} / {:.2})",
+                    1.0 + tol
+                ));
+            }
+        }
+        (b, c) => {
+            out.row(
+                check,
+                b.unwrap_or(f64::NAN),
+                c.unwrap_or(f64::NAN),
+                required,
+                false,
+            );
+            out.failures.push(format!(
+                "clients entry '{gain_key}': missing from {} run — cannot check the \
+                 coalescing-gain floor",
+                if b.is_none() { "baseline" } else { "candidate" }
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// The gated minimum-time fields of the kernel and predict suites.
+const MIN_TIME_FIELDS: &[&str] = &[
+    "serial_min_ns",
+    "parallel_min_ns",
+    "fused_serial_min_ns",
+    "fused_parallel_min_ns",
+];
+
+/// Shared min-time-vs-scaled-threshold comparison behind the perf, predict
+/// and serve gates. `section` is the document key holding the timing map,
 /// `label` the entry noun used in failure messages; entries named in
-/// `dram_gated` use the `calibration_dram_ns` ratio as their host scale.
-/// Both documents are assumed schema-validated by the caller.
+/// `dram_gated` use the `calibration_dram_ns` ratio as their host scale;
+/// `fields` lists the per-entry minimum-time fields to compare. Both
+/// documents are assumed schema-validated by the caller.
 fn gate_min_times(
     baseline: &Json,
     candidate: &Json,
@@ -192,6 +285,7 @@ fn gate_min_times(
     section: &str,
     label: &str,
     dram_gated: &[&str],
+    fields: &[&str],
 ) -> Result<GateOutcome, String> {
     let cal_ratio = |field: &str| {
         let b = baseline
@@ -225,16 +319,11 @@ fn gate_min_times(
         };
         let dram = dram_gated.contains(&name.as_str());
         let scale = if dram { dram_scale } else { host_scale };
-        // The fused fields are gated only where the baseline records them:
-        // an older (pre-fused-schema) baseline still gates the shared
-        // min-time fields, and a candidate that dropped a fused field the
-        // baseline has is flagged as missing (NaN never passes `<=`).
-        for field in [
-            "serial_min_ns",
-            "parallel_min_ns",
-            "fused_serial_min_ns",
-            "fused_parallel_min_ns",
-        ] {
+        // Fields are gated only where the baseline records them: an older
+        // (pre-fused-schema) baseline still gates the shared min-time
+        // fields, and a candidate that dropped a field the baseline has is
+        // flagged as missing (NaN never passes `<=`).
+        for &field in fields {
             let Some(b) = base.get(field).and_then(Json::as_f64) else {
                 continue;
             };
@@ -379,6 +468,31 @@ mod tests {
                                             "fused_parallel_median_ns": {fused},
                                             "fused_serial_min_ns": {fused},
                                             "fused_parallel_min_ns": {fused}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn serve_doc(co: f64, un: f64, cal: f64) -> Json {
+        serve_doc_at("clients_0064", co, un, cal)
+    }
+
+    fn serve_doc_at(key: &str, co: f64, un: f64, cal: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-bench-serve/1", "reps": 3, "calibration_ns": {cal},
+                "calibration_dram_ns": {cal}, "host": {{"threads": 1}},
+                "batch_fill": [0, 5],
+                "serve": {{"deadline_us": 100, "max_batch": 64, "queue_depth": 1024}},
+                "clients": {{"{key}": {{
+                    "mean_coalesced_median_ns": {co}, "mean_coalesced_min_ns": {co},
+                    "mean_coalesced_rps": 1000,
+                    "mean_uncoalesced_median_ns": {un}, "mean_uncoalesced_min_ns": {un},
+                    "mean_uncoalesced_rps": 900,
+                    "var_coalesced_median_ns": {co}, "var_coalesced_min_ns": {co},
+                    "var_coalesced_rps": 100,
+                    "var_uncoalesced_median_ns": {un}, "var_uncoalesced_min_ns": {un},
+                    "var_uncoalesced_rps": 90,
+                    "var_coalescing_gain": 1.5}}}},
+                "workload": {{}}}}"#
         ))
         .unwrap()
     }
@@ -562,6 +676,75 @@ mod tests {
             render_step_summary(&[("predict", &gate_predict(&base, &base, DEFAULT_TOL).unwrap())]);
         assert!(all_pass.contains("All 2 comparisons passed."));
         assert!(!all_pass.contains("❌"));
+    }
+
+    #[test]
+    fn serve_gate_passes_identical_runs_and_counts_the_gain_row() {
+        // Gain 1600/1000 = 1.6 clears the 1.3/(1+tol) floor.
+        let base = serve_doc(1000.0, 1600.0, 100.0);
+        let out = gate_serve(&base, &base, DEFAULT_TOL).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        // Four min-time rows plus the coalescing-gain floor.
+        assert_eq!(out.checked, 5);
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r.check == "clients_0064 var_coalescing_gain (floor)"));
+    }
+
+    #[test]
+    fn serve_gate_fails_on_min_time_regression_and_scales_by_calibration() {
+        let base = serve_doc(1000.0, 1600.0, 100.0);
+        // 25% slower coalesced paths on an identical host: over the gate.
+        let slow = serve_doc(1250.0, 1600.0, 100.0);
+        let out = gate_serve(&base, &slow, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures[0].contains("mean_coalesced_min_ns"));
+        assert!(out.failures[1].contains("var_coalesced_min_ns"));
+        // A 2x-slower host with proportional timings passes after scaling
+        // (the gain is a same-host ratio and needs no scaling).
+        let slow_host = serve_doc(2000.0, 3200.0, 200.0);
+        assert!(gate_serve(&base, &slow_host, DEFAULT_TOL).unwrap().passed());
+        // Schema cross-contamination is rejected up front.
+        let kernels = bench_doc(1000.0, 900.0, 100.0);
+        assert!(gate_serve(&base, &kernels, DEFAULT_TOL).is_err());
+        assert!(gate_serve(&kernels, &base, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn serve_gate_enforces_the_coalescing_gain_floor() {
+        let base = serve_doc(1000.0, 1600.0, 100.0);
+        // Candidate is *faster* everywhere (no min-time failures) but its
+        // uncoalesced path got nearly as fast as the coalesced one: gain
+        // 1050/1000 = 1.05 < 1.3/1.2 ≈ 1.083 — batching stopped paying.
+        let flat = serve_doc(1000.0, 1050.0, 100.0);
+        let out = gate_serve(&base, &flat, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("coalescing gain"));
+        let row = out.rows.iter().find(|r| !r.passed).unwrap();
+        assert!((row.candidate - 1.05).abs() < 1e-9);
+        assert!((row.allowed - MIN_COALESCING_GAIN / 1.2).abs() < 1e-9);
+        // Right at the slack boundary passes: 1.09 ≥ 1.083.
+        let edge = serve_doc(1000.0, 1090.0, 100.0);
+        assert!(gate_serve(&base, &edge, DEFAULT_TOL).unwrap().passed());
+    }
+
+    #[test]
+    fn serve_gate_flags_a_missing_64_client_entry() {
+        let base = serve_doc(1000.0, 1600.0, 100.0);
+        let cand = serve_doc_at("clients_0008", 1000.0, 1600.0, 100.0);
+        let out = gate_serve(&base, &cand, DEFAULT_TOL).unwrap();
+        assert!(!out.passed());
+        // The min-time comparison flags the missing entry, and the gain
+        // floor reports it cannot be checked.
+        assert!(out
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from candidate run")));
+        assert!(out
+            .failures
+            .iter()
+            .any(|f| f.contains("coalescing-gain floor")));
     }
 
     #[test]

@@ -424,9 +424,11 @@ pub fn render_bench_report(
 pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
     let schema = match doc.get("schema").and_then(Json::as_str) {
         Some(s) if s == BENCH_SCHEMA || s == BENCH_SCHEMA_PREV => s,
-        Some(s) => return Err(format!(
+        Some(s) => {
+            return Err(format!(
             "schema '{s}' is not '{BENCH_SCHEMA}' (or the still-accepted '{BENCH_SCHEMA_PREV}')"
-        )),
+        ))
+        }
         None => return Err("missing 'schema' field".to_string()),
     };
     for cal in ["calibration_ns", "calibration_dram_ns"] {

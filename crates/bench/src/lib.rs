@@ -11,6 +11,7 @@
 pub mod gate;
 pub mod kernels;
 pub mod predict;
+pub mod serve;
 pub mod smoke;
 
 use std::time::Instant;

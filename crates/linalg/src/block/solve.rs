@@ -55,9 +55,39 @@ pub(crate) fn forward_rows(l: &Matrix, xt: &mut [f64], min_solve_dim: usize) {
                 let s = vecops::dot(&row[p0..i], &x[p0..i]);
                 x[i] = (x[i] - s) / row[i];
             }
-            // Trailing update: push this panel into the remaining entries.
-            for i in p1..n {
-                x[i] -= vecops::dot(&l.row(i)[p0..p1], &x[p0..p1]);
+        }
+        // Trailing update: push this panel into the remaining entries.
+        // Groups of four RHS rows advance together so each `L` row segment
+        // is loaded once per group and the four dot chains overlap — the
+        // single-RHS path is otherwise issue-bound on one dot at a time.
+        // `dot4_bitwise` keeps every stream's accumulation order equal to
+        // `vecops::dot`, so each column's bits still match a single-RHS
+        // solve (the contract in the module docs).
+        for group in xt.chunks_mut(4 * n) {
+            if group.len() == 4 * n {
+                let (x0, rest) = group.split_at_mut(n);
+                let (x1, rest) = rest.split_at_mut(n);
+                let (x2, x3) = rest.split_at_mut(n);
+                for i in p1..n {
+                    let seg = &l.row(i)[p0..p1];
+                    let d = vecops::dot4_bitwise(
+                        seg,
+                        &x0[p0..p1],
+                        &x1[p0..p1],
+                        &x2[p0..p1],
+                        &x3[p0..p1],
+                    );
+                    x0[i] -= d[0];
+                    x1[i] -= d[1];
+                    x2[i] -= d[2];
+                    x3[i] -= d[3];
+                }
+            } else {
+                for x in group.chunks_mut(n) {
+                    for i in p1..n {
+                        x[i] -= vecops::dot(&l.row(i)[p0..p1], &x[p0..p1]);
+                    }
+                }
             }
         }
         p0 = p1;
@@ -162,9 +192,11 @@ mod tests {
 
     #[test]
     fn multi_rhs_rows_match_single_rhs_bitwise() {
+        // Six RHS: one full four-wide trailing-update group plus a
+        // two-row remainder, so both multi-RHS paths are pinned.
         let n = 130;
         let l = lower_factor(n);
-        let rhs: Vec<f64> = (0..3 * n).map(|i| ((i as f64) * 0.17).cos()).collect();
+        let rhs: Vec<f64> = (0..6 * n).map(|i| ((i as f64) * 0.17).cos()).collect();
         let mut multi = rhs.clone();
         forward_rows(&l, &mut multi, 2);
         backward_rows(&l, &mut multi, 2);

@@ -56,6 +56,50 @@ pub fn dot4(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 
     [s0, s1, s2, s3]
 }
 
+/// Dot products of `a` against four slices, each bit-identical to the
+/// corresponding [`dot`] call.
+///
+/// Unlike [`dot4`] (one accumulator per stream), every stream here keeps
+/// the four-way split accumulators and the `(s0 + s1) + (s2 + s3) + tail`
+/// reduction of [`dot`], so callers holding a bitwise contract with the
+/// single-stream kernel can batch right-hand sides without changing a
+/// single result bit. The shared traversal still loads `a` once per group
+/// and keeps sixteen independent FMA chains in flight — the win that makes
+/// multi-RHS triangular solves faster than repeated single solves.
+///
+/// # Panics
+///
+/// Panics if any slice length differs from `a`'s.
+pub fn dot4_bitwise(a: &[f64], b0: &[f64], b1: &[f64], b2: &[f64], b3: &[f64]) -> [f64; 4] {
+    let n = a.len();
+    assert!(
+        b0.len() == n && b1.len() == n && b2.len() == n && b3.len() == n,
+        "dot4_bitwise length mismatch"
+    );
+    let bs = [b0, b1, b2, b3];
+    let chunks = n / 4;
+    // s[stream][lane]: lane accumulators are identical to `dot`'s s0..s3.
+    let mut s = [[0.0_f64; 4]; 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        for (acc, b) in s.iter_mut().zip(bs) {
+            acc[0] += a[j] * b[j];
+            acc[1] += a[j + 1] * b[j + 1];
+            acc[2] += a[j + 2] * b[j + 2];
+            acc[3] += a[j + 3] * b[j + 3];
+        }
+    }
+    let mut out = [0.0; 4];
+    for (r, b) in bs.iter().enumerate() {
+        let mut tail = 0.0;
+        for j in chunks * 4..n {
+            tail += a[j] * b[j];
+        }
+        out[r] = (s[r][0] + s[r][1]) + (s[r][2] + s[r][3]) + tail;
+    }
+    out
+}
+
 /// `y += alpha * x` in place.
 ///
 /// # Panics
@@ -143,6 +187,32 @@ mod tests {
                 assert!((got[s] - dot(&a, b)).abs() < 1e-12, "n = {n}, s = {s}");
             }
         }
+    }
+
+    #[test]
+    fn dot4_bitwise_matches_dot_exactly() {
+        // Irrational-ish values so any reassociation would flip low bits;
+        // lengths cover empty, tail-only, unrolled-only and mixed cases.
+        for n in [0usize, 1, 3, 4, 7, 8, 13, 64, 67] {
+            let a: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.73).sin() + 0.1).collect();
+            let bs: Vec<Vec<f64>> = (0..4)
+                .map(|s| {
+                    (0..n)
+                        .map(|i| ((i as f64) * 0.31 + s as f64).cos() * 1.7)
+                        .collect()
+                })
+                .collect();
+            let got = dot4_bitwise(&a, &bs[0], &bs[1], &bs[2], &bs[3]);
+            for (s, b) in bs.iter().enumerate() {
+                assert_eq!(got[s].to_bits(), dot(&a, b).to_bits(), "n = {n}, s = {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dot4_bitwise length mismatch")]
+    fn dot4_bitwise_panics_on_mismatch() {
+        dot4_bitwise(&[1.0, 2.0], &[1.0, 2.0], &[1.0], &[1.0, 2.0], &[1.0, 2.0]);
     }
 
     #[test]

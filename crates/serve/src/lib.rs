@@ -16,6 +16,10 @@
 //!   optional uncertainty path returning predictive mean + variance. Both
 //!   paths are bitwise equal to the per-sample [`cbmf::PerStateModel::predict`]
 //!   / [`cbmf::PosteriorPredictive::predict`] calls at any thread count.
+//! * [`BatchQueue`] — a socket-free dynamic batching queue that coalesces
+//!   concurrent single-sample submissions into one predictor tile within a
+//!   deadline window, with bounded-depth backpressure. `cbmf-server` puts a
+//!   TCP protocol in front of it.
 //!
 //! ```no_run
 //! use cbmf_serve::{BatchPredictor, ModelArtifact};
@@ -33,9 +37,11 @@
 #![warn(missing_docs)]
 
 mod artifact;
+pub mod batching;
 mod error;
 mod predictor;
 
 pub use artifact::{Hyper, ModelArtifact, MODEL_SCHEMA};
+pub use batching::{BatchConfig, BatchError, BatchQueue, BatchQueueStats};
 pub use error::ServeError;
 pub use predictor::BatchPredictor;

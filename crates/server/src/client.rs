@@ -1,0 +1,125 @@
+//! A minimal blocking client for the wire protocol — what `loadgen`, the
+//! smoke suite, and embedders drive.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    read_response, write_request, ErrorCode, ProtocolError, Request, RequestKind, Response,
+};
+
+/// A client-side failure, split by layer.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure on the response path.
+    Protocol(ProtocolError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The typed cause.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// One blocking connection: send a request frame, wait for the response
+/// frame. A client is single-in-flight by design — concurrency comes from
+/// opening more clients, which is exactly what the batching queue coalesces.
+#[derive(Debug)]
+pub struct PredictClient {
+    stream: TcpStream,
+    model_id: u32,
+}
+
+impl PredictClient {
+    /// Connects (with `TCP_NODELAY`) to a running [`crate::PredictionServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PredictClient {
+            stream,
+            model_id: 0,
+        })
+    }
+
+    /// Targets a different model id (default 0).
+    #[must_use]
+    pub fn with_model_id(mut self, id: u32) -> Self {
+        self.model_id = id;
+        self
+    }
+
+    fn round_trip(&mut self, kind: RequestKind, sample: &[f64]) -> Result<Vec<f64>, ClientError> {
+        write_request(
+            &mut self.stream,
+            &Request {
+                kind,
+                model_id: self.model_id,
+                sample: sample.to_vec(),
+            },
+        )
+        .map_err(ProtocolError::Io)?;
+        match read_response(&mut self.stream)? {
+            Response::Values(values) => Ok(values),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        }
+    }
+
+    /// Requests the K per-state means for one sample.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed in-band rejections (overload,
+    /// wrong dimension, ...); [`ClientError::Protocol`] when the transport
+    /// or framing breaks.
+    pub fn predict(&mut self, sample: &[f64]) -> Result<Vec<f64>, ClientError> {
+        self.round_trip(RequestKind::Predict, sample)
+    }
+
+    /// Requests per-state means and predictive variances; the reply is
+    /// split as (`means`, `vars`), each of length K.
+    ///
+    /// # Errors
+    ///
+    /// As [`PredictClient::predict`], plus a typed
+    /// [`ErrorCode::NoUncertainty`] rejection when the served artifact has
+    /// no posterior factors.
+    pub fn predict_with_uncertainty(
+        &mut self,
+        sample: &[f64],
+    ) -> Result<(Vec<f64>, Vec<f64>), ClientError> {
+        let mut values = self.round_trip(RequestKind::PredictVar, sample)?;
+        let k = values.len() / 2;
+        let vars = values.split_off(k);
+        Ok((values, vars))
+    }
+}

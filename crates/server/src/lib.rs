@@ -1,0 +1,53 @@
+//! A std-only TCP prediction server for fitted C-BMF models.
+//!
+//! The serving stack below this crate ends at
+//! [`cbmf_serve::BatchPredictor`]: fast, but in-process only. This crate
+//! puts a socket in front of it so the measured batch-evaluation wins reach
+//! *concurrent single-sample callers*:
+//!
+//! * [`protocol`] — a length-prefixed, checksummed binary frame format
+//!   (version byte, request kind, model id, f64 payload) with a typed
+//!   error taxonomy. Malformed frames are answered in-band and never kill
+//!   a connection thread; only unrecoverable stream states (truncation,
+//!   oversized prefixes) close the connection — cleanly, never by panic.
+//! * [`PredictionServer`] — a thread-per-core accept loop over
+//!   `std::net::TcpListener`; each connection gets a blocking handler
+//!   thread that funnels every request through the shared
+//!   [`cbmf_serve::BatchQueue`], where concurrent requests coalesce into
+//!   one predictor tile within the `CBMF_SERVE_*` deadline window.
+//! * [`PredictClient`] — the matching blocking client.
+//!
+//! Responses are bitwise identical to calling the predictor directly, at
+//! any thread count and any batching window, because every predictor row
+//! depends only on its own input row. The `server-smoke` CI suite pins
+//! this end to end.
+//!
+//! Observability: `server.requests`, `server.protocol_errors`,
+//! `server.batches`, `server.coalesced`, `server.rejected` counters, a
+//! `server.queue_depth` gauge, and a `server.request_ns` latency histogram
+//! (p50/p95/p99 in trace reports), all via `cbmf-trace`.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use cbmf_serve::{BatchPredictor, ModelArtifact};
+//! use cbmf_server::{PredictionServer, PredictClient, ServerConfig};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let artifact = ModelArtifact::load("model.cbmf.json")?;
+//! let predictor = Arc::new(BatchPredictor::from_artifact(&artifact)?);
+//! let server = PredictionServer::bind("127.0.0.1:0", predictor, ServerConfig::default())?;
+//!
+//! let mut client = PredictClient::connect(server.local_addr())?;
+//! let means = client.predict(&vec![0.0; 25])?;
+//! # let _ = means;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+pub mod protocol;
+mod server;
+
+pub use client::{ClientError, PredictClient};
+pub use server::{PredictionServer, ServerConfig};

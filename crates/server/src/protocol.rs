@@ -1,0 +1,606 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! [ body_len: u32 LE ][ body: body_len bytes ]
+//! ```
+//!
+//! A request body is
+//!
+//! ```text
+//! [ version: u8 = 1 ][ kind: u8 ][ model_id: u32 LE ]
+//! [ n_values: u32 LE ][ n_values × f64 LE ][ checksum: u64 LE ]
+//! ```
+//!
+//! and a response body is
+//!
+//! ```text
+//! values:  [ version ][ 0x81 ][ n_values: u32 LE ][ n × f64 LE ][ checksum ]
+//! error:   [ version ][ 0xFF ][ code: u8 ][ msg_len: u16 LE ][ msg ][ checksum ]
+//! ```
+//!
+//! The checksum is FNV-1a 64 over every body byte before it. Request kinds:
+//! [`REQ_PREDICT`] (reply: K per-state means) and [`REQ_PREDICT_VAR`]
+//! (reply: K means then K predictive variances).
+//!
+//! # Error recovery contract
+//!
+//! Decoding distinguishes *recoverable* frames — fully delimited on the
+//! wire but semantically bad (wrong version, unknown kind, checksum
+//! mismatch, inconsistent lengths) — from *fatal* stream states where
+//! resynchronization is impossible (EOF mid-frame, a length prefix beyond
+//! [`MAX_FRAME_BYTES`]). The server answers recoverable frames with a typed
+//! in-band [`Response::Error`] and keeps the connection; fatal ones get a
+//! best-effort error frame and a clean close. Neither path ever panics —
+//! the protocol property suite feeds truncations, oversized prefixes and
+//! bit flips to pin that down.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version byte stamped into every body.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Hard cap on `body_len`. Large enough for paper-scale samples
+/// (d ≈ 1300 → ~10 KiB) with orders-of-magnitude headroom; a prefix beyond
+/// it is treated as stream corruption, not an allocation request.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Request kind: predict per-state means for one sample.
+pub const REQ_PREDICT: u8 = 1;
+/// Request kind: predict per-state means and predictive variances.
+pub const REQ_PREDICT_VAR: u8 = 2;
+/// Response kind carrying f64 values.
+pub const RESP_VALUES: u8 = 0x81;
+/// Response kind carrying a typed error.
+pub const RESP_ERROR: u8 = 0xFF;
+
+/// Fixed request-body bytes around the payload: version, kind, model id,
+/// value count, checksum.
+const REQ_OVERHEAD: usize = 1 + 1 + 4 + 4 + 8;
+
+/// What a request asks the evaluator for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Per-state means only.
+    Predict,
+    /// Per-state means followed by predictive variances.
+    PredictVar,
+}
+
+impl RequestKind {
+    /// The wire byte for this kind.
+    pub fn code(self) -> u8 {
+        match self {
+            RequestKind::Predict => REQ_PREDICT,
+            RequestKind::PredictVar => REQ_PREDICT_VAR,
+        }
+    }
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// What to compute.
+    pub kind: RequestKind,
+    /// Which model to evaluate (a single-model server serves id 0).
+    pub model_id: u32,
+    /// The sample, one value per model variable.
+    pub sample: Vec<f64>,
+}
+
+/// One decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful evaluation: the requested values.
+    Values(Vec<f64>),
+    /// Typed in-band failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Typed causes carried by error responses. The numeric codes are part of
+/// the wire protocol; add at the end, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Version byte was not [`PROTOCOL_VERSION`].
+    BadVersion = 1,
+    /// Unknown request/response kind byte.
+    BadKind = 2,
+    /// Checksum mismatch: the frame arrived corrupted.
+    BadChecksum = 3,
+    /// The stream ended mid-frame.
+    Truncated = 4,
+    /// Length prefix beyond [`MAX_FRAME_BYTES`].
+    Oversized = 5,
+    /// Body lengths are mutually inconsistent.
+    Malformed = 6,
+    /// The requested model id is not served here.
+    UnknownModel = 7,
+    /// The sample length does not match the model's variable count.
+    WrongDimension = 8,
+    /// The batching queue hit its depth bound; retry with backoff.
+    Overloaded = 9,
+    /// The server is shutting down.
+    Shutdown = 10,
+    /// This server has no posterior factors for the uncertainty path.
+    NoUncertainty = 11,
+    /// The evaluator failed internally.
+    Internal = 12,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte back into a code.
+    pub fn from_code(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadVersion,
+            2 => ErrorCode::BadKind,
+            3 => ErrorCode::BadChecksum,
+            4 => ErrorCode::Truncated,
+            5 => ErrorCode::Oversized,
+            6 => ErrorCode::Malformed,
+            7 => ErrorCode::UnknownModel,
+            8 => ErrorCode::WrongDimension,
+            9 => ErrorCode::Overloaded,
+            10 => ErrorCode::Shutdown,
+            11 => ErrorCode::NoUncertainty,
+            12 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Decoding failure, split by whether the stream can keep going.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The peer closed cleanly at a frame boundary — not an error.
+    Closed,
+    /// Transport failure; the connection is unusable.
+    Io(io::Error),
+    /// A frame-level problem with a typed code.
+    Frame {
+        /// The typed cause (also what goes on the wire in a reply).
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+        /// When true, resynchronization is impossible and the connection
+        /// must close after a best-effort error reply.
+        fatal: bool,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Closed => write!(f, "peer closed the connection"),
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Frame {
+                code,
+                detail,
+                fatal,
+            } => write!(
+                f,
+                "{}frame error ({code:?}): {detail}",
+                if *fatal { "fatal " } else { "" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to catch
+/// the truncation/bit-flip corruption the property suite injects.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_f64s(body: &mut Vec<u8>, values: &[f64]) {
+    for v in values {
+        body.extend_from_slice(&v.to_le_bits_bytes());
+    }
+}
+
+/// Little-endian f64 byte helper — bit-exact, NaN-preserving.
+trait F64Wire {
+    fn to_le_bits_bytes(&self) -> [u8; 8];
+}
+
+impl F64Wire for f64 {
+    fn to_le_bits_bytes(&self) -> [u8; 8] {
+        self.to_bits().to_le_bytes()
+    }
+}
+
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Encodes a request as one ready-to-write frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut body = Vec::with_capacity(REQ_OVERHEAD + 8 * req.sample.len());
+    body.push(PROTOCOL_VERSION);
+    body.push(req.kind.code());
+    body.extend_from_slice(&req.model_id.to_le_bytes());
+    body.extend_from_slice(&(req.sample.len() as u32).to_le_bytes());
+    push_f64s(&mut body, &req.sample);
+    seal(body)
+}
+
+/// Encodes a response as one ready-to-write frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.push(PROTOCOL_VERSION);
+    match resp {
+        Response::Values(values) => {
+            body.push(RESP_VALUES);
+            body.extend_from_slice(&(values.len() as u32).to_le_bytes());
+            push_f64s(&mut body, values);
+        }
+        Response::Error { code, message } => {
+            body.push(RESP_ERROR);
+            body.push(*code as u8);
+            let msg = message.as_bytes();
+            let len = msg.len().min(u16::MAX as usize);
+            body.extend_from_slice(&(len as u16).to_le_bytes());
+            body.extend_from_slice(&msg[..len]);
+        }
+    }
+    seal(body)
+}
+
+/// Writes one encoded frame in a single `write_all`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_request(w: &mut impl Write, req: &Request) -> io::Result<()> {
+    w.write_all(&encode_request(req))
+}
+
+/// Writes one encoded response frame.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> io::Result<()> {
+    w.write_all(&encode_response(resp))
+}
+
+/// Reads a frame body: the length prefix, then exactly that many bytes.
+fn read_body(r: &mut impl Read) -> Result<Vec<u8>, ProtocolError> {
+    let mut prefix = [0u8; 4];
+    // Distinguish a clean close (no bytes of a new frame) from a mid-frame
+    // truncation (some bytes, then EOF).
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Err(ProtocolError::Closed)
+                } else {
+                    Err(ProtocolError::Frame {
+                        code: ErrorCode::Truncated,
+                        detail: format!("EOF after {filled} of 4 length-prefix bytes"),
+                        fatal: true,
+                    })
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(ProtocolError::Frame {
+            code: ErrorCode::Oversized,
+            detail: format!("length prefix {len} exceeds cap {MAX_FRAME_BYTES}"),
+            fatal: true,
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    match r.read_exact(&mut body) {
+        Ok(()) => Ok(body),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(ProtocolError::Frame {
+            code: ErrorCode::Truncated,
+            detail: format!("EOF inside a {len}-byte body"),
+            fatal: true,
+        }),
+        Err(e) => Err(ProtocolError::Io(e)),
+    }
+}
+
+/// Checks the trailing checksum and returns the covered prefix.
+fn verify_checksum(body: &[u8]) -> Result<&[u8], ProtocolError> {
+    if body.len() < 8 {
+        return Err(ProtocolError::Frame {
+            code: ErrorCode::Malformed,
+            detail: format!("body of {} bytes cannot hold a checksum", body.len()),
+            fatal: false,
+        });
+    }
+    let (payload, sum_bytes) = body.split_at(body.len() - 8);
+    let want = u64::from_le_bytes(sum_bytes.try_into().expect("8 checksum bytes"));
+    let got = fnv1a(payload);
+    if got != want {
+        return Err(ProtocolError::Frame {
+            code: ErrorCode::BadChecksum,
+            detail: format!("checksum {got:#018x} != {want:#018x}"),
+            fatal: false,
+        });
+    }
+    Ok(payload)
+}
+
+fn frame_err(code: ErrorCode, detail: String) -> ProtocolError {
+    ProtocolError::Frame {
+        code,
+        detail,
+        fatal: false,
+    }
+}
+
+/// Reads and decodes one request frame.
+///
+/// # Errors
+///
+/// [`ProtocolError::Closed`] on a clean EOF between frames;
+/// [`ProtocolError::Frame`] with `fatal: false` for fully-delimited but
+/// invalid frames (answerable in-band) and `fatal: true` for truncation /
+/// oversized prefixes; [`ProtocolError::Io`] on transport failure.
+pub fn read_request(r: &mut impl Read) -> Result<Request, ProtocolError> {
+    let body = read_body(r)?;
+    let payload = verify_checksum(&body)?;
+    if payload.len() < REQ_OVERHEAD - 8 {
+        return Err(frame_err(
+            ErrorCode::Malformed,
+            format!("request payload of {} bytes is too short", payload.len()),
+        ));
+    }
+    if payload[0] != PROTOCOL_VERSION {
+        return Err(frame_err(
+            ErrorCode::BadVersion,
+            format!("version {} != {PROTOCOL_VERSION}", payload[0]),
+        ));
+    }
+    let kind = match payload[1] {
+        REQ_PREDICT => RequestKind::Predict,
+        REQ_PREDICT_VAR => RequestKind::PredictVar,
+        other => {
+            return Err(frame_err(
+                ErrorCode::BadKind,
+                format!("unknown request kind {other:#04x}"),
+            ))
+        }
+    };
+    let model_id = u32::from_le_bytes(payload[2..6].try_into().expect("4 model-id bytes"));
+    let n = u32::from_le_bytes(payload[6..10].try_into().expect("4 count bytes")) as usize;
+    let values = &payload[10..];
+    if values.len() != 8 * n {
+        return Err(frame_err(
+            ErrorCode::Malformed,
+            format!("{n} values declared but {} payload bytes", values.len()),
+        ));
+    }
+    let sample = values
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 value bytes"))))
+        .collect();
+    Ok(Request {
+        kind,
+        model_id,
+        sample,
+    })
+}
+
+/// Reads and decodes one response frame.
+///
+/// # Errors
+///
+/// Same taxonomy as [`read_request`].
+pub fn read_response(r: &mut impl Read) -> Result<Response, ProtocolError> {
+    let body = read_body(r)?;
+    let payload = verify_checksum(&body)?;
+    if payload.len() < 2 {
+        return Err(frame_err(
+            ErrorCode::Malformed,
+            format!("response payload of {} bytes is too short", payload.len()),
+        ));
+    }
+    if payload[0] != PROTOCOL_VERSION {
+        return Err(frame_err(
+            ErrorCode::BadVersion,
+            format!("version {} != {PROTOCOL_VERSION}", payload[0]),
+        ));
+    }
+    match payload[1] {
+        RESP_VALUES => {
+            if payload.len() < 6 {
+                return Err(frame_err(
+                    ErrorCode::Malformed,
+                    "values response missing count".to_string(),
+                ));
+            }
+            let n = u32::from_le_bytes(payload[2..6].try_into().expect("4 count bytes")) as usize;
+            let values = &payload[6..];
+            if values.len() != 8 * n {
+                return Err(frame_err(
+                    ErrorCode::Malformed,
+                    format!("{n} values declared but {} payload bytes", values.len()),
+                ));
+            }
+            Ok(Response::Values(
+                values
+                    .chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            ))
+        }
+        RESP_ERROR => {
+            if payload.len() < 5 {
+                return Err(frame_err(
+                    ErrorCode::Malformed,
+                    "error response missing code".to_string(),
+                ));
+            }
+            let code = ErrorCode::from_code(payload[2]).ok_or_else(|| {
+                frame_err(
+                    ErrorCode::Malformed,
+                    format!("unknown error code {}", payload[2]),
+                )
+            })?;
+            let msg_len =
+                u16::from_le_bytes(payload[3..5].try_into().expect("2 length bytes")) as usize;
+            let msg = &payload[5..];
+            if msg.len() != msg_len {
+                return Err(frame_err(
+                    ErrorCode::Malformed,
+                    format!("{msg_len}-byte message declared but {} bytes", msg.len()),
+                ));
+            }
+            Ok(Response::Error {
+                code,
+                message: String::from_utf8_lossy(msg).into_owned(),
+            })
+        }
+        other => Err(frame_err(
+            ErrorCode::BadKind,
+            format!("unknown response kind {other:#04x}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let req = Request {
+            kind: RequestKind::PredictVar,
+            model_id: 7,
+            sample: vec![1.5, -0.0, f64::MIN_POSITIVE, 3.25e300, f64::NAN],
+        };
+        let frame = encode_request(&req);
+        let got = read_request(&mut Cursor::new(frame)).unwrap();
+        assert_eq!(got.kind, req.kind);
+        assert_eq!(got.model_id, req.model_id);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got.sample), bits(&req.sample), "NaN payloads survive");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let values = Response::Values(vec![2.0, 4.0]);
+        assert_eq!(
+            read_response(&mut Cursor::new(encode_response(&values))).unwrap(),
+            values
+        );
+        let err = Response::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full — retry".to_string(),
+        };
+        assert_eq!(
+            read_response(&mut Cursor::new(encode_response(&err))).unwrap(),
+            err
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_partial_prefix_is_truncated() {
+        match read_request(&mut Cursor::new(Vec::<u8>::new())) {
+            Err(ProtocolError::Closed) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        match read_request(&mut Cursor::new(vec![3u8, 0])) {
+            Err(ProtocolError::Frame {
+                code: ErrorCode::Truncated,
+                fatal: true,
+                ..
+            }) => {}
+            other => panic!("expected fatal Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_fatal_without_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_request(&mut Cursor::new(frame)) {
+            Err(ProtocolError::Frame {
+                code: ErrorCode::Oversized,
+                fatal: true,
+                ..
+            }) => {}
+            other => panic!("expected fatal Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_byte_is_a_recoverable_checksum_error() {
+        let mut frame = encode_request(&Request {
+            kind: RequestKind::Predict,
+            model_id: 0,
+            sample: vec![1.0, 2.0],
+        });
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x40;
+        match read_request(&mut Cursor::new(frame)) {
+            Err(ProtocolError::Frame { fatal: false, .. }) => {}
+            other => panic!("expected recoverable frame error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in [
+            ErrorCode::BadVersion,
+            ErrorCode::BadKind,
+            ErrorCode::BadChecksum,
+            ErrorCode::Truncated,
+            ErrorCode::Oversized,
+            ErrorCode::Malformed,
+            ErrorCode::UnknownModel,
+            ErrorCode::WrongDimension,
+            ErrorCode::Overloaded,
+            ErrorCode::Shutdown,
+            ErrorCode::NoUncertainty,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_code(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_code(0), None);
+        assert_eq!(ErrorCode::from_code(200), None);
+    }
+}

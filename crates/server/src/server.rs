@@ -1,0 +1,241 @@
+//! The TCP front-end: thread-per-core accept loop, one handler thread per
+//! connection, all requests funneled through shared [`BatchQueue`]s.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cbmf_serve::{BatchConfig, BatchError, BatchPredictor, BatchQueue, BatchQueueStats};
+use cbmf_trace::{Counter, Histogram};
+
+use crate::protocol::{
+    read_request, write_response, ErrorCode, ProtocolError, Request, RequestKind, Response,
+};
+
+static SERVER_REQUESTS: Counter = Counter::new("server.requests");
+static SERVER_PROTOCOL_ERRORS: Counter = Counter::new("server.protocol_errors");
+static SERVER_REQUEST_NS: Histogram = Histogram::new("server.request_ns");
+
+/// Server tuning: batching behavior, accept parallelism, served model id.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Batching knobs shared by the mean and uncertainty queues.
+    pub batch: BatchConfig,
+    /// Accept-loop threads; defaults to the `cbmf-parallel` worker count
+    /// (thread per core, `RAYON_NUM_THREADS`-capped).
+    pub accept_threads: usize,
+    /// The model id this process answers for; anything else gets
+    /// [`ErrorCode::UnknownModel`].
+    pub model_id: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            batch: BatchConfig::from_env(),
+            accept_threads: cbmf_parallel::max_threads(),
+            model_id: 0,
+        }
+    }
+}
+
+struct Queues {
+    mean: BatchQueue,
+    var: Option<BatchQueue>,
+    model_id: u32,
+}
+
+/// A running loopback/TCP prediction server over one [`BatchPredictor`].
+///
+/// Binding spawns the accept threads immediately; dropping the handle shuts
+/// the listener down, joins the accept threads, and fails any still-queued
+/// submissions with a typed `Shutdown`.
+pub struct PredictionServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepters: Vec<JoinHandle<()>>,
+    queues: Arc<Queues>,
+}
+
+impl std::fmt::Debug for PredictionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionServer")
+            .field("addr", &self.addr)
+            .field("accepters", &self.accepters.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PredictionServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral loopback port) and
+    /// starts serving `predictor`. A second queue for the uncertainty path
+    /// is created only when the predictor carries posterior factors;
+    /// without them, `PredictVar` requests answer
+    /// [`ErrorCode::NoUncertainty`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/listen).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        predictor: Arc<BatchPredictor>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let var = predictor
+            .has_uncertainty()
+            .then(|| BatchQueue::for_uncertainty(Arc::clone(&predictor), config.batch.clone()))
+            .transpose()
+            .expect("has_uncertainty checked");
+        let queues = Arc::new(Queues {
+            mean: BatchQueue::for_mean(predictor, config.batch.clone()),
+            var,
+            model_id: config.model_id,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepters = (0..config.accept_threads.max(1))
+            .map(|i| {
+                let listener = listener.try_clone()?;
+                let shutdown = Arc::clone(&shutdown);
+                let queues = Arc::clone(&queues);
+                std::thread::Builder::new()
+                    .name(format!("cbmf-accept-{i}"))
+                    .spawn(move || accept_loop(&listener, &shutdown, &queues))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(PredictionServer {
+            addr: local,
+            shutdown,
+            accepters,
+            queues,
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Exact statistics of the mean-path batching queue.
+    pub fn mean_queue_stats(&self) -> BatchQueueStats {
+        self.queues.mean.stats()
+    }
+
+    /// Exact statistics of the uncertainty-path queue, when it exists.
+    pub fn var_queue_stats(&self) -> Option<BatchQueueStats> {
+        self.queues.var.as_ref().map(|q| q.stats())
+    }
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Each accept thread is parked in accept(); poke the listener once
+        // per thread so every one observes the flag and exits.
+        for _ in 0..self.accepters.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.accepters.drain(..) {
+            let _ = h.join();
+        }
+        // Connection handlers exit when their peers hang up; the queues
+        // (dropped with the last Arc) fail any stragglers with Shutdown.
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, queues: &Arc<Queues>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let queues = Arc::clone(queues);
+                let _ = std::thread::Builder::new()
+                    .name("cbmf-conn".to_string())
+                    .spawn(move || handle_connection(stream, &queues));
+            }
+            Err(_) if shutdown.load(Ordering::Relaxed) => return,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves one connection until the peer closes or a fatal frame error.
+/// Recoverable frame errors answer in-band and keep going — a malformed
+/// frame never kills the thread.
+fn handle_connection(mut stream: TcpStream, queues: &Queues) {
+    // Nagle would hold our small response frames hostage to the next read.
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_request(&mut stream) {
+            Ok(req) => {
+                SERVER_REQUESTS.inc();
+                let start = Instant::now();
+                let resp = dispatch(queues, &req);
+                SERVER_REQUEST_NS.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                if write_response(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(ProtocolError::Closed) => return,
+            Err(ProtocolError::Io(_)) => return,
+            Err(ProtocolError::Frame {
+                code,
+                detail,
+                fatal,
+            }) => {
+                SERVER_PROTOCOL_ERRORS.inc();
+                let reply = Response::Error {
+                    code,
+                    message: detail,
+                };
+                let ok = write_response(&mut stream, &reply).is_ok();
+                if fatal || !ok {
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn dispatch(queues: &Queues, req: &Request) -> Response {
+    if req.model_id != queues.model_id {
+        return Response::Error {
+            code: ErrorCode::UnknownModel,
+            message: format!(
+                "model id {} is not served here (serving {})",
+                req.model_id, queues.model_id
+            ),
+        };
+    }
+    let queue = match req.kind {
+        RequestKind::Predict => &queues.mean,
+        RequestKind::PredictVar => match &queues.var {
+            Some(q) => q,
+            None => {
+                return Response::Error {
+                    code: ErrorCode::NoUncertainty,
+                    message: "model artifact carries no posterior factors".to_string(),
+                }
+            }
+        },
+    };
+    match queue.submit(&req.sample) {
+        Ok(values) => Response::Values(values),
+        Err(e) => Response::Error {
+            code: match e {
+                BatchError::Overloaded => ErrorCode::Overloaded,
+                BatchError::Shutdown => ErrorCode::Shutdown,
+                BatchError::WrongDimension { .. } => ErrorCode::WrongDimension,
+                BatchError::Eval(_) => ErrorCode::Internal,
+            },
+            message: e.to_string(),
+        },
+    }
+}

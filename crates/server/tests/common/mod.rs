@@ -1,0 +1,82 @@
+//! Shared fixtures: a small deterministic model, with and without
+//! synthetic posterior factors, served over loopback.
+//!
+//! Each test binary uses the subset it needs.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use cbmf::{BasisSpec, PerStateModel, PosteriorPredictive, PredictiveParts};
+use cbmf_linalg::Matrix;
+use cbmf_serve::{BatchPredictor, ModelArtifact};
+
+pub const STATES: usize = 4;
+pub const VARIABLES: usize = 6;
+pub const PER_STATE: usize = 5;
+
+/// A deterministic mean-path model: full support, formula coefficients.
+pub fn toy_model() -> PerStateModel {
+    let support: Vec<usize> = (0..VARIABLES).collect();
+    let coeffs = Matrix::from_fn(STATES, support.len(), |k, j| {
+        ((k * 7 + j * 3) as f64 * 0.23).sin()
+    });
+    let intercepts: Vec<f64> = (0..STATES).map(|k| k as f64 * 0.5 - 1.0).collect();
+    PerStateModel::new(BasisSpec::Linear, VARIABLES, support, coeffs, intercepts).unwrap()
+}
+
+/// Synthetic posterior factors shaped like a real fit (the values are
+/// arbitrary but deterministic — the suites only compare server output
+/// against the direct predictor call, bit for bit).
+pub fn toy_predictive() -> PosteriorPredictive {
+    let m = VARIABLES;
+    let total = STATES * PER_STATE;
+    let chol_l = Matrix::from_fn(total, total, |i, j| {
+        if i == j {
+            1.0 + 0.05 * i as f64
+        } else if j < i {
+            0.01 * ((i * 3 + j) % 5) as f64
+        } else {
+            0.0
+        }
+    });
+    let parts = PredictiveParts {
+        chol_l,
+        chol_jitter: 0.0,
+        ciy: (0..total).map(|i| ((i as f64) * 0.37).cos()).collect(),
+        bases: (0..STATES)
+            .map(|k| {
+                Matrix::from_fn(PER_STATE, m, |n, j| {
+                    ((k + 2 * n + 3 * j) as f64 * 0.19).sin()
+                })
+            })
+            .collect(),
+        basis_means: (0..STATES)
+            .map(|k| (0..m).map(|j| 0.05 * (k as f64 - j as f64)).collect())
+            .collect(),
+        y_means: (0..STATES).map(|k| 0.25 * k as f64).collect(),
+        lambda: (0..m).map(|j| 0.5 + 0.1 * j as f64).collect(),
+        r: Matrix::from_fn(STATES, STATES, |a, b| if a == b { 1.0 } else { 0.4 }),
+        sigma0: 0.3,
+        basis_spec: BasisSpec::Linear,
+    };
+    PosteriorPredictive::from_parts(parts).unwrap()
+}
+
+/// A predictor with both the mean and the uncertainty path.
+pub fn gp_predictor() -> Arc<BatchPredictor> {
+    let artifact = ModelArtifact::from_model(toy_model()).with_predictive(&toy_predictive());
+    Arc::new(BatchPredictor::from_artifact(&artifact).unwrap())
+}
+
+/// A predictor with only the mean path.
+pub fn mean_predictor() -> Arc<BatchPredictor> {
+    Arc::new(BatchPredictor::new(toy_model()))
+}
+
+/// Deterministic pseudo-random sample grid: row `i` of the suite's shared
+/// input set.
+pub fn sample(i: usize) -> Vec<f64> {
+    (0..VARIABLES)
+        .map(|j| ((i * 31 + j * 17) as f64 * 0.113).sin() * 2.0)
+        .collect()
+}

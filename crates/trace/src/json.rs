@@ -8,7 +8,8 @@
 //!
 //! Numbers are `f64`. Every integer the workspace records (nanosecond
 //! totals, counter values) stays below 2⁵³ and round-trips exactly;
-//! [`Json::write`] prints integral values without a fractional part.
+//! the writer behind [`Json::to_pretty`] prints integral values without a
+//! fractional part.
 
 use std::collections::BTreeMap;
 use std::fmt;

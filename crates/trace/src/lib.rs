@@ -121,6 +121,7 @@ pub struct SpanStats {
 struct Registry {
     counters: Mutex<Vec<&'static Counter>>,
     gauges: Mutex<Vec<&'static Gauge>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStats>>,
 }
 
@@ -129,6 +130,7 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: Mutex::new(Vec::new()),
         gauges: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
         spans: Mutex::new(BTreeMap::new()),
     })
 }
@@ -277,8 +279,139 @@ impl Gauge {
 }
 
 // ---------------------------------------------------------------------------
-// Spans
+// Histograms
 // ---------------------------------------------------------------------------
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `i` holds values whose
+/// bit width is `i`: bucket 0 is exactly `{0}`, bucket 1 is `{1}`, bucket
+/// `i >= 1` covers `[2^(i-1), 2^i - 1]`, and the last bucket absorbs
+/// everything `>= 2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A named log2-bucketed value histogram, declared as a `static` at its use
+/// site like [`Counter`] — the serving layer records per-request latencies
+/// into one and reports read p50/p95/p99 out of the snapshot.
+///
+/// ```
+/// use cbmf_trace::Histogram;
+/// static REQUEST_NS: Histogram = Histogram::new("server.request_ns");
+/// REQUEST_NS.record(1_250);
+/// ```
+///
+/// Recording is one relaxed `fetch_add` on the value's bucket plus exact
+/// atomic min/max updates; buckets give ≤2× relative error on quantiles,
+/// tightened by linear interpolation inside the winning bucket.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    min: AtomicU64,
+    max: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Creates an unregistered histogram. `name` should be a dotted path
+    /// ending in the unit, e.g. `"server.request_ns"`.
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Bucket index of `v`: its bit width, capped at the last bucket.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation when tracing is enabled; no-op otherwise.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry().histograms.lock().unwrap().push(self);
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copies out the current state (bucket counts and exact min/max).
+    pub fn stats(&self) -> HistogramStats {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramStats {
+            count,
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram, with quantile estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramStats {
+    /// Total observations (sum of all buckets).
+    pub count: u64,
+    /// Exact smallest observed value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Exact largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket counts; see [`HISTOGRAM_BUCKETS`] for the bucket ranges.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramStats {
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`): finds the bucket holding
+    /// the target rank and interpolates linearly inside it, clamped to the
+    /// exact observed min/max. Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                // Bucket i covers [lo, hi]; place the rank proportionally.
+                let lo = if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+                let hi = if i == 0 {
+                    0.0
+                } else {
+                    ((1u64 << (i - 1)) as f64) * 2.0 - 1.0
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                let est = lo + (hi - lo) * frac;
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+            seen += n;
+        }
+        Some(self.max as f64)
+    }
+}
 
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
@@ -362,6 +495,8 @@ pub struct Snapshot {
     pub counters: BTreeMap<&'static str, u64>,
     /// Registered gauges that have been written at least once.
     pub gauges: BTreeMap<&'static str, f64>,
+    /// Registered histograms and their bucket state.
+    pub histograms: BTreeMap<&'static str, HistogramStats>,
 }
 
 impl Default for SpanStats {
@@ -393,10 +528,18 @@ pub fn snapshot() -> Snapshot {
         .iter()
         .filter_map(|g| g.get().map(|v| (g.name, v)))
         .collect();
+    let histograms = reg
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| (h.name, h.stats()))
+        .collect();
     Snapshot {
         spans,
         counters,
         gauges,
+        histograms,
     }
 }
 
@@ -411,6 +554,13 @@ pub fn reset() {
     for g in reg.gauges.lock().unwrap().iter() {
         g.is_set.store(false, Ordering::Relaxed);
         g.bits.store(0, Ordering::Relaxed);
+    }
+    for h in reg.histograms.lock().unwrap().iter() {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
     }
     reg.spans.lock().unwrap().clear();
 }
@@ -512,6 +662,72 @@ mod tests {
         let _hidden = span("hidden");
         assert_eq!(current_path(), "", "disabled tracing yields empty paths");
         clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn histogram_records_and_estimates_quantiles() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        static H: Histogram = Histogram::new("test.hist.latency_ns");
+        // 100 observations at 1000ns, 10 at 100_000ns: p50 must sit in the
+        // low mode, p99 in the high one, min/max exact.
+        for _ in 0..100 {
+            H.record(1_000);
+        }
+        for _ in 0..10 {
+            H.record(100_000);
+        }
+        let snap = snapshot();
+        let stats = &snap.histograms["test.hist.latency_ns"];
+        assert_eq!(stats.count, 110);
+        assert_eq!(stats.min, 1_000);
+        assert_eq!(stats.max, 100_000);
+        let p50 = stats.quantile(0.5).unwrap();
+        assert!((512.0..2048.0).contains(&p50), "p50 = {p50}");
+        let p99 = stats.quantile(0.99).unwrap();
+        assert!((65_536.0..=131_072.0).contains(&p99), "p99 = {p99}");
+        // Quantiles never escape the exact observed range.
+        assert!(stats.quantile(0.0).unwrap() >= 1_000.0);
+        assert!(stats.quantile(1.0).unwrap() <= 100_000.0);
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn histogram_reset_and_disabled_paths() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        static H: Histogram = Histogram::new("test.hist.reset");
+        H.record(42);
+        assert_eq!(snapshot().histograms["test.hist.reset"].count, 1);
+        reset();
+        let stats = snapshot().histograms["test.hist.reset"].clone();
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.quantile(0.5), None);
+        set_enabled(false);
+        H.record(7);
+        set_enabled(true);
+        assert_eq!(
+            snapshot().histograms["test.hist.reset"].count,
+            0,
+            "disabled records nothing"
+        );
+        clear_enabled_override();
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! {
 //!   "counters": {"cbmf.gram_cache.hit": 123, ...},
 //!   "gauges": {...},
+//!   "histograms": {"server.request_ns": {"count": ..., "p50_ns": ..., ...}, ...},
 //!   "host": {"arch": "x86_64", "os": "linux", "threads": 8},
 //!   "meta": {...},
 //!   "run": "cbmf_report_lna",
@@ -84,6 +85,33 @@ pub fn render_report(meta: &ReportMeta, snap: &Snapshot) -> Json {
         .iter()
         .map(|(name, v)| (name.to_string(), Json::Num(*v)))
         .collect();
+    let histograms: BTreeMap<String, Json> = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| {
+            (
+                name.to_string(),
+                Json::obj([
+                    ("count".to_string(), Json::Num(h.count as f64)),
+                    ("min_ns".to_string(), Json::Num(h.min as f64)),
+                    ("max_ns".to_string(), Json::Num(h.max as f64)),
+                    (
+                        "p50_ns".to_string(),
+                        Json::Num(h.quantile(0.50).unwrap_or(0.0).round()),
+                    ),
+                    (
+                        "p95_ns".to_string(),
+                        Json::Num(h.quantile(0.95).unwrap_or(0.0).round()),
+                    ),
+                    (
+                        "p99_ns".to_string(),
+                        Json::Num(h.quantile(0.99).unwrap_or(0.0).round()),
+                    ),
+                ]),
+            )
+        })
+        .collect();
     Json::obj([
         ("schema".to_string(), Json::Str(REPORT_SCHEMA.to_string())),
         ("run".to_string(), Json::Str(meta.run.clone())),
@@ -93,6 +121,7 @@ pub fn render_report(meta: &ReportMeta, snap: &Snapshot) -> Json {
         ("spans".to_string(), Json::Obj(spans)),
         ("counters".to_string(), Json::Obj(counters)),
         ("gauges".to_string(), Json::Obj(gauges)),
+        ("histograms".to_string(), Json::Obj(histograms)),
     ])
 }
 
@@ -178,7 +207,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{clear_enabled_override, reset, set_enabled, span, Counter, Gauge};
+    use crate::{clear_enabled_override, reset, set_enabled, span, Counter, Gauge, Histogram};
 
     #[test]
     #[cfg(feature = "trace")]
@@ -188,8 +217,12 @@ mod tests {
         reset();
         static C: Counter = Counter::new("test.report.sims");
         static G: Gauge = Gauge::new("test.report.err_pct");
+        static H: Histogram = Histogram::new("test.report.latency_ns");
         C.add(256);
         G.set(3.25);
+        for v in [900, 1_000, 1_100, 50_000] {
+            H.record(v);
+        }
         {
             let _fit = span("fit");
             let _init = span("init");
@@ -222,6 +255,16 @@ mod tests {
                 .as_f64(),
             Some(3.25)
         );
+        let hist = parsed
+            .get("histograms")
+            .unwrap()
+            .get("test.report.latency_ns")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(4));
+        assert_eq!(hist.get("min_ns").unwrap().as_u64(), Some(900));
+        assert_eq!(hist.get("max_ns").unwrap().as_u64(), Some(50_000));
+        assert!(hist.get("p50_ns").unwrap().as_f64().unwrap() >= 900.0);
+        assert!(hist.get("p99_ns").unwrap().as_f64().unwrap() <= 50_000.0);
         let spans = parsed.get("spans").unwrap().as_obj().unwrap();
         assert!(spans.contains_key("fit"));
         assert!(spans.contains_key("fit/init"));
