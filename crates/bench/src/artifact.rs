@@ -1,0 +1,440 @@
+//! Artifact serialization benchmark: JSON `cbmf-model/1` vs binary
+//! `cbmf-model/2` save/load times at paper scale, written to
+//! `BENCH_artifact.json` at the repository root.
+//!
+//! The workload is the serving suite's synthetic GP artifact
+//! ([`crate::serve::serving_gp_artifact`]) at the paper's d =
+//! [`ARTIFACT_VARIABLES`] variation variables with
+//! [`ARTIFACT_ROWS_PER_STATE`] posterior training rows per state — a
+//! multi-megabyte document dominated by `f64` payloads (the Cholesky
+//! factor, the per-state bases), which is exactly the regime the binary
+//! format exists for: JSON spends its time formatting and parsing decimal
+//! numbers, the binary reader bulk-copies bits.
+//!
+//! The acceptance bar is the [`MIN_BINARY_SPEEDUP`]× **load** speedup
+//! (minimum JSON load time over minimum binary load time, same host, same
+//! bytes): it is asserted on the committed baseline by a unit test here and
+//! enforced on fresh runs by `gate_artifact` in the `ci_gate` binary. As in
+//! every min-time suite, the **minimum** over repetitions is the gated
+//! statistic and the document is canonical sorted-key JSON.
+
+use std::path::PathBuf;
+
+use cbmf_serve::ModelArtifact;
+use cbmf_trace::Json;
+
+use crate::kernels::{time_stats, Calibration};
+use crate::predict::{STATES, SUPPORT};
+
+/// Schema tag of `BENCH_artifact.json`.
+pub const ARTIFACT_SCHEMA: &str = "cbmf-bench-artifact/1";
+
+/// The paper's LNA variation dimensionality (Wang & Li, DAC 2016) — the
+/// suite's default workload dimension.
+pub const ARTIFACT_VARIABLES: usize = 1300;
+
+/// Posterior training rows per state of the default workload: `8 × 64`
+/// total rows keep the Cholesky factor dense-but-CI-sized while the
+/// per-state bases (`64 × 1300` each) dominate the document.
+pub const ARTIFACT_ROWS_PER_STATE: usize = 64;
+
+/// The acceptance bar: the binary load must be at least this many times
+/// faster than the JSON load of the same artifact, by minimum times.
+pub const MIN_BINARY_SPEEDUP: f64 = 5.0;
+
+/// Workload dimensions of one suite run.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactLoad {
+    /// Variation variables of the synthetic model.
+    pub variables: usize,
+    /// Posterior training rows per state.
+    pub rows_per_state: usize,
+}
+
+impl Default for ArtifactLoad {
+    fn default() -> Self {
+        ArtifactLoad {
+            variables: ARTIFACT_VARIABLES,
+            rows_per_state: ARTIFACT_ROWS_PER_STATE,
+        }
+    }
+}
+
+/// Wall-clock save/load timings of both encodings of one artifact.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactResult {
+    /// Size of the canonical JSON encoding, bytes.
+    pub json_bytes: u64,
+    /// Size of the binary encoding, bytes.
+    pub bin_bytes: u64,
+    /// Median ns to write the JSON encoding.
+    pub json_save_ns: u128,
+    /// Minimum ns to write the JSON encoding — gated.
+    pub json_save_min_ns: u128,
+    /// Median ns to load + validate from JSON.
+    pub json_load_ns: u128,
+    /// Minimum ns to load + validate from JSON — gated.
+    pub json_load_min_ns: u128,
+    /// Median ns to write the binary encoding.
+    pub bin_save_ns: u128,
+    /// Minimum ns to write the binary encoding — gated.
+    pub bin_save_min_ns: u128,
+    /// Median ns to load + validate from binary.
+    pub bin_load_ns: u128,
+    /// Minimum ns to load + validate from binary — gated.
+    pub bin_load_min_ns: u128,
+}
+
+/// The load speedup a result demonstrates: minimum JSON load time over
+/// minimum binary load time (a same-host ratio — no calibration scaling).
+pub fn binary_speedup(r: &ArtifactResult) -> f64 {
+    r.json_load_min_ns as f64 / r.bin_load_min_ns.max(1) as f64
+}
+
+/// Times `reps` save/load repetitions of both encodings of the synthetic
+/// GP artifact at `load`'s dimensions, through real files in a process-
+/// scoped temp directory. Loads go through the public loaders
+/// ([`ModelArtifact::load`] / [`ModelArtifact::load_binary`]), so parse
+/// *and* validation cost is measured — that is what a serving process pays.
+///
+/// # Panics
+///
+/// Panics on filesystem failure or if the two encodings disagree about the
+/// model (the losslessness cross-check) — harness-level conditions.
+pub fn run_artifact_suite(reps: usize, load: ArtifactLoad) -> ArtifactResult {
+    let artifact = crate::serve::serving_gp_artifact(load.variables, load.rows_per_state);
+    let dir: PathBuf = std::env::temp_dir().join(format!(
+        "cbmf_bench_artifact_{}_{}",
+        std::process::id(),
+        load.variables
+    ));
+    std::fs::create_dir_all(&dir).expect("create artifact bench dir");
+    let json_path = dir.join("workload.cbmf.json");
+    let bin_path = dir.join("workload.cbmf.bin");
+
+    let (json_save_ns, json_save_min_ns) =
+        time_stats(reps, || artifact.save(&json_path).expect("save json"));
+    let (bin_save_ns, bin_save_min_ns) = time_stats(reps, || {
+        artifact.save_binary(&bin_path).expect("save binary")
+    });
+    let (json_load_ns, json_load_min_ns) = time_stats(reps, || {
+        std::hint::black_box(ModelArtifact::load(&json_path).expect("load json"));
+    });
+    let (bin_load_ns, bin_load_min_ns) = time_stats(reps, || {
+        std::hint::black_box(ModelArtifact::load_binary(&bin_path).expect("load binary"));
+    });
+
+    // Losslessness cross-check, once, outside the timed region: both files
+    // decode to the identical model bits.
+    let from_json = ModelArtifact::load(&json_path).expect("load json");
+    let from_bin = ModelArtifact::load_binary(&bin_path).expect("load binary");
+    assert_eq!(
+        from_json.to_binary_bytes(),
+        from_bin.to_binary_bytes(),
+        "json and binary encodings decoded to different models"
+    );
+
+    let json_bytes = std::fs::metadata(&json_path).expect("stat json").len();
+    let bin_bytes = std::fs::metadata(&bin_path).expect("stat binary").len();
+    std::fs::remove_dir_all(&dir).ok();
+
+    ArtifactResult {
+        json_bytes,
+        bin_bytes,
+        json_save_ns,
+        json_save_min_ns,
+        json_load_ns,
+        json_load_min_ns,
+        bin_save_ns,
+        bin_save_min_ns,
+        bin_load_ns,
+        bin_load_min_ns,
+    }
+}
+
+/// Merges a re-run by element-wise minimum on every timing — the retry
+/// strategy of every min-time suite. Sizes are deterministic and must
+/// agree.
+pub fn merge_min_artifact(into: &mut [ArtifactResult], rerun: &[ArtifactResult]) {
+    for (r, n) in into.iter_mut().zip(rerun) {
+        assert_eq!(r.json_bytes, n.json_bytes, "json size changed between runs");
+        assert_eq!(r.bin_bytes, n.bin_bytes, "binary size changed between runs");
+        r.json_save_ns = r.json_save_ns.min(n.json_save_ns);
+        r.json_save_min_ns = r.json_save_min_ns.min(n.json_save_min_ns);
+        r.json_load_ns = r.json_load_ns.min(n.json_load_ns);
+        r.json_load_min_ns = r.json_load_min_ns.min(n.json_load_min_ns);
+        r.bin_save_ns = r.bin_save_ns.min(n.bin_save_ns);
+        r.bin_save_min_ns = r.bin_save_min_ns.min(n.bin_save_min_ns);
+        r.bin_load_ns = r.bin_load_ns.min(n.bin_load_ns);
+        r.bin_load_min_ns = r.bin_load_min_ns.min(n.bin_load_min_ns);
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Renders a suite result as a schema-versioned, sorted-key document — the
+/// exact layout of the committed `BENCH_artifact.json`.
+pub fn render_artifact_report(
+    r: &ArtifactResult,
+    reps: usize,
+    load: ArtifactLoad,
+    calibration: Calibration,
+) -> Json {
+    let timing = |median: u128, min: u128| {
+        [
+            ("load_median_ns".to_string(), Json::Num(median as f64)),
+            ("load_min_ns".to_string(), Json::Num(min as f64)),
+        ]
+    };
+    let mut json_section = timing(r.json_load_ns, r.json_load_min_ns).to_vec();
+    json_section.push((
+        "save_median_ns".to_string(),
+        Json::Num(r.json_save_ns as f64),
+    ));
+    json_section.push((
+        "save_min_ns".to_string(),
+        Json::Num(r.json_save_min_ns as f64),
+    ));
+    let mut bin_section = timing(r.bin_load_ns, r.bin_load_min_ns).to_vec();
+    bin_section.push((
+        "save_median_ns".to_string(),
+        Json::Num(r.bin_save_ns as f64),
+    ));
+    bin_section.push((
+        "save_min_ns".to_string(),
+        Json::Num(r.bin_save_min_ns as f64),
+    ));
+    Json::obj([
+        ("schema".to_string(), Json::Str(ARTIFACT_SCHEMA.to_string())),
+        ("reps".to_string(), Json::Num(reps as f64)),
+        (
+            "calibration_ns".to_string(),
+            Json::Num(calibration.cache_ns as f64),
+        ),
+        (
+            "calibration_dram_ns".to_string(),
+            Json::Num(calibration.dram_ns as f64),
+        ),
+        ("host".to_string(), crate::kernels::host_with_isa()),
+        ("binary".to_string(), Json::obj(bin_section)),
+        ("json".to_string(), Json::obj(json_section)),
+        (
+            "load_speedup".to_string(),
+            Json::Num(round3(binary_speedup(r))),
+        ),
+        (
+            "sizes".to_string(),
+            Json::obj([
+                ("bin_bytes".to_string(), Json::Num(r.bin_bytes as f64)),
+                ("json_bytes".to_string(), Json::Num(r.json_bytes as f64)),
+                (
+                    "json_over_bin".to_string(),
+                    Json::Num(round3(r.json_bytes as f64 / r.bin_bytes.max(1) as f64)),
+                ),
+            ]),
+        ),
+        (
+            "workload".to_string(),
+            Json::obj([
+                (
+                    "rows_per_state".to_string(),
+                    Json::Num(load.rows_per_state as f64),
+                ),
+                ("states".to_string(), Json::Num(STATES as f64)),
+                ("support".to_string(), Json::Num(SUPPORT as f64)),
+                ("variables".to_string(), Json::Num(load.variables as f64)),
+            ]),
+        ),
+    ])
+}
+
+/// The gated minimum-time fields of each encoding section.
+pub const ARTIFACT_MIN_FIELDS: &[&str] = &["load_min_ns", "save_min_ns"];
+
+/// Validates the fixed skeleton of an artifact report: schema string,
+/// positive calibrations, host object, both encoding sections with every
+/// timing, positive sizes, and a positive recorded speedup.
+pub fn validate_artifact_report(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == ARTIFACT_SCHEMA => {}
+        Some(s) => return Err(format!("schema '{s}' is not '{ARTIFACT_SCHEMA}'")),
+        None => return Err("missing 'schema' field".to_string()),
+    }
+    for cal in ["calibration_ns", "calibration_dram_ns"] {
+        match doc.get(cal).and_then(Json::as_f64) {
+            Some(c) if c > 0.0 => {}
+            _ => return Err(format!("missing or non-positive '{cal}'")),
+        }
+    }
+    if doc.get("host").and_then(Json::as_obj).is_none() {
+        return Err("missing 'host' object".to_string());
+    }
+    for section in ["binary", "json"] {
+        let s = doc
+            .get(section)
+            .and_then(Json::as_obj)
+            .ok_or(format!("missing '{section}' object"))?;
+        for field in [
+            "load_median_ns",
+            "load_min_ns",
+            "save_median_ns",
+            "save_min_ns",
+        ] {
+            match s.get(field).and_then(Json::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => return Err(format!("{section}: bad '{field}'")),
+            }
+        }
+    }
+    let sizes = doc
+        .get("sizes")
+        .and_then(Json::as_obj)
+        .ok_or("missing 'sizes' object")?;
+    for field in ["bin_bytes", "json_bytes"] {
+        match sizes.get(field).and_then(Json::as_f64) {
+            Some(v) if v > 0.0 => {}
+            _ => return Err(format!("sizes: bad '{field}'")),
+        }
+    }
+    match doc.get("load_speedup").and_then(Json::as_f64) {
+        Some(v) if v > 0.0 => Ok(()),
+        _ => Err("missing or non-positive 'load_speedup'".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_load() -> ArtifactLoad {
+        ArtifactLoad {
+            variables: 40,
+            rows_per_state: 4,
+        }
+    }
+
+    fn cal(cache_ns: u128, dram_ns: u128) -> Calibration {
+        Calibration { cache_ns, dram_ns }
+    }
+
+    fn mk(json_load: u128, bin_load: u128) -> ArtifactResult {
+        ArtifactResult {
+            json_bytes: 1000,
+            bin_bytes: 300,
+            json_save_ns: json_load,
+            json_save_min_ns: json_load,
+            json_load_ns: json_load,
+            json_load_min_ns: json_load,
+            bin_save_ns: bin_load,
+            bin_save_min_ns: bin_load,
+            bin_load_ns: bin_load,
+            bin_load_min_ns: bin_load,
+        }
+    }
+
+    #[test]
+    fn suite_times_both_encodings_and_validates() {
+        let r = run_artifact_suite(1, tiny_load());
+        assert!(r.json_bytes > 0 && r.bin_bytes > 0);
+        assert!(
+            r.bin_bytes < r.json_bytes,
+            "binary must be the smaller encoding"
+        );
+        assert!(r.json_load_min_ns >= 1 && r.bin_load_min_ns >= 1);
+        assert!(r.json_load_min_ns <= r.json_load_ns);
+        assert!(r.bin_load_min_ns <= r.bin_load_ns);
+        let doc = render_artifact_report(&r, 1, tiny_load(), cal(123, 456));
+        validate_artifact_report(&doc).expect("fresh report validates");
+        // Byte-stable: parse-then-render reproduces the canonical text.
+        let text = format!("{}\n", doc.to_pretty());
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(format!("{}\n", reparsed.to_pretty()), text);
+    }
+
+    #[test]
+    fn merge_min_takes_elementwise_minimum() {
+        let mut acc = [mk(100, 10)];
+        merge_min_artifact(&mut acc, &[mk(80, 12)]);
+        assert_eq!(acc[0].json_load_min_ns, 80);
+        assert_eq!(acc[0].bin_load_min_ns, 10);
+        assert_eq!(acc[0].json_save_min_ns, 80);
+        assert_eq!(acc[0].bin_save_min_ns, 10);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_reports() {
+        let good = render_artifact_report(&mk(100, 10), 3, tiny_load(), cal(100, 200));
+        validate_artifact_report(&good).unwrap();
+        assert!(validate_artifact_report(&Json::Null).is_err());
+        let with = |f: &dyn Fn(&mut std::collections::BTreeMap<String, Json>)| {
+            let mut doc = good.clone();
+            if let Json::Obj(map) = &mut doc {
+                f(map);
+            }
+            doc
+        };
+        let wrong_schema = with(&|m| {
+            m.insert("schema".into(), Json::Str("cbmf-bench-artifact/9".into()));
+        });
+        assert!(validate_artifact_report(&wrong_schema)
+            .unwrap_err()
+            .contains("cbmf-bench-artifact/9"));
+        let no_bin = with(&|m| {
+            m.remove("binary");
+        });
+        assert!(validate_artifact_report(&no_bin)
+            .unwrap_err()
+            .contains("binary"));
+        let no_sizes = with(&|m| {
+            m.remove("sizes");
+        });
+        assert!(validate_artifact_report(&no_sizes)
+            .unwrap_err()
+            .contains("sizes"));
+        let no_speedup = with(&|m| {
+            m.remove("load_speedup");
+        });
+        assert!(validate_artifact_report(&no_speedup)
+            .unwrap_err()
+            .contains("load_speedup"));
+    }
+
+    /// The committed baseline must stay parseable, schema-valid, canonical,
+    /// and — the acceptance bar of the binary format — record a load
+    /// speedup of at least [`MIN_BINARY_SPEEDUP`]× at paper scale. A
+    /// failure here means `BENCH_artifact.json` needs regenerating via
+    /// `cargo run --release -p cbmf-bench --bin bench_artifact`.
+    #[test]
+    fn committed_artifact_baseline_meets_the_speedup_floor() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_artifact.json");
+        let text = std::fs::read_to_string(path).expect("read BENCH_artifact.json");
+        let doc = Json::parse(&text).expect("parse BENCH_artifact.json");
+        validate_artifact_report(&doc).expect("committed baseline validates");
+        assert_eq!(
+            format!("{}\n", doc.to_pretty()),
+            text,
+            "BENCH_artifact.json is not in canonical form"
+        );
+        let speedup = |enc: &str| {
+            doc.get(enc)
+                .and_then(|s| s.get("load_min_ns"))
+                .and_then(Json::as_f64)
+                .expect("load_min_ns")
+        };
+        let measured = speedup("json") / speedup("binary");
+        assert!(
+            measured >= MIN_BINARY_SPEEDUP,
+            "committed baseline's binary load is only {measured:.2}x faster than JSON \
+             (< {MIN_BINARY_SPEEDUP}x floor)"
+        );
+        // The paper-scale workload is what the floor is about.
+        let d = doc
+            .get("workload")
+            .and_then(|w| w.get("variables"))
+            .and_then(Json::as_f64)
+            .expect("workload.variables");
+        assert_eq!(d as usize, ARTIFACT_VARIABLES);
+    }
+}

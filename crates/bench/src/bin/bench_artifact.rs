@@ -1,0 +1,78 @@
+//! Artifact serialization baseline: JSON `cbmf-model/1` vs binary
+//! `cbmf-model/2` save/load timed at paper scale, written to
+//! `BENCH_artifact.json` at the repository root. See
+//! [`cbmf_bench::artifact`] for the workload definition; the `ci_gate`
+//! binary compares fresh re-runs against the committed document under the
+//! same min-time × calibration-ratio rule as the kernel suite, plus the
+//! [`MIN_BINARY_SPEEDUP`]× load-speedup floor.
+//!
+//! Run with `cargo run --release -p cbmf-bench --bin bench_artifact`.
+//! Flags: `--quick` (fewer reps, for smoke runs — do not commit the
+//! result), `--out <path>` (write elsewhere than the committed baseline).
+
+use std::path::Path;
+
+use cbmf_bench::artifact::{
+    binary_speedup, render_artifact_report, run_artifact_suite, ArtifactLoad, MIN_BINARY_SPEEDUP,
+};
+use cbmf_bench::kernels::{Calibration, BASELINE_REPS, QUICK_REPS};
+use cbmf_trace::{Json, ReportMeta};
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps = if args.iter().any(|a| a == "--quick") {
+        QUICK_REPS
+    } else {
+        BASELINE_REPS
+    };
+    let default_out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_artifact.json");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| default_out.to_string());
+
+    let load = ArtifactLoad::default();
+    println!(
+        "timing artifact save/load (d={}, rows/state={}, {reps} reps)\n",
+        load.variables, load.rows_per_state
+    );
+
+    let cal_before = Calibration::measure();
+    let r = run_artifact_suite(reps, load);
+    // Min of calibrations bracketing the suite: a single inflated probe
+    // would permanently skew every future gate comparison through the
+    // host_scale ratio.
+    let calibration = cal_before.min_with(Calibration::measure());
+
+    println!(
+        "json    {:>9} bytes   save {:>12} ns   load {:>12} ns (min)",
+        r.json_bytes, r.json_save_min_ns, r.json_load_min_ns
+    );
+    println!(
+        "binary  {:>9} bytes   save {:>12} ns   load {:>12} ns (min)",
+        r.bin_bytes, r.bin_save_min_ns, r.bin_load_min_ns
+    );
+    let speedup = binary_speedup(&r);
+    println!(
+        "\nbinary load speedup: {speedup:.2}x (floor {MIN_BINARY_SPEEDUP}x), \
+         size ratio {:.2}x",
+        r.json_bytes as f64 / r.bin_bytes.max(1) as f64
+    );
+
+    let doc = render_artifact_report(&r, reps, load, calibration);
+    std::fs::write(&out, format!("{}\n", doc.to_pretty())).expect("write BENCH_artifact.json");
+    println!("wrote {out}");
+
+    if cbmf_trace::enabled() {
+        let meta = ReportMeta::new("bench_artifact")
+            .with("reps", Json::Num(reps as f64))
+            .with("load_speedup", Json::Num(speedup))
+            .with("calibration_ns", Json::Num(calibration.cache_ns as f64));
+        let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+        let path = cbmf_trace::write_report(dir, &meta).expect("write trace report");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,9 +1,11 @@
-//! The CI regression gate: re-times the kernel, predict and serving
-//! suites, re-runs the accuracy smoke fits, and compares all four against
-//! the committed baselines (`BENCH_kernels.json`, `BENCH_predict.json`,
-//! `BENCH_serve.json`, `BASELINE_accuracy.json`). Exits nonzero on any
+//! The CI regression gate: re-times the kernel, predict, serving and
+//! artifact-serialization suites, re-runs the accuracy smoke fits, and
+//! compares all five against the committed baselines
+//! (`BENCH_kernels.json`, `BENCH_predict.json`, `BENCH_serve.json`,
+//! `BENCH_artifact.json`, `BASELINE_accuracy.json`). Exits nonzero on any
 //! regression beyond the tolerance; the serve gate additionally enforces
-//! the dynamic-batching coalescing-gain floor at 64 clients.
+//! the dynamic-batching coalescing-gain floor at 64 clients, and the
+//! artifact gate the binary-over-JSON load-speedup floor.
 //!
 //! ```text
 //! cargo run --release -p cbmf-bench --bin ci_gate
@@ -20,20 +22,24 @@
 //! Flags:
 //! * `--tol <f64>` — relative tolerance for all gates (default 0.20).
 //! * `--skip-bench` / `--skip-predict` / `--skip-serve` /
-//!   `--skip-accuracy` — skip a gate.
+//!   `--skip-artifact` / `--skip-accuracy` — skip a gate.
 //! * `--candidate-bench <path>` / `--candidate-predict <path>` /
-//!   `--candidate-serve <path>` / `--candidate-accuracy <path>` — gate a
-//!   pre-recorded candidate document instead of running fresh (used by the
-//!   gate's own CI self-test to prove doctored regressions are caught).
+//!   `--candidate-serve <path>` / `--candidate-artifact <path>` /
+//!   `--candidate-accuracy <path>` — gate a pre-recorded candidate
+//!   document instead of running fresh (used by the gate's own CI
+//!   self-test to prove doctored regressions are caught).
 //! * `--write-accuracy-baseline` — regenerate `BASELINE_accuracy.json`
 //!   from a fresh smoke run and exit (no gating).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use cbmf_bench::artifact::{
+    merge_min_artifact, render_artifact_report, run_artifact_suite, ArtifactLoad,
+};
 use cbmf_bench::gate::{
-    gate_accuracy, gate_kernels, gate_predict, gate_serve, render_step_summary, GateOutcome,
-    DEFAULT_TOL,
+    gate_accuracy, gate_artifact, gate_kernels, gate_predict, gate_serve, render_step_summary,
+    GateOutcome, DEFAULT_TOL,
 };
 use cbmf_bench::kernels::{merge_min, render_bench_report, run_suite, Calibration, QUICK_REPS};
 use cbmf_bench::predict::{merge_min_predict, render_predict_report, run_predict_suite};
@@ -287,6 +293,56 @@ fn main() -> ExitCode {
                 Some(outcome) => {
                     all_passed &= outcome.passed();
                     summary.push(("serve", outcome));
+                }
+                None => all_passed = false,
+            },
+        }
+    }
+
+    if !args.iter().any(|a| a == "--skip-artifact") {
+        let baseline = match load_json(&root.join("BENCH_artifact.json")) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("artifact gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match arg_path(&args, "--candidate-artifact") {
+            Some(p) => match load_json(&p).and_then(|cand| gate_artifact(&baseline, &cand, tol)) {
+                Ok(outcome) => {
+                    all_passed &= report_outcome("artifact gate", &outcome);
+                    summary.push(("artifact", outcome));
+                }
+                Err(e) => {
+                    eprintln!("artifact gate: {e}");
+                    all_passed = false;
+                }
+            },
+            None => match gated_min_time_suite(
+                "artifact gate",
+                &baseline,
+                tol,
+                &out_dir,
+                "candidate_artifact.json",
+                |_| {
+                    let r = run_artifact_suite(QUICK_REPS, ArtifactLoad::default());
+                    println!(
+                        "  json load {:>12} ns   binary load {:>12} ns ({:.2}x)",
+                        r.json_load_min_ns,
+                        r.bin_load_min_ns,
+                        cbmf_bench::artifact::binary_speedup(&r)
+                    );
+                    vec![r]
+                },
+                merge_min_artifact,
+                |merged, cal| {
+                    render_artifact_report(&merged[0], QUICK_REPS, ArtifactLoad::default(), cal)
+                },
+                gate_artifact,
+            ) {
+                Some(outcome) => {
+                    all_passed &= outcome.passed();
+                    summary.push(("artifact", outcome));
                 }
                 None => all_passed = false,
             },

@@ -1,0 +1,91 @@
+//! Fits a reduced model for each of the four circuit examples (LNA gain,
+//! LNA noise figure, mixer gain, VCO frequency) and saves them as binary
+//! `cbmf-model/2` artifacts — with posterior factors — into one directory,
+//! ready for [`cbmf_serve::ModelRegistry::load_dir`] / `serve_tcp --dir` /
+//! `loadgen --dir --model <name>`.
+//!
+//! ```text
+//! cargo run --release -p cbmf-bench --bin fit_fleet -- --out results/models
+//! ```
+//!
+//! The fits are the CI-speed reductions of the `save_and_serve` example
+//! (few Monte-Carlo samples, truncated states/variables, short EM), so the
+//! fleet builds in seconds; the point is exercising the registry with four
+//! genuinely different circuit models, not paper-scale accuracy.
+
+use std::path::PathBuf;
+
+use cbmf::{BasisSpec, CbmfConfig, CbmfFit, PosteriorPredictive, TunableProblem};
+use cbmf_circuits::{Lna, Mixer, MonteCarlo, Testbench, Vco};
+use cbmf_serve::ModelArtifact;
+use cbmf_stats::seeded_rng;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// One reduced fit of `metric` on `circuit`, returned as an artifact with
+/// posterior factors (the serving suites require the uncertainty path).
+fn fit_one(circuit: &(impl Testbench + Sync), metric: usize, seed: u64) -> ModelArtifact {
+    let mut rng = seeded_rng(seed);
+    let ds = MonteCarlo::new(8)
+        .collect(circuit, &mut rng)
+        .expect("Monte Carlo collection");
+    let keep_states = ds.states.len().min(6);
+    let keep_vars = 40;
+    let xs: Vec<_> = ds
+        .states
+        .iter()
+        .take(keep_states)
+        .map(|s| s.x.block(0, s.x.rows(), 0, keep_vars.min(s.x.cols())))
+        .collect();
+    let ys: Vec<_> = ds
+        .states
+        .iter()
+        .take(keep_states)
+        .map(|s| s.metric(metric))
+        .collect();
+    let problem =
+        TunableProblem::from_samples(&xs, &ys, BasisSpec::Linear).expect("problem assembles");
+
+    let mut cfg = CbmfConfig::small_problem();
+    cfg.grid.theta = vec![4, 8];
+    cfg.em.max_iters = 5;
+    let outcome = CbmfFit::new(cfg)
+        .fit(&problem, &mut rng)
+        .expect("reduced fit converges");
+    let prior = outcome.prior().expect("full fit keeps its prior");
+    let predictive = PosteriorPredictive::new(&problem, prior).expect("posterior factors");
+    ModelArtifact::from_fit(&outcome).with_predictive(&predictive)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = PathBuf::from(arg_value(&args, "--out").unwrap_or_else(|| "results/models".into()));
+    std::fs::create_dir_all(&out).expect("create model directory");
+
+    let lna = Lna::new();
+    let mixer = Mixer::new();
+    let vco = Vco::new();
+    let fleet: [(&str, ModelArtifact); 4] = [
+        ("lna_gain", fit_one(&lna, 1, 4210)),
+        ("lna_nf", fit_one(&lna, 0, 4211)),
+        ("mixer_gain", fit_one(&mixer, 1, 4212)),
+        ("vco_freq", fit_one(&vco, 0, 4213)),
+    ];
+    for (name, artifact) in &fleet {
+        let path = out.join(format!("{name}.cbmf.bin"));
+        artifact.save_binary(&path).expect("save binary artifact");
+        println!(
+            "fitted {name}: {} states, support {}, {} bytes -> {}",
+            artifact.model().num_states(),
+            artifact.model().support().len(),
+            artifact.to_binary_bytes().len(),
+            path.display()
+        );
+    }
+    println!("\nfleet of {} models in {}", fleet.len(), out.display());
+}

@@ -11,8 +11,14 @@
 //! Flags:
 //! * `--quick` — quick repetitions instead of the baseline count.
 //! * `--artifact <path>` — serve a saved model artifact (it must carry
-//!   posterior factors) instead of the synthetic GP workload; writes to
-//!   `--out` (default `results/serve_artifact.json`), never the baseline.
+//!   posterior factors) instead of the synthetic GP workload; `.cbmf.json`
+//!   or `.cbmf.bin`, sniffed from the magic bytes. Writes to `--out`
+//!   (default `results/serve_artifact.json`), never the baseline.
+//! * `--dir <path> --model <name>` — load every artifact in a directory
+//!   into a [`cbmf_serve::ModelRegistry`] and drive the suite against the
+//!   named model (the fleet-serving path: one registry, many circuits);
+//!   writes to `--out` (default `results/serve_<name>.json`), never the
+//!   baseline.
 //! * `--paper-scale` — synthetic GP workload at the paper's d = 1300
 //!   instead of the suite's d = 160; writes to `--out` (default
 //!   `results/serve_paper.json`), never the baseline.
@@ -26,7 +32,7 @@ use cbmf_bench::serve::{
     render_serve_report, run_serve_suite_on, serving_gp_predictor, var_gain, ServeLoad,
     GP_ROWS_PER_STATE,
 };
-use cbmf_serve::{BatchPredictor, ModelArtifact};
+use cbmf_serve::{BatchPredictor, ModelArtifact, ModelRegistry};
 use cbmf_trace::{Json, ReportMeta};
 
 /// The paper's LNA variation dimensionality (Wang & Li, DAC 2016).
@@ -47,13 +53,38 @@ fn main() {
         BASELINE_REPS
     };
     let artifact_path = arg_value(&args, "--artifact").map(PathBuf::from);
+    let model_dir = arg_value(&args, "--dir").map(PathBuf::from);
+    let model_name = arg_value(&args, "--model");
     let paper_scale = args.iter().any(|a| a == "--paper-scale");
     let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../../"));
 
     let load = ServeLoad::default();
-    let (predictor, default_out, workload_note) = match (&artifact_path, paper_scale) {
-        (Some(path), _) => {
-            let artifact = ModelArtifact::load(path).expect("load artifact");
+    let (predictor, default_out, workload_note) = match (&model_dir, &artifact_path, paper_scale) {
+        (Some(dir), _, _) => {
+            // Fleet path: the whole directory goes through one registry,
+            // then the named model is pulled off its lock-free read path.
+            let name = model_name
+                .as_deref()
+                .expect("--dir requires --model <name>");
+            let registry = ModelRegistry::new();
+            let registered = registry.load_dir(dir).expect("load model directory");
+            let predictor = registry.get(name).unwrap_or_else(|| {
+                let names: Vec<_> = registered.iter().map(|(n, _)| n.as_str()).collect();
+                panic!("model '{name}' not in {} (have: {names:?})", dir.display())
+            });
+            let note = format!(
+                "registry {} ({} models), model {name}",
+                dir.display(),
+                registered.len()
+            );
+            (
+                predictor,
+                root.join(format!("results/serve_{name}.json")),
+                Some(note),
+            )
+        }
+        (None, Some(path), _) => {
+            let artifact = ModelArtifact::load_auto(path).expect("load artifact");
             let predictor =
                 Arc::new(BatchPredictor::from_artifact(&artifact).expect("artifact validates"));
             let note = format!("artifact {}", path.display());
@@ -63,12 +94,12 @@ fn main() {
                 Some(note),
             )
         }
-        (None, true) => (
+        (None, None, true) => (
             serving_gp_predictor(PAPER_VARIABLES, GP_ROWS_PER_STATE),
             root.join("results/serve_paper.json"),
             Some(format!("synthetic paper-scale d={PAPER_VARIABLES}")),
         ),
-        (None, false) => (
+        (None, None, false) => (
             serving_gp_predictor(cbmf_bench::predict::VARIABLES, GP_ROWS_PER_STATE),
             root.join("BENCH_serve.json"),
             None,

@@ -1,14 +1,22 @@
-//! Standalone TCP prediction server: loads a saved model artifact and
-//! serves it over the `cbmf-server` wire protocol until killed.
+//! Standalone TCP prediction server: loads one saved model artifact — or a
+//! whole directory of them into a [`ModelRegistry`] — and serves over the
+//! `cbmf-server` wire protocol until killed.
 //!
 //! ```text
 //! cargo run --release -p cbmf-bench --bin serve_tcp -- \
 //!     --artifact results/lna_gain.cbmf.json --addr 127.0.0.1:7070
+//! cargo run --release -p cbmf-bench --bin serve_tcp -- \
+//!     --dir results/models --addr 127.0.0.1:7070
 //! ```
 //!
 //! Flags:
-//! * `--artifact <path>` — the `.cbmf.json` artifact to serve (default:
-//!   the golden LNA artifact under `tests/golden/`).
+//! * `--artifact <path>` — a `.cbmf.json` or `.cbmf.bin` artifact to serve
+//!   (default: the golden LNA artifact under `tests/golden/`; the format
+//!   is sniffed from the file's magic bytes).
+//! * `--dir <path>` — serve every `*.cbmf.json` / `*.cbmf.bin` artifact in
+//!   a directory through a model registry; clients route by model id
+//!   (`PredictClient::with_model_id`). The name → id table is printed on
+//!   startup. Mutually exclusive with `--artifact`.
 //! * `--addr <host:port>` — bind address (default `127.0.0.1:7070`; use
 //!   port 0 for an OS-assigned port, printed on startup).
 //!
@@ -18,7 +26,7 @@
 
 use std::sync::Arc;
 
-use cbmf_serve::{BatchPredictor, ModelArtifact};
+use cbmf_serve::{BatchPredictor, ModelArtifact, ModelRegistry};
 use cbmf_server::{PredictionServer, ServerConfig};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -30,30 +38,56 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let artifact_path = arg_value(&args, "--artifact").unwrap_or_else(|| {
-        concat!(
-            env!("CARGO_MANIFEST_DIR"),
-            "/../../tests/golden/lna_small.cbmf.json"
-        )
-        .to_string()
-    });
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
-
-    let artifact = ModelArtifact::load(&artifact_path).expect("load artifact");
-    let predictor = Arc::new(BatchPredictor::from_artifact(&artifact).expect("artifact validates"));
-    println!(
-        "serving {} (d={}, uncertainty: {})",
-        artifact_path,
-        predictor.model().num_variables(),
-        if predictor.has_uncertainty() {
-            "yes"
-        } else {
-            "no"
-        },
+    let dir = arg_value(&args, "--dir");
+    let artifact_path = arg_value(&args, "--artifact");
+    assert!(
+        dir.is_none() || artifact_path.is_none(),
+        "--dir and --artifact are mutually exclusive"
     );
 
-    let server = PredictionServer::bind(addr.as_str(), predictor, ServerConfig::default())
-        .expect("bind listener");
+    let server = if let Some(dir) = dir {
+        let registry = Arc::new(ModelRegistry::new());
+        let registered = registry.load_dir(&dir).expect("load model directory");
+        assert!(
+            !registered.is_empty(),
+            "no *.cbmf.json / *.cbmf.bin artifacts in {dir}"
+        );
+        println!("serving {} model(s) from {dir}:", registered.len());
+        for (name, id) in &registered {
+            let d = registry
+                .get(name)
+                .map(|p| p.model().num_variables())
+                .unwrap_or(0);
+            println!("  id {id:>3}  {name} (d={d})");
+        }
+        PredictionServer::bind_registry(addr.as_str(), registry, ServerConfig::default())
+            .expect("bind listener")
+    } else {
+        let path = artifact_path.unwrap_or_else(|| {
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../tests/golden/lna_small.cbmf.json"
+            )
+            .to_string()
+        });
+        let artifact = ModelArtifact::load_auto(&path).expect("load artifact");
+        let predictor =
+            Arc::new(BatchPredictor::from_artifact(&artifact).expect("artifact validates"));
+        println!(
+            "serving {} (d={}, uncertainty: {})",
+            path,
+            predictor.model().num_variables(),
+            if predictor.has_uncertainty() {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        PredictionServer::bind(addr.as_str(), predictor, ServerConfig::default())
+            .expect("bind listener")
+    };
+
     println!("listening on {}", server.local_addr());
     println!("press Ctrl-C to stop");
     loop {

@@ -1,6 +1,7 @@
 //! The CI regression gates: perf (kernel medians vs `BENCH_kernels.json`),
 //! accuracy (smoke-fit errors vs `BASELINE_accuracy.json`), predict
-//! (`BENCH_predict.json`) and serving (`BENCH_serve.json`).
+//! (`BENCH_predict.json`), serving (`BENCH_serve.json`) and artifact
+//! serialization (`BENCH_artifact.json`).
 //!
 //! The gate logic lives here as plain functions over parsed [`Json`]
 //! documents so it is unit-testable without running any benchmark; the
@@ -30,6 +31,7 @@
 
 use cbmf_trace::Json;
 
+use crate::artifact::{validate_artifact_report, ARTIFACT_MIN_FIELDS, MIN_BINARY_SPEEDUP};
 use crate::kernels::validate_bench_report;
 use crate::predict::validate_predict_report;
 use crate::serve::{validate_serve_report, MIN_COALESCING_GAIN, SERVE_MIN_FIELDS};
@@ -264,6 +266,104 @@ pub fn gate_serve(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOut
     Ok(out)
 }
 
+/// Compares a fresh artifact-suite run against the committed
+/// `BENCH_artifact.json` baseline.
+///
+/// Three families of checks:
+///
+/// 1. **Min-time rows** — each encoding's `load_min_ns` / `save_min_ns`
+///    ([`ARTIFACT_MIN_FIELDS`]) must stay within
+///    `baseline · host_scale · (1 + tol)`, exactly like [`gate_kernels`].
+/// 2. **Load-speedup floor** — the candidate's binary-over-JSON load
+///    speedup (`json.load_min_ns / binary.load_min_ns`, recomputed from the
+///    minima rather than read from the rounded `load_speedup` field) must
+///    stay at least [`MIN_BINARY_SPEEDUP`]` / (1 + tol)`. A same-host
+///    ratio, so no calibration scaling applies.
+/// 3. **Size sanity** — the binary encoding must stay strictly smaller
+///    than the JSON encoding; a format change that bloats the binary past
+///    the text form defeats its purpose.
+///
+/// # Errors
+///
+/// Returns a reason string when either document fails schema validation or
+/// lacks a usable `calibration_ns`.
+pub fn gate_artifact(baseline: &Json, candidate: &Json, tol: f64) -> Result<GateOutcome, String> {
+    validate_artifact_report(baseline).map_err(|e| format!("baseline: {e}"))?;
+    validate_artifact_report(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let cal = |doc: &Json| {
+        doc.get("calibration_ns")
+            .and_then(Json::as_f64)
+            .expect("validated above")
+    };
+    let host_scale = cal(candidate) / cal(baseline);
+
+    let mut out = GateOutcome::default();
+    for section in ["binary", "json"] {
+        for &field in ARTIFACT_MIN_FIELDS {
+            let v = |doc: &Json| {
+                doc.get(section)
+                    .and_then(|s| s.get(field))
+                    .and_then(Json::as_f64)
+                    .expect("validated above")
+            };
+            let (b, c) = (v(baseline), v(candidate));
+            let allowed = b * host_scale * (1.0 + tol);
+            let passed = c <= allowed;
+            out.row(format!("{section} {field}"), b, c, allowed, passed);
+            if !passed {
+                out.failures.push(format!(
+                    "encoding '{section}' {field}: {c:.0} ns > allowed {allowed:.0} ns \
+                     (baseline {b:.0} ns x host_scale {host_scale:.3} x {:.2})",
+                    1.0 + tol
+                ));
+            }
+        }
+    }
+
+    let speedup = |doc: &Json| {
+        let min = |section: &str| {
+            doc.get(section)
+                .and_then(|s| s.get("load_min_ns"))
+                .and_then(Json::as_f64)
+                .expect("validated above")
+        };
+        min("json") / min("binary")
+    };
+    let required = MIN_BINARY_SPEEDUP / (1.0 + tol);
+    let (b, c) = (speedup(baseline), speedup(candidate));
+    let passed = c >= required;
+    out.row("load_speedup (floor)".to_string(), b, c, required, passed);
+    if !passed {
+        out.failures.push(format!(
+            "binary load speedup: {c:.3}x < required {required:.3}x \
+             (floor {MIN_BINARY_SPEEDUP} / {:.2})",
+            1.0 + tol
+        ));
+    }
+
+    let size = |doc: &Json, field: &str| {
+        doc.get("sizes")
+            .and_then(|s| s.get(field))
+            .and_then(Json::as_f64)
+            .expect("validated above")
+    };
+    let (bin, json) = (size(candidate, "bin_bytes"), size(candidate, "json_bytes"));
+    let passed = bin < json;
+    out.row(
+        "bin_bytes < json_bytes".to_string(),
+        size(baseline, "bin_bytes"),
+        bin,
+        json,
+        passed,
+    );
+    if !passed {
+        out.failures.push(format!(
+            "binary encoding ({bin:.0} bytes) is not smaller than JSON ({json:.0} bytes)"
+        ));
+    }
+    Ok(out)
+}
+
 /// The gated minimum-time fields of the kernel and predict suites.
 const MIN_TIME_FIELDS: &[&str] = &[
     "serial_min_ns",
@@ -492,6 +592,32 @@ mod tests {
                     "var_uncoalesced_median_ns": {un}, "var_uncoalesced_min_ns": {un},
                     "var_uncoalesced_rps": 90,
                     "var_coalescing_gain": 1.5}}}},
+                "workload": {{}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn artifact_doc(json_load: f64, bin_load: f64, cal: f64) -> Json {
+        artifact_doc_sized(json_load, bin_load, cal, 35000000.0, 7500000.0)
+    }
+
+    fn artifact_doc_sized(
+        json_load: f64,
+        bin_load: f64,
+        cal: f64,
+        json_bytes: f64,
+        bin_bytes: f64,
+    ) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema": "cbmf-bench-artifact/1", "reps": 3, "calibration_ns": {cal},
+                "calibration_dram_ns": {cal}, "host": {{"threads": 1}},
+                "binary": {{"load_median_ns": {bin_load}, "load_min_ns": {bin_load},
+                           "save_median_ns": {bin_load}, "save_min_ns": {bin_load}}},
+                "json": {{"load_median_ns": {json_load}, "load_min_ns": {json_load},
+                         "save_median_ns": {json_load}, "save_min_ns": {json_load}}},
+                "load_speedup": 1.0,
+                "sizes": {{"bin_bytes": {bin_bytes}, "json_bytes": {json_bytes},
+                          "json_over_bin": 4.7}},
                 "workload": {{}}}}"#
         ))
         .unwrap()
@@ -745,6 +871,66 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("coalescing-gain floor")));
+    }
+
+    #[test]
+    fn artifact_gate_passes_identical_runs_and_counts_every_row() {
+        // 10x speedup clears the 5.0/(1+tol) floor comfortably.
+        let base = artifact_doc(100000.0, 10000.0, 100.0);
+        let out = gate_artifact(&base, &base, DEFAULT_TOL).unwrap();
+        assert!(out.passed(), "{:?}", out.failures);
+        // Four min-time rows + the speedup floor + the size sanity check.
+        assert_eq!(out.checked, 6);
+        assert!(out.rows.iter().any(|r| r.check == "load_speedup (floor)"));
+    }
+
+    #[test]
+    fn artifact_gate_fails_on_load_regression_and_scales_by_calibration() {
+        let base = artifact_doc(100000.0, 10000.0, 100.0);
+        // 30% slower binary load on an identical host: over the 20% gate.
+        let slow = artifact_doc(100000.0, 13000.0, 100.0);
+        let out = gate_artifact(&base, &slow, DEFAULT_TOL).unwrap();
+        // Both binary min-time rows regressed (the doc ties save to load).
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures[0].contains("'binary' load_min_ns"));
+        // A 2x-slower host with proportional timings passes after scaling
+        // (the speedup is a same-host ratio and needs no scaling).
+        let slow_host = artifact_doc(200000.0, 20000.0, 200.0);
+        assert!(gate_artifact(&base, &slow_host, DEFAULT_TOL)
+            .unwrap()
+            .passed());
+        // Schema cross-contamination is rejected up front.
+        let kernels = bench_doc(1000.0, 900.0, 100.0);
+        assert!(gate_artifact(&base, &kernels, DEFAULT_TOL).is_err());
+        assert!(gate_artifact(&kernels, &base, DEFAULT_TOL).is_err());
+    }
+
+    #[test]
+    fn artifact_gate_enforces_the_speedup_floor_and_size_sanity() {
+        let base = artifact_doc(100000.0, 10000.0, 100.0);
+        // Candidate is faster everywhere (no min-time failures) but JSON
+        // got nearly as fast as binary: 3x < 5.0/1.2 ≈ 4.17 — the binary
+        // format stopped paying for itself.
+        let flat = artifact_doc(24000.0, 8000.0, 100.0);
+        let out = gate_artifact(&base, &flat, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("load speedup"));
+        let row = out.rows.iter().find(|r| !r.passed).unwrap();
+        assert!((row.candidate - 3.0).abs() < 1e-9);
+        assert!((row.allowed - MIN_BINARY_SPEEDUP / 1.2).abs() < 1e-9);
+        // The slack boundary is 5.0/1.2 ≈ 4.167: 4.175 passes, 4.083 fails.
+        let edge = artifact_doc(50100.0, 12000.0, 100.0);
+        assert!(gate_artifact(&base, &edge, DEFAULT_TOL).unwrap().passed());
+        let edge = artifact_doc(49000.0, 12000.0, 100.0);
+        let out = gate_artifact(&base, &edge, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("load speedup"));
+        // A binary encoding bigger than the JSON one fails the size check
+        // even with the timings intact.
+        let bloated = artifact_doc_sized(100000.0, 10000.0, 100.0, 35000000.0, 36000000.0);
+        let out = gate_artifact(&base, &bloated, DEFAULT_TOL).unwrap();
+        assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+        assert!(out.failures[0].contains("not smaller"));
     }
 
     #[test]

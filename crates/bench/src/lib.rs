@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod gate;
 pub mod kernels;
 pub mod predict;

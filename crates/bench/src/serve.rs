@@ -117,16 +117,17 @@ pub struct ServeResult {
     pub var_fill: Vec<u64>,
 }
 
-/// Builds the suite's GP-serving predictor: the synthetic mean model at
+/// Builds the suite's GP-serving artifact: the synthetic mean model at
 /// dimension `variables` plus synthetic posterior factors over
 /// `rows_per_state` training rows per state. Deterministic formulas
-/// throughout, so every run serves the identical workload.
+/// throughout, so every run serves the identical workload. The artifact
+/// suite (`crate::artifact`) times exactly this document's two encodings.
 ///
 /// # Panics
 ///
 /// Panics if the synthetic shapes are inconsistent — a bug in this
 /// function, not a runtime condition.
-pub fn serving_gp_predictor(variables: usize, rows_per_state: usize) -> Arc<BatchPredictor> {
+pub fn serving_gp_artifact(variables: usize, rows_per_state: usize) -> ModelArtifact {
     let spec = BasisSpec::Linear;
     let m = spec.num_basis(variables);
     let support_len = SUPPORT.min(m);
@@ -172,7 +173,17 @@ pub fn serving_gp_predictor(variables: usize, rows_per_state: usize) -> Arc<Batc
         basis_spec: spec,
     };
     let predictive = PosteriorPredictive::from_parts(parts).expect("valid synthetic posterior");
-    let artifact = ModelArtifact::from_model(model).with_predictive(&predictive);
+    ModelArtifact::from_model(model).with_predictive(&predictive)
+}
+
+/// [`serving_gp_artifact`] validated into the suite's serving predictor.
+///
+/// # Panics
+///
+/// Panics if the synthetic artifact fails validation — a bug in
+/// [`serving_gp_artifact`], not a runtime condition.
+pub fn serving_gp_predictor(variables: usize, rows_per_state: usize) -> Arc<BatchPredictor> {
+    let artifact = serving_gp_artifact(variables, rows_per_state);
     Arc::new(BatchPredictor::from_artifact(&artifact).expect("artifact round-trips"))
 }
 

@@ -12,7 +12,10 @@
 //!   maps whose outputs are concatenated in index order;
 //! - [`workspace`] — a global pool of grow-only scratch buffers so kernel
 //!   hot loops (packing panels, per-tile scratch) allocate nothing in steady
-//!   state.
+//!   state;
+//! - [`SwapSlot`] — a lock-free `Option<Arc<T>>` publication slot with
+//!   atomic swap, the primitive behind hot model swaps in the serving
+//!   registry.
 //!
 //! # Determinism policy
 //!
@@ -30,7 +33,10 @@ use std::thread;
 
 use cbmf_trace::Counter;
 
+pub mod swap;
 pub mod workspace;
+
+pub use swap::SwapSlot;
 
 /// Fork-joins that actually spawned scoped workers.
 static FORK_JOINS: Counter = Counter::new("parallel.fork_joins");

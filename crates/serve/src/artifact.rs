@@ -94,6 +94,22 @@ impl ModelArtifact {
         self
     }
 
+    /// Assembles an artifact from decoded parts. Callers (the binary
+    /// reader) must already have routed the model through
+    /// [`PerStateModel::new`]; predictive factors are validated on first
+    /// use, exactly as after [`from_json`](Self::from_json).
+    pub(crate) fn from_parts(
+        model: PerStateModel,
+        hyper: Option<Hyper>,
+        predictive: Option<PredictiveParts>,
+    ) -> Self {
+        ModelArtifact {
+            model,
+            hyper,
+            predictive,
+        }
+    }
+
     /// The MAP model.
     pub fn model(&self) -> &PerStateModel {
         &self.model
@@ -311,6 +327,29 @@ fn family_from_str(s: &str) -> Result<BasisSpec, ServeError> {
         "linear_squares" => Ok(BasisSpec::LinearSquares),
         other => Err(ServeError::Invalid(format!(
             "unknown basis family '{other}'"
+        ))),
+    }
+}
+
+/// The binary (`cbmf-model/2`) code of a basis family; must stay in sync
+/// with [`family_from_code`].
+pub(crate) fn family_code(spec: BasisSpec) -> u32 {
+    match spec {
+        BasisSpec::Linear => 0,
+        BasisSpec::LinearSquares => 1,
+        // `BasisSpec` is non_exhaustive; a new family must be given a code
+        // here before it can be serialized.
+        _ => unreachable!("unnamed basis family cannot be serialized"),
+    }
+}
+
+/// Decodes a binary basis-family code.
+pub(crate) fn family_from_code(code: u32) -> Result<BasisSpec, ServeError> {
+    match code {
+        0 => Ok(BasisSpec::Linear),
+        1 => Ok(BasisSpec::LinearSquares),
+        other => Err(ServeError::Invalid(format!(
+            "unknown basis family code {other}"
         ))),
     }
 }

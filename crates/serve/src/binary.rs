@@ -1,0 +1,647 @@
+//! The `cbmf-model/2` binary artifact format.
+//!
+//! JSON `cbmf-model/1` stays the golden/interchange format, but at paper
+//! scale (d ≈ 1300 with GP factors) its dominant cost is number formatting
+//! and parsing. This module adds a little-endian binary sibling with
+//! near-zero parse cost — f64 payloads are bulk bit-copies — and lossless
+//! two-way conversion: `json → bin → json` re-emits the canonical JSON
+//! byte-identically, because both formats carry exact `f64` bits.
+//!
+//! # Layout
+//!
+//! ```text
+//! magic    8 bytes   "CBMFMOD2"
+//! section* each: [tag u32 LE] [payload_len u64 LE] [payload] [fnv1a(payload) u64 LE]
+//!   tag 1  header      basis family, dimensions, presence flags (required, first)
+//!   tag 2  model       support, coefficients, intercepts        (required)
+//!   tag 3  hyper       λ, R, σ0                                 (optional)
+//!   tag 4  predictive  packed GP factors                        (optional)
+//! trailer  8 bytes   fnv1a(every preceding file byte) u64 LE
+//! ```
+//!
+//! Sections appear in strictly increasing tag order. Every section payload
+//! is length-prefixed and FNV-1a-checksummed (the same checksum the wire
+//! protocol frames use), and the whole file carries one trailing checksum —
+//! so any single-bit corruption anywhere (payload, length field, tag, or a
+//! checksum itself) is deterministically caught: FNV-1a's per-byte update
+//! is injective, and bytes outside section payloads are covered by the file
+//! trailer.
+//!
+//! Forward-compatibility policy mirrors JSON: a different magic (including a
+//! different trailing version digit) is rejected outright — a new major
+//! format gets a new magic — while *readers never skip unknown sections*;
+//! binary is for fast exact loads, additive evolution happens in JSON first.
+
+use std::path::Path;
+
+use cbmf::{PerStateModel, PredictiveParts};
+use cbmf_linalg::Matrix;
+
+use crate::artifact::{family_code, family_from_code, Hyper, ModelArtifact};
+use crate::error::ServeError;
+
+/// Schema identifier of the binary artifact format.
+pub const BINARY_SCHEMA: &str = "cbmf-model/2";
+
+/// Leading magic of every `cbmf-model/2` file.
+pub const BINARY_MAGIC: [u8; 8] = *b"CBMFMOD2";
+
+/// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and injective per
+/// byte, so any single-byte change in a checksummed span is always caught.
+/// Shared by the binary artifact sections here and the `cbmf-server` wire
+/// frames (which re-export it).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const TAG_HEADER: u32 = 1;
+const TAG_MODEL: u32 = 2;
+const TAG_HYPER: u32 = 3;
+const TAG_PREDICTIVE: u32 = 4;
+
+const FLAG_HYPER: u64 = 1 << 0;
+const FLAG_PREDICTIVE: u64 = 1 << 1;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_u64(out, xs.len() as u64);
+    out.reserve(xs.len() * 8);
+    for &x in xs {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    out.reserve(m.as_slice().len() * 8);
+    for &x in m.as_slice() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+/// The lower triangle of a square matrix, row by row (row i carries i+1
+/// entries) — the same packing the JSON format uses, halving the dominant
+/// section.
+fn put_packed_lower(out: &mut Vec<u8>, l: &Matrix) {
+    let n = l.rows();
+    put_u64(out, n as u64);
+    out.reserve(n * (n + 1) / 2 * 8);
+    for i in 0..n {
+        for &x in &l.row(i)[..=i] {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+}
+
+fn put_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    put_u32(out, tag);
+    put_u64(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    put_u64(out, fnv1a(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over one section payload. Every
+/// overrun is a typed [`ServeError::Corrupt`] naming the field, never a
+/// panic.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        if n > self.remaining() {
+            return Err(ServeError::Corrupt(format!(
+                "{what}: needs {n} bytes, {} left in section",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads an element count and rejects it early when `count * elem_bytes`
+    /// cannot fit in the section's remaining bytes — a lying length field
+    /// must fail typed, not drive `Vec::with_capacity` into the ground.
+    fn count(&mut self, elem_bytes: usize, what: &str) -> Result<usize, ServeError> {
+        let n = self.u64(what)?;
+        let need = n.checked_mul(elem_bytes as u64);
+        match need {
+            Some(need) if need <= self.remaining() as u64 => Ok(n as usize),
+            _ => Err(ServeError::Corrupt(format!(
+                "{what}: claims {n} elements but only {} bytes remain",
+                self.remaining()
+            ))),
+        }
+    }
+
+    fn f64_vec(&mut self, what: &str) -> Result<Vec<f64>, ServeError> {
+        let n = self.count(8, what)?;
+        let bytes = self.take(n * 8, what)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    fn matrix(&mut self, what: &str) -> Result<Matrix, ServeError> {
+        let rows = self.u64(what)? as usize;
+        let cols = self.u64(what)? as usize;
+        let need = (rows as u64)
+            .checked_mul(cols as u64)
+            .and_then(|n| n.checked_mul(8));
+        match need {
+            Some(need) if need <= self.remaining() as u64 => {}
+            _ => {
+                return Err(ServeError::Corrupt(format!(
+                    "{what}: claims {rows}x{cols} matrix but only {} bytes remain",
+                    self.remaining()
+                )))
+            }
+        }
+        let bytes = self.take(rows * cols * 8, what)?;
+        Ok(Matrix::from_fn(rows, cols, |i, j| {
+            let off = (i * cols + j) * 8;
+            f64::from_bits(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()))
+        }))
+    }
+
+    fn packed_lower(&mut self, what: &str) -> Result<Matrix, ServeError> {
+        let n = self.u64(what)? as usize;
+        let need = (n as u64)
+            .checked_mul(n as u64 + 1)
+            .map(|t| t / 2)
+            .and_then(|t| t.checked_mul(8));
+        match need {
+            Some(need) if need <= self.remaining() as u64 => {}
+            _ => {
+                return Err(ServeError::Corrupt(format!(
+                    "{what}: claims a packed {n}x{n} triangle but only {} bytes remain",
+                    self.remaining()
+                )))
+            }
+        }
+        let bytes = self.take(n * (n + 1) / 2 * 8, what)?;
+        let mut l = Matrix::zeros(n, n);
+        let mut off = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] =
+                    f64::from_bits(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()));
+                off += 8;
+            }
+        }
+        Ok(l)
+    }
+
+    fn done(&self, what: &str) -> Result<(), ServeError> {
+        if self.remaining() != 0 {
+            return Err(ServeError::Corrupt(format!(
+                "{what}: {} trailing bytes after the last field",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+struct Header {
+    family: u32,
+    num_variables: usize,
+    num_states: usize,
+    flags: u64,
+}
+
+impl ModelArtifact {
+    /// Encodes the artifact as one `cbmf-model/2` byte buffer.
+    pub fn to_binary_bytes(&self) -> Vec<u8> {
+        let model = self.model();
+        let mut out = Vec::new();
+        out.extend_from_slice(&BINARY_MAGIC);
+
+        let mut header = Vec::with_capacity(28);
+        put_u32(&mut header, family_code(model.basis_spec()));
+        put_u64(&mut header, model.num_variables() as u64);
+        put_u64(&mut header, model.num_states() as u64);
+        let mut flags = 0u64;
+        if self.hyper().is_some() {
+            flags |= FLAG_HYPER;
+        }
+        if self.predictive_parts().is_some() {
+            flags |= FLAG_PREDICTIVE;
+        }
+        put_u64(&mut header, flags);
+        put_section(&mut out, TAG_HEADER, &header);
+
+        let mut body = Vec::new();
+        put_u64(&mut body, model.support().len() as u64);
+        for &m in model.support() {
+            put_u64(&mut body, m as u64);
+        }
+        put_matrix(&mut body, model.coefficients());
+        put_f64s(&mut body, model.intercepts());
+        put_section(&mut out, TAG_MODEL, &body);
+
+        if let Some(h) = self.hyper() {
+            let mut body = Vec::new();
+            put_f64s(&mut body, &h.lambda);
+            put_matrix(&mut body, &h.r);
+            put_f64(&mut body, h.sigma0);
+            put_section(&mut out, TAG_HYPER, &body);
+        }
+
+        if let Some(p) = self.predictive_parts() {
+            let mut body = Vec::new();
+            put_packed_lower(&mut body, &p.chol_l);
+            put_f64(&mut body, p.chol_jitter);
+            put_f64s(&mut body, &p.ciy);
+            put_u64(&mut body, p.bases.len() as u64);
+            for b in &p.bases {
+                put_matrix(&mut body, b);
+            }
+            put_u64(&mut body, p.basis_means.len() as u64);
+            for v in &p.basis_means {
+                put_f64s(&mut body, v);
+            }
+            put_f64s(&mut body, &p.y_means);
+            put_f64s(&mut body, &p.lambda);
+            put_matrix(&mut body, &p.r);
+            put_f64(&mut body, p.sigma0);
+            put_section(&mut out, TAG_PREDICTIVE, &body);
+        }
+
+        let trailer = fnv1a(&out);
+        put_u64(&mut out, trailer);
+        out
+    }
+
+    /// Decodes a `cbmf-model/2` buffer, re-validating every structural
+    /// invariant (the model goes back through [`PerStateModel::new`], just
+    /// like the JSON reader).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] on framing damage — bad magic or version,
+    /// truncation, a lying length field, or any checksum mismatch — and
+    /// [`ServeError::Invalid`] on structurally intact but semantically
+    /// inconsistent content. Nothing is ever partially constructed.
+    pub fn from_binary_bytes(bytes: &[u8]) -> Result<Self, ServeError> {
+        if bytes.len() < BINARY_MAGIC.len() + 8 {
+            return Err(ServeError::Corrupt(format!(
+                "{} bytes cannot hold the magic and the file checksum",
+                bytes.len()
+            )));
+        }
+        let magic = &bytes[..BINARY_MAGIC.len()];
+        if magic != BINARY_MAGIC {
+            if magic[..7] == BINARY_MAGIC[..7] {
+                return Err(ServeError::Corrupt(format!(
+                    "magic {} is not '{BINARY_SCHEMA}' — newer formats need a newer reader",
+                    String::from_utf8_lossy(magic)
+                )));
+            }
+            return Err(ServeError::Corrupt(
+                "not a cbmf-model/2 binary artifact (bad magic)".to_string(),
+            ));
+        }
+        let (covered, trailer_bytes) = bytes.split_at(bytes.len() - 8);
+        let want = u64::from_le_bytes(trailer_bytes.try_into().unwrap());
+        let got = fnv1a(covered);
+        if got != want {
+            return Err(ServeError::Corrupt(format!(
+                "file checksum {got:#018x} != {want:#018x}"
+            )));
+        }
+
+        let mut header: Option<Header> = None;
+        let mut model: Option<PerStateModel> = None;
+        let mut hyper: Option<Hyper> = None;
+        let mut predictive: Option<PredictiveParts> = None;
+
+        let mut r = Reader::new(&covered[BINARY_MAGIC.len()..]);
+        let mut last_tag = 0u32;
+        while r.remaining() > 0 {
+            let tag = r.u32("section tag")?;
+            if tag <= last_tag {
+                return Err(ServeError::Corrupt(format!(
+                    "section tag {tag} out of order after {last_tag}"
+                )));
+            }
+            last_tag = tag;
+            let len = r.count(1, "section length")?;
+            let payload = r.take(len, "section payload")?;
+            let sum = r.u64("section checksum")?;
+            let got = fnv1a(payload);
+            if got != sum {
+                return Err(ServeError::Corrupt(format!(
+                    "section {tag} checksum {got:#018x} != {sum:#018x}"
+                )));
+            }
+            match tag {
+                TAG_HEADER => header = Some(decode_header(payload)?),
+                TAG_MODEL => {
+                    let h = header.as_ref().ok_or_else(|| {
+                        ServeError::Corrupt("model section before header".to_string())
+                    })?;
+                    model = Some(decode_model(payload, h)?);
+                }
+                TAG_HYPER => hyper = Some(decode_hyper(payload)?),
+                TAG_PREDICTIVE => {
+                    let h = header.as_ref().ok_or_else(|| {
+                        ServeError::Corrupt("predictive section before header".to_string())
+                    })?;
+                    predictive = Some(decode_predictive(payload, h)?);
+                }
+                other => {
+                    return Err(ServeError::Corrupt(format!(
+                        "unknown section tag {other} — binary readers never skip sections"
+                    )))
+                }
+            }
+        }
+
+        let header =
+            header.ok_or_else(|| ServeError::Corrupt("missing header section".to_string()))?;
+        let model =
+            model.ok_or_else(|| ServeError::Corrupt("missing model section".to_string()))?;
+        let flags_hyper = header.flags & FLAG_HYPER != 0;
+        let flags_pred = header.flags & FLAG_PREDICTIVE != 0;
+        if flags_hyper != hyper.is_some() || flags_pred != predictive.is_some() {
+            return Err(ServeError::Corrupt(
+                "header presence flags disagree with the sections present".to_string(),
+            ));
+        }
+        if header.flags & !(FLAG_HYPER | FLAG_PREDICTIVE) != 0 {
+            return Err(ServeError::Corrupt(format!(
+                "unknown header flags {:#x}",
+                header.flags
+            )));
+        }
+        Ok(ModelArtifact::from_parts(model, hyper, predictive))
+    }
+
+    /// Writes the binary encoding to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failure.
+    pub fn save_binary<P: AsRef<Path>>(&self, path: P) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_binary_bytes())?;
+        Ok(())
+    }
+
+    /// Reads and validates a binary artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Corrupt`] / [`ServeError::Invalid`]
+    /// depending on which layer rejects the file.
+    pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Self, ServeError> {
+        Self::from_binary_bytes(&std::fs::read(path)?)
+    }
+
+    /// Loads either format, sniffing the leading bytes: the binary magic
+    /// routes to [`load_binary`](Self::load_binary), anything else is
+    /// treated as JSON `cbmf-model/1`.
+    ///
+    /// # Errors
+    ///
+    /// As [`load`](Self::load) or [`load_binary`](Self::load_binary).
+    pub fn load_auto<P: AsRef<Path>>(path: P) -> Result<Self, ServeError> {
+        let bytes = std::fs::read(path)?;
+        if bytes.starts_with(&BINARY_MAGIC) {
+            Self::from_binary_bytes(&bytes)
+        } else {
+            let text = String::from_utf8(bytes)
+                .map_err(|e| ServeError::Parse(format!("artifact is not UTF-8 JSON: {e}")))?;
+            let doc = cbmf_trace::Json::parse(&text)?;
+            Self::from_json(&doc)
+        }
+    }
+}
+
+fn decode_header(payload: &[u8]) -> Result<Header, ServeError> {
+    let mut r = Reader::new(payload);
+    let family = r.u32("header.family")?;
+    family_from_code(family)?; // reject unknown families before the model section
+    let num_variables = r.u64("header.num_variables")? as usize;
+    let num_states = r.u64("header.num_states")? as usize;
+    let flags = r.u64("header.flags")?;
+    r.done("header")?;
+    Ok(Header {
+        family,
+        num_variables,
+        num_states,
+        flags,
+    })
+}
+
+fn decode_model(payload: &[u8], header: &Header) -> Result<PerStateModel, ServeError> {
+    let mut r = Reader::new(payload);
+    let n = r.count(8, "model.support")?;
+    let mut support = Vec::with_capacity(n);
+    for _ in 0..n {
+        support.push(r.u64("model.support entry")? as usize);
+    }
+    let coefficients = r.matrix("model.coefficients")?;
+    let intercepts = r.f64_vec("model.intercepts")?;
+    r.done("model")?;
+    if intercepts.len() != header.num_states {
+        return Err(ServeError::Invalid(format!(
+            "model: {} intercepts but header declares {} states",
+            intercepts.len(),
+            header.num_states
+        )));
+    }
+    PerStateModel::new(
+        family_from_code(header.family)?,
+        header.num_variables,
+        support,
+        coefficients,
+        intercepts,
+    )
+    .map_err(|e| ServeError::Invalid(format!("model: {e}")))
+}
+
+fn decode_hyper(payload: &[u8]) -> Result<Hyper, ServeError> {
+    let mut r = Reader::new(payload);
+    let lambda = r.f64_vec("hyper.lambda")?;
+    let r_mat = r.matrix("hyper.r")?;
+    let sigma0 = r.f64("hyper.sigma0")?;
+    r.done("hyper")?;
+    Ok(Hyper {
+        lambda,
+        r: r_mat,
+        sigma0,
+    })
+}
+
+fn decode_predictive(payload: &[u8], header: &Header) -> Result<PredictiveParts, ServeError> {
+    let mut r = Reader::new(payload);
+    let chol_l = r.packed_lower("predictive.chol_l")?;
+    let chol_jitter = r.f64("predictive.chol_jitter")?;
+    let ciy = r.f64_vec("predictive.ciy")?;
+    let n_bases = r.count(16, "predictive.bases")?;
+    let mut bases = Vec::with_capacity(n_bases);
+    for k in 0..n_bases {
+        bases.push(r.matrix(&format!("predictive.bases[{k}]"))?);
+    }
+    let n_means = r.count(8, "predictive.basis_means")?;
+    let mut basis_means = Vec::with_capacity(n_means);
+    for k in 0..n_means {
+        basis_means.push(r.f64_vec(&format!("predictive.basis_means[{k}]"))?);
+    }
+    let y_means = r.f64_vec("predictive.y_means")?;
+    let lambda = r.f64_vec("predictive.lambda")?;
+    let r_mat = r.matrix("predictive.r")?;
+    let sigma0 = r.f64("predictive.sigma0")?;
+    r.done("predictive")?;
+    Ok(PredictiveParts {
+        chol_l,
+        chol_jitter,
+        ciy,
+        bases,
+        basis_means,
+        y_means,
+        lambda,
+        r: r_mat,
+        sigma0,
+        basis_spec: family_from_code(header.family)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbmf::BasisSpec;
+
+    fn toy_artifact() -> ModelArtifact {
+        let coeffs = Matrix::from_rows(&[&[2.0, -1.0], &[3.0, 0.5]]).unwrap();
+        let model =
+            PerStateModel::new(BasisSpec::Linear, 3, vec![0, 2], coeffs, vec![1.0, -0.5]).unwrap();
+        ModelArtifact::from_model(model)
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn map_only_artifact_round_trips_exactly() {
+        let a = toy_artifact();
+        let bytes = a.to_binary_bytes();
+        let b = ModelArtifact::from_binary_bytes(&bytes).unwrap();
+        assert_eq!(a.to_canonical_string(), b.to_canonical_string());
+        // Encoding is deterministic: same artifact, same bytes.
+        assert_eq!(bytes, b.to_binary_bytes());
+    }
+
+    #[test]
+    fn truncations_and_magic_damage_are_typed() {
+        let bytes = toy_artifact().to_binary_bytes();
+        for cut in 0..bytes.len() {
+            match ModelArtifact::from_binary_bytes(&bytes[..cut]) {
+                Err(ServeError::Corrupt(_)) => {}
+                other => panic!("cut {cut}: expected Corrupt, got {other:?}"),
+            }
+        }
+        let mut wrong_version = bytes.clone();
+        wrong_version[7] = b'3';
+        let err = ModelArtifact::from_binary_bytes(&wrong_version).unwrap_err();
+        assert!(err.to_string().contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let bytes = toy_artifact().to_binary_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut dam = bytes.clone();
+                dam[pos] ^= 1 << bit;
+                assert!(
+                    ModelArtifact::from_binary_bytes(&dam).is_err(),
+                    "flip of bit {bit} at byte {pos} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn presence_flags_must_match_sections() {
+        // Flip the hyper flag in the header payload: both checksums must be
+        // re-sealed for the damage to reach the flag validation itself.
+        let a = toy_artifact();
+        let mut out = Vec::new();
+        out.extend_from_slice(&BINARY_MAGIC);
+        let mut header = Vec::new();
+        put_u32(&mut header, 0);
+        put_u64(&mut header, 3);
+        put_u64(&mut header, 2);
+        put_u64(&mut header, FLAG_HYPER); // lies: no hyper section follows
+        put_section(&mut out, TAG_HEADER, &header);
+        let orig = a.to_binary_bytes();
+        let mut body = Vec::new();
+        let model = a.model();
+        put_u64(&mut body, model.support().len() as u64);
+        for &m in model.support() {
+            put_u64(&mut body, m as u64);
+        }
+        put_matrix(&mut body, model.coefficients());
+        put_f64s(&mut body, model.intercepts());
+        put_section(&mut out, TAG_MODEL, &body);
+        let trailer = fnv1a(&out);
+        put_u64(&mut out, trailer);
+        let err = ModelArtifact::from_binary_bytes(&out).unwrap_err();
+        assert!(err.to_string().contains("flags"), "{err}");
+        assert!(ModelArtifact::from_binary_bytes(&orig).is_ok());
+    }
+}

@@ -12,6 +12,11 @@ pub enum ServeError {
     /// The document is valid JSON but not a valid `cbmf-model/1` artifact
     /// (wrong schema version, unknown basis family, shape disagreement…).
     Invalid(String),
+    /// A binary `cbmf-model/2` buffer failed framing validation: bad magic
+    /// or version, truncation, a lying section length, or a checksum
+    /// mismatch. The bytes on disk are damaged or foreign — re-fetch or
+    /// re-export, don't retry the parse.
+    Corrupt(String),
     /// A modeling-layer error surfaced while rebuilding or evaluating the
     /// model.
     Cbmf(CbmfError),
@@ -23,6 +28,7 @@ impl fmt::Display for ServeError {
             ServeError::Io(e) => write!(f, "artifact I/O: {e}"),
             ServeError::Parse(msg) => write!(f, "artifact parse: {msg}"),
             ServeError::Invalid(msg) => write!(f, "invalid artifact: {msg}"),
+            ServeError::Corrupt(msg) => write!(f, "corrupt binary artifact: {msg}"),
             ServeError::Cbmf(e) => write!(f, "model error: {e}"),
         }
     }

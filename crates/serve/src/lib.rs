@@ -10,7 +10,13 @@
 //!   the basis definition, per-state supports, MAP coefficients, the
 //!   σ0/λ/R hyper-parameters, and optionally the posterior factors needed
 //!   to reproduce predictive variance bitwise. `save(load(save(x)))` is
-//!   byte-identical.
+//!   byte-identical. A binary sibling, `cbmf-model/2` ([`BINARY_SCHEMA`]),
+//!   carries the same content as checksummed little-endian sections with
+//!   near-zero parse cost and lossless two-way conversion — JSON stays the
+//!   golden/interchange format, binary is what a fleet loads.
+//! * [`ModelRegistry`] — a string-keyed table of validated predictors with
+//!   a lock-free read path, atomic hot swap, and an LRU-bounded resident
+//!   set, so one process serves many circuits × corners.
 //! * [`BatchPredictor`] — a blocked batch evaluator: N samples × K states
 //!   in cache-friendly row tiles fanned out over `cbmf-parallel`, with an
 //!   optional uncertainty path returning predictive mean + variance. Both
@@ -38,10 +44,14 @@
 
 mod artifact;
 pub mod batching;
+mod binary;
 mod error;
 mod predictor;
+mod registry;
 
 pub use artifact::{Hyper, ModelArtifact, MODEL_SCHEMA};
 pub use batching::{BatchConfig, BatchError, BatchQueue, BatchQueueStats};
+pub use binary::{fnv1a, BINARY_MAGIC, BINARY_SCHEMA};
 pub use error::ServeError;
 pub use predictor::BatchPredictor;
+pub use registry::ModelRegistry;

@@ -1,0 +1,253 @@
+//! Artifact robustness: hostile bytes must never panic the binary decoder
+//! and must never partially construct an artifact. Property tests cover
+//! arbitrary garbage, strict truncations, single-bit flips, lying section
+//! lengths (with a re-sealed file trailer, so the lie itself is what gets
+//! caught), checksum damage, and wrong-version magics — every failure is a
+//! typed [`ServeError::Corrupt`], mirroring the wire-protocol robustness
+//! suite in `cbmf-server`.
+
+mod common;
+
+use std::sync::OnceLock;
+
+use cbmf::{BasisSpec, PerStateModel};
+use cbmf_linalg::Matrix;
+use cbmf_serve::{fnv1a, ModelArtifact, ServeError, BINARY_MAGIC};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Full LNA fixture (MAP model + hyper + GP factors), encoded once — the
+/// fit is deterministic but not free, and every property below only needs
+/// the bytes.
+fn lna_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| common::lna_small_artifact().to_binary_bytes())
+}
+
+/// Small synthetic MAP-only models with arbitrary `f64` bit patterns
+/// (including NaNs and infinities) — shape validity is the only constraint,
+/// exactly what [`PerStateModel::new`] enforces.
+fn model_strategy() -> impl Strategy<Value = PerStateModel> {
+    (
+        1usize..=3,                  // states
+        1usize..=5,                  // variables
+        0u64..32,                    // support bitmask over the dictionary
+        vec(0u64..u64::MAX, 1..=24), // raw f64 bits for coefficients
+        vec(0u64..u64::MAX, 1..=3),  // raw f64 bits for intercepts
+    )
+        .prop_map(|(k, d, mask, coeff_bits, icept_bits)| {
+            let support: Vec<usize> = (0..d).filter(|i| mask >> i & 1 == 1).collect();
+            let s = support.len();
+            let coeffs = Matrix::from_fn(k, s, |i, j| {
+                f64::from_bits(coeff_bits[(i * s + j) % coeff_bits.len()])
+            });
+            let intercepts: Vec<f64> = (0..k)
+                .map(|i| f64::from_bits(icept_bits[i % icept_bits.len()]))
+                .collect();
+            PerStateModel::new(BasisSpec::Linear, d, support, coeffs, intercepts)
+                .expect("strategy only builds valid shapes")
+        })
+}
+
+/// Byte offsets of every section's `payload_len` field, by walking the
+/// framing exactly as the decoder does: `magic [tag u32][len u64][payload]
+/// [checksum u64]* trailer`.
+fn section_length_offsets(bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut pos = BINARY_MAGIC.len();
+    let end = bytes.len() - 8; // file trailer
+    while pos < end {
+        offsets.push(pos + 4);
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        pos += 4 + 8 + len + 8;
+    }
+    assert_eq!(pos, end, "section walk must land exactly on the trailer");
+    offsets
+}
+
+/// Replaces the trailing 8 bytes with a freshly computed file checksum, so
+/// doctored framing reaches the structural checks instead of bouncing off
+/// the trailer.
+fn reseal_trailer(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let sum = fnv1a(&bytes[..n - 8]);
+    bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the decoder returns Ok or a typed error — it never
+    /// panics, with or without a valid magic up front.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(0u64..256, 0..2048)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = ModelArtifact::from_binary_bytes(&bytes);
+        let with_magic: Vec<u8> = BINARY_MAGIC.iter().copied().chain(bytes).collect();
+        let _ = ModelArtifact::from_binary_bytes(&with_magic);
+    }
+
+    /// Every strict truncation of a valid artifact is a typed Corrupt —
+    /// short files can never half-build a model.
+    #[test]
+    fn truncations_are_typed_corrupt(model in model_strategy(), cut in 0u64..100_000) {
+        let bytes = ModelArtifact::from_model(model).to_binary_bytes();
+        let cut = (cut as usize) % bytes.len();
+        match ModelArtifact::from_binary_bytes(&bytes[..cut]) {
+            Err(ServeError::Corrupt(_)) => {}
+            other => prop_assert!(false, "cut {} of {} gave {:?}", cut, bytes.len(), other),
+        }
+    }
+
+    /// A single flipped bit anywhere in the file — payload, tag, length
+    /// field, section checksum, or the trailer itself — is always caught,
+    /// because the file trailer covers every structural byte and FNV-1a's
+    /// per-byte update is injective.
+    #[test]
+    fn single_bit_flips_are_rejected(
+        model in model_strategy(),
+        pos in 0u64..100_000,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = ModelArtifact::from_model(model).to_binary_bytes();
+        let pos = (pos as usize) % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        match ModelArtifact::from_binary_bytes(&bytes) {
+            Err(ServeError::Corrupt(_)) => {}
+            other => prop_assert!(false, "flip of bit {} at byte {} gave {:?}", bit, pos, other),
+        }
+    }
+
+    /// A lying `payload_len` with a *re-sealed* file trailer still fails
+    /// typed: the shifted framing breaks a section checksum, the tag order,
+    /// or the bounds guard — and an absurd length must not drive an
+    /// allocation, just a Corrupt.
+    #[test]
+    fn section_length_lies_are_typed(
+        model in model_strategy(),
+        which in 0u64..8,
+        lie in 0u64..u64::MAX,
+    ) {
+        let mut bytes = ModelArtifact::from_model(model).to_binary_bytes();
+        let offsets = section_length_offsets(&bytes);
+        let off = offsets[(which as usize) % offsets.len()];
+        let orig = u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        prop_assume!(lie != orig);
+        bytes[off..off + 8].copy_from_slice(&lie.to_le_bytes());
+        reseal_trailer(&mut bytes);
+        match ModelArtifact::from_binary_bytes(&bytes) {
+            Err(ServeError::Corrupt(_)) => {}
+            other => prop_assert!(
+                false,
+                "length lie {} (was {}) at byte {} gave {:?}", lie, orig, off, other
+            ),
+        }
+    }
+
+    /// Valid artifacts round-trip bit-exactly: decode then re-encode yields
+    /// the identical bytes, and every model field keeps its exact `f64`
+    /// bits — NaN payloads included.
+    #[test]
+    fn valid_artifacts_round_trip_bit_exactly(model in model_strategy()) {
+        let a = ModelArtifact::from_model(model);
+        let bytes = a.to_binary_bytes();
+        let b = ModelArtifact::from_binary_bytes(&bytes).unwrap();
+        prop_assert_eq!(&bytes, &b.to_binary_bytes(), "encode is not deterministic");
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        prop_assert_eq!(a.model().support(), b.model().support());
+        prop_assert_eq!(
+            bits(a.model().coefficients().as_slice()),
+            bits(b.model().coefficients().as_slice())
+        );
+        prop_assert_eq!(bits(a.model().intercepts()), bits(b.model().intercepts()));
+    }
+}
+
+/// Every damaged magic is rejected; a changed trailing version digit gets
+/// the dedicated "newer formats need a newer reader" message.
+#[test]
+fn wrong_version_and_magic_damage_are_typed() {
+    let bytes = lna_bytes();
+    for pos in 0..BINARY_MAGIC.len() {
+        let mut dam = bytes.to_vec();
+        dam[pos] ^= 0x20;
+        reseal_trailer(&mut dam); // the magic check must fire before the trailer
+        match ModelArtifact::from_binary_bytes(&dam) {
+            Err(ServeError::Corrupt(_)) => {}
+            other => panic!("magic damage at {pos}: expected Corrupt, got {other:?}"),
+        }
+    }
+    for version in [b'1', b'3', b'9'] {
+        let mut dam = bytes.to_vec();
+        dam[7] = version;
+        reseal_trailer(&mut dam);
+        let err = ModelArtifact::from_binary_bytes(&dam).unwrap_err();
+        assert!(
+            err.to_string().contains("newer"),
+            "version {}: {err}",
+            version as char
+        );
+    }
+}
+
+/// A corrupted *section* checksum with a re-sealed trailer is caught by the
+/// per-section verification and names the checksum in the message.
+#[test]
+fn section_checksum_mismatch_is_typed() {
+    let bytes = lna_bytes();
+    let mut pos = BINARY_MAGIC.len();
+    for _ in 0..2 {
+        // walk to the end of this section: its checksum field
+        let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let sum_off = pos + 4 + 8 + len;
+        let mut dam = bytes.to_vec();
+        dam[sum_off] ^= 0xff;
+        reseal_trailer(&mut dam);
+        let err = ModelArtifact::from_binary_bytes(&dam).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Corrupt(msg) if msg.contains("checksum")),
+            "expected a section checksum Corrupt, got {err:?}"
+        );
+        pos = sum_off + 8;
+    }
+}
+
+/// The full fixture — hyper and GP factors included — survives the same
+/// battery: truncations at every section boundary and sampled bit flips
+/// across the whole file are all typed Corrupt, and the intact bytes still
+/// decode to the identical canonical JSON.
+#[test]
+fn full_fixture_rejects_damage_and_round_trips() {
+    let bytes = lna_bytes();
+    let a = common::lna_small_artifact();
+    let b = ModelArtifact::from_binary_bytes(bytes).unwrap();
+    assert_eq!(a.to_canonical_string(), b.to_canonical_string());
+
+    for off in section_length_offsets(bytes) {
+        for cut in [off, off + 12, bytes.len() - 9] {
+            assert!(
+                matches!(
+                    ModelArtifact::from_binary_bytes(&bytes[..cut]),
+                    Err(ServeError::Corrupt(_))
+                ),
+                "cut at {cut} was not a typed Corrupt"
+            );
+        }
+    }
+    // Sampled single-bit flips across the whole file (a stride keeps the
+    // suite fast; the exhaustive sweep runs on the small artifact in the
+    // unit tests).
+    for pos in (0..bytes.len()).step_by(997) {
+        for bit in 0..8 {
+            let mut dam = bytes.to_vec();
+            dam[pos] ^= 1 << bit;
+            assert!(
+                matches!(
+                    ModelArtifact::from_binary_bytes(&dam),
+                    Err(ServeError::Corrupt(_))
+                ),
+                "flip of bit {bit} at byte {pos} slipped through"
+            );
+        }
+    }
+}

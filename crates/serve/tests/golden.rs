@@ -16,6 +16,11 @@ const GOLDEN_PATH: &str = concat!(
     "/../../tests/golden/lna_small.cbmf.json"
 );
 
+const BIN_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/lna_small.cbmf.bin"
+);
+
 #[test]
 fn golden_artifact_bytes_are_pinned_across_thread_counts() {
     // The whole pipeline — Monte Carlo, initializer, EM, serialization —
@@ -38,6 +43,51 @@ fn golden_artifact_bytes_are_pinned_across_thread_counts() {
         committed, text1,
         "artifact bytes drifted from the committed golden file; if intentional, \
          regenerate with CBMF_REGEN_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn golden_binary_bytes_are_pinned_across_thread_counts() {
+    // The cbmf-model/2 encoding is a bit-copy of the same fit, so it gets
+    // the same byte-exact pin as the JSON golden, at 1 and 8 threads.
+    let bytes1 = cbmf_parallel::with_threads(1, || common::lna_small_artifact().to_binary_bytes());
+    let bytes8 = cbmf_parallel::with_threads(8, || common::lna_small_artifact().to_binary_bytes());
+    assert_eq!(bytes1, bytes8, "binary bytes differ across thread counts");
+
+    if std::env::var("CBMF_REGEN_GOLDEN").is_ok() {
+        std::fs::write(BIN_GOLDEN_PATH, &bytes1).expect("write binary golden");
+        return;
+    }
+
+    let committed = std::fs::read(BIN_GOLDEN_PATH)
+        .expect("read tests/golden/lna_small.cbmf.bin (CBMF_REGEN_GOLDEN=1 to create)");
+    assert_eq!(
+        committed, bytes1,
+        "binary artifact bytes drifted from the committed golden file; if \
+         intentional, regenerate with CBMF_REGEN_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn binary_golden_converts_losslessly_to_golden_json() {
+    // json → bin → json: the decoded binary golden re-emits the canonical
+    // JSON golden byte-identically, proving the two committed files are the
+    // same model and the conversion loses nothing.
+    let from_bin = ModelArtifact::load_binary(BIN_GOLDEN_PATH).expect("binary golden loads");
+    let golden_json = std::fs::read_to_string(GOLDEN_PATH).expect("json golden");
+    assert_eq!(
+        from_bin.to_canonical_string(),
+        golden_json,
+        "bin → json did not re-emit the committed golden JSON byte-identically"
+    );
+
+    // ...and the reverse direction lands exactly on the committed binary.
+    let from_json = ModelArtifact::load(GOLDEN_PATH).expect("json golden loads");
+    let golden_bin = std::fs::read(BIN_GOLDEN_PATH).expect("binary golden bytes");
+    assert_eq!(
+        from_json.to_binary_bytes(),
+        golden_bin,
+        "json → bin did not re-emit the committed golden binary byte-identically"
     );
 }
 

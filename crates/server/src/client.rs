@@ -13,7 +13,15 @@ use crate::protocol::{
 pub enum ClientError {
     /// Transport or framing failure on the response path.
     Protocol(ProtocolError),
-    /// The server answered with a typed error frame.
+    /// The server shed this request under load (its queue hit the depth
+    /// bound). The connection is still healthy and nothing about the
+    /// request was wrong — this is the one failure a caller should back
+    /// off and retry, which [`ClientError::is_retryable`] encodes.
+    Overloaded {
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with any other typed error frame.
     Server {
         /// The typed cause.
         code: ErrorCode,
@@ -22,10 +30,23 @@ pub enum ClientError {
     },
 }
 
+impl ClientError {
+    /// True when the failure is transient load shedding: same request,
+    /// same connection, a later attempt may succeed. Every other variant —
+    /// protocol damage, wrong dimension, unknown model — is deterministic
+    /// and retrying it is wasted work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Overloaded { .. })
+    }
+}
+
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Protocol(e) => write!(f, "protocol failure: {e}"),
+            ClientError::Overloaded { message } => {
+                write!(f, "server overloaded (retryable): {message}")
+            }
             ClientError::Server { code, message } => {
                 write!(f, "server error ({code:?}): {message}")
             }
@@ -90,6 +111,10 @@ impl PredictClient {
         .map_err(ProtocolError::Io)?;
         match read_response(&mut self.stream)? {
             Response::Values(values) => Ok(values),
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message,
+            } => Err(ClientError::Overloaded { message }),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
         }
     }

@@ -201,15 +201,11 @@ impl From<io::Error> for ProtocolError {
 }
 
 /// FNV-1a 64-bit over `bytes` — tiny, dependency-free, and plenty to catch
-/// the truncation/bit-flip corruption the property suite injects.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// the truncation/bit-flip corruption the property suite injects. The
+/// implementation lives in `cbmf-serve`, where the binary `cbmf-model/2`
+/// artifact sections use the same checksum; re-exported here so wire-frame
+/// code keeps its historical path.
+pub use cbmf_serve::fnv1a;
 
 fn push_f64s(body: &mut Vec<u8>, values: &[f64]) {
     for v in values {

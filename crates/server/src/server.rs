@@ -1,14 +1,24 @@
 //! The TCP front-end: thread-per-core accept loop, one handler thread per
 //! connection, all requests funneled through shared [`BatchQueue`]s.
+//!
+//! Two backends sit behind the same wire protocol: a single pinned
+//! [`BatchPredictor`] ([`PredictionServer::bind`]), or a
+//! [`ModelRegistry`] ([`PredictionServer::bind_registry`]) where the
+//! request's model id selects a hot-swappable model and each coalesced
+//! tile is evaluated against one coherent snapshot of it.
 
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use cbmf_serve::{BatchConfig, BatchError, BatchPredictor, BatchQueue, BatchQueueStats};
+use cbmf_linalg::Matrix;
+use cbmf_serve::{
+    BatchConfig, BatchError, BatchPredictor, BatchQueue, BatchQueueStats, ModelRegistry, ServeError,
+};
 use cbmf_trace::{Counter, Histogram};
 
 use crate::protocol::{
@@ -48,6 +58,76 @@ struct Queues {
     model_id: u32,
 }
 
+/// Per-model batching queues in registry mode, created lazily on the first
+/// request for each model id. The uncertainty queue is additionally
+/// deferred until the first `PredictVar`, because a hot swap can add
+/// posterior factors to a model after its mean queue already exists.
+struct ModelQueues {
+    mean: BatchQueue,
+    var: OnceLock<BatchQueue>,
+}
+
+struct RegistryBackend {
+    registry: Arc<ModelRegistry>,
+    queues: Mutex<BTreeMap<u32, Arc<ModelQueues>>>,
+    batch: BatchConfig,
+}
+
+enum Backend {
+    Single(Queues),
+    Registry(RegistryBackend),
+}
+
+impl RegistryBackend {
+    /// The queues for `id`, creating the mean queue on first use. The eval
+    /// closures re-resolve the model from the registry once per coalesced
+    /// tile, so every tile sees one coherent model and a swap takes effect
+    /// at the next tile boundary.
+    fn model_queues(&self, id: u32, predictor: &Arc<BatchPredictor>) -> Arc<ModelQueues> {
+        let mut map = self.queues.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(q) = map.get(&id) {
+            return Arc::clone(q);
+        }
+        let in_dim = predictor.model().num_variables();
+        let registry = Arc::clone(&self.registry);
+        let mean = BatchQueue::with_eval(self.batch.clone(), in_dim, move |xs| {
+            snapshot_model(&registry, id)?.predict_batch(xs)
+        });
+        let q = Arc::new(ModelQueues {
+            mean,
+            var: OnceLock::new(),
+        });
+        map.insert(id, Arc::clone(&q));
+        q
+    }
+
+    /// The uncertainty queue for `id`, created on first use; reply rows are
+    /// `[means[0..K], vars[0..K]]`, matching `BatchQueue::for_uncertainty`.
+    fn var_queue<'q>(&self, queues: &'q ModelQueues, id: u32, in_dim: usize) -> &'q BatchQueue {
+        queues.var.get_or_init(|| {
+            let registry = Arc::clone(&self.registry);
+            BatchQueue::with_eval(self.batch.clone(), in_dim, move |xs| {
+                let (means, vars) =
+                    snapshot_model(&registry, id)?.predict_batch_with_uncertainty(xs)?;
+                let (n, k) = means.shape();
+                let mut out = Matrix::zeros(n, 2 * k);
+                for i in 0..n {
+                    out.as_mut_slice()[i * 2 * k..i * 2 * k + k].copy_from_slice(means.row(i));
+                    out.as_mut_slice()[i * 2 * k + k..(i + 1) * 2 * k].copy_from_slice(vars.row(i));
+                }
+                Ok(out)
+            })
+        })
+    }
+}
+
+/// One coherent model snapshot per evaluated tile.
+fn snapshot_model(registry: &ModelRegistry, id: u32) -> Result<Arc<BatchPredictor>, ServeError> {
+    registry
+        .get_by_id(id)
+        .ok_or_else(|| ServeError::Invalid(format!("model id {id} left the registry")))
+}
+
 /// A running loopback/TCP prediction server over one [`BatchPredictor`].
 ///
 /// Binding spawns the accept threads immediately; dropping the handle shuts
@@ -57,7 +137,7 @@ pub struct PredictionServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accepters: Vec<JoinHandle<()>>,
-    queues: Arc<Queues>,
+    backend: Arc<Backend>,
 }
 
 impl std::fmt::Debug for PredictionServer {
@@ -91,27 +171,62 @@ impl PredictionServer {
             .then(|| BatchQueue::for_uncertainty(Arc::clone(&predictor), config.batch.clone()))
             .transpose()
             .expect("has_uncertainty checked");
-        let queues = Arc::new(Queues {
+        let backend = Arc::new(Backend::Single(Queues {
             mean: BatchQueue::for_mean(predictor, config.batch.clone()),
             var,
             model_id: config.model_id,
-        });
+        }));
+        Self::spawn(listener, local, backend, config.accept_threads)
+    }
+
+    /// Binds `addr` and serves every model in `registry`: the request's
+    /// model id selects the model, unknown ids answer
+    /// [`ErrorCode::UnknownModel`], and hot swaps take effect atomically at
+    /// the next coalesced tile — in-flight tiles finish on the model they
+    /// started with. `config.model_id` only picks which model
+    /// [`mean_queue_stats`](Self::mean_queue_stats) reports first; requests
+    /// are routed by their own id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind/listen).
+    pub fn bind_registry(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let backend = Arc::new(Backend::Registry(RegistryBackend {
+            registry,
+            queues: Mutex::new(BTreeMap::new()),
+            batch: config.batch.clone(),
+        }));
+        Self::spawn(listener, local, backend, config.accept_threads)
+    }
+
+    fn spawn(
+        listener: TcpListener,
+        local: SocketAddr,
+        backend: Arc<Backend>,
+        accept_threads: usize,
+    ) -> std::io::Result<Self> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accepters = (0..config.accept_threads.max(1))
+        let accepters = (0..accept_threads.max(1))
             .map(|i| {
                 let listener = listener.try_clone()?;
                 let shutdown = Arc::clone(&shutdown);
-                let queues = Arc::clone(&queues);
+                let backend = Arc::clone(&backend);
                 std::thread::Builder::new()
                     .name(format!("cbmf-accept-{i}"))
-                    .spawn(move || accept_loop(&listener, &shutdown, &queues))
+                    .spawn(move || accept_loop(&listener, &shutdown, &backend))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Ok(PredictionServer {
             addr: local,
             shutdown,
             accepters,
-            queues,
+            backend,
         })
     }
 
@@ -120,15 +235,61 @@ impl PredictionServer {
         self.addr
     }
 
-    /// Exact statistics of the mean-path batching queue.
+    /// Exact statistics of the mean-path batching queue. In registry mode
+    /// the per-model mean queues are summed (element-wise over `fill`).
     pub fn mean_queue_stats(&self) -> BatchQueueStats {
-        self.queues.mean.stats()
+        match self.backend.as_ref() {
+            Backend::Single(q) => q.mean.stats(),
+            Backend::Registry(rb) => {
+                let map = rb.queues.lock().unwrap_or_else(|e| e.into_inner());
+                merge_stats(map.values().map(|q| q.mean.stats()))
+            }
+        }
     }
 
-    /// Exact statistics of the uncertainty-path queue, when it exists.
+    /// Exact statistics of the uncertainty-path queue(s): `None` when no
+    /// uncertainty queue exists (yet), the per-model sum in registry mode.
     pub fn var_queue_stats(&self) -> Option<BatchQueueStats> {
-        self.queues.var.as_ref().map(|q| q.stats())
+        match self.backend.as_ref() {
+            Backend::Single(q) => q.var.as_ref().map(|v| v.stats()),
+            Backend::Registry(rb) => {
+                let map = rb.queues.lock().unwrap_or_else(|e| e.into_inner());
+                let stats: Vec<BatchQueueStats> = map
+                    .values()
+                    .filter_map(|q| q.var.get().map(|v| v.stats()))
+                    .collect();
+                if stats.is_empty() {
+                    None
+                } else {
+                    Some(merge_stats(stats.into_iter()))
+                }
+            }
+        }
     }
+}
+
+/// Element-wise sum of queue statistics across models.
+fn merge_stats(stats: impl Iterator<Item = BatchQueueStats>) -> BatchQueueStats {
+    let mut out = BatchQueueStats {
+        submitted: 0,
+        batches: 0,
+        coalesced: 0,
+        rejected: 0,
+        fill: Vec::new(),
+    };
+    for s in stats {
+        out.submitted += s.submitted;
+        out.batches += s.batches;
+        out.coalesced += s.coalesced;
+        out.rejected += s.rejected;
+        if s.fill.len() > out.fill.len() {
+            out.fill.resize(s.fill.len(), 0);
+        }
+        for (o, v) in out.fill.iter_mut().zip(&s.fill) {
+            *o += v;
+        }
+    }
+    out
 }
 
 impl Drop for PredictionServer {
@@ -147,17 +308,17 @@ impl Drop for PredictionServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, queues: &Arc<Queues>) {
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, backend: &Arc<Backend>) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                let queues = Arc::clone(queues);
+                let backend = Arc::clone(backend);
                 let _ = std::thread::Builder::new()
                     .name("cbmf-conn".to_string())
-                    .spawn(move || handle_connection(stream, &queues));
+                    .spawn(move || handle_connection(stream, &backend));
             }
             Err(_) if shutdown.load(Ordering::Relaxed) => return,
             Err(_) => continue,
@@ -168,7 +329,7 @@ fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool, queues: &Arc<Queue
 /// Serves one connection until the peer closes or a fatal frame error.
 /// Recoverable frame errors answer in-band and keep going — a malformed
 /// frame never kills the thread.
-fn handle_connection(mut stream: TcpStream, queues: &Queues) {
+fn handle_connection(mut stream: TcpStream, backend: &Backend) {
     // Nagle would hold our small response frames hostage to the next read.
     let _ = stream.set_nodelay(true);
     loop {
@@ -176,7 +337,10 @@ fn handle_connection(mut stream: TcpStream, queues: &Queues) {
             Ok(req) => {
                 SERVER_REQUESTS.inc();
                 let start = Instant::now();
-                let resp = dispatch(queues, &req);
+                let resp = match backend {
+                    Backend::Single(queues) => dispatch(queues, &req),
+                    Backend::Registry(rb) => dispatch_registry(rb, &req),
+                };
                 SERVER_REQUEST_NS.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                 if write_response(&mut stream, &resp).is_err() {
                     return;
@@ -226,7 +390,37 @@ fn dispatch(queues: &Queues, req: &Request) -> Response {
             }
         },
     };
-    match queue.submit(&req.sample) {
+    submit(queue, &req.sample)
+}
+
+/// Registry-mode dispatch: the request's model id resolves against the
+/// current registry snapshot, so a hot swap is visible to the very next
+/// request while tiles already dispatched finish on their own snapshot.
+fn dispatch_registry(rb: &RegistryBackend, req: &Request) -> Response {
+    let Some(predictor) = rb.registry.get_by_id(req.model_id) else {
+        return Response::Error {
+            code: ErrorCode::UnknownModel,
+            message: format!("model id {} is not in the registry", req.model_id),
+        };
+    };
+    let queues = rb.model_queues(req.model_id, &predictor);
+    match req.kind {
+        RequestKind::Predict => submit(&queues.mean, &req.sample),
+        RequestKind::PredictVar => {
+            if !predictor.has_uncertainty() {
+                return Response::Error {
+                    code: ErrorCode::NoUncertainty,
+                    message: "model artifact carries no posterior factors".to_string(),
+                };
+            }
+            let in_dim = predictor.model().num_variables();
+            submit(rb.var_queue(&queues, req.model_id, in_dim), &req.sample)
+        }
+    }
+}
+
+fn submit(queue: &BatchQueue, sample: &[f64]) -> Response {
+    match queue.submit(sample) {
         Ok(values) => Response::Values(values),
         Err(e) => Response::Error {
             code: match e {

@@ -207,11 +207,16 @@ fn depth_bound_returns_typed_overloaded() {
                 for _ in 0..8 {
                     match client.predict_with_uncertainty(&sample(i)) {
                         Ok(_) => {}
-                        Err(ClientError::Server {
-                            code: ErrorCode::Overloaded,
-                            ..
-                        }) => rejected += 1,
-                        Err(other) => panic!("unexpected failure: {other:?}"),
+                        // Load shedding surfaces as the dedicated retryable
+                        // variant, not a generic server error.
+                        Err(e @ ClientError::Overloaded { .. }) => {
+                            assert!(e.is_retryable(), "Overloaded must be retryable");
+                            rejected += 1;
+                        }
+                        Err(other) => {
+                            assert!(!other.is_retryable(), "only Overloaded is retryable");
+                            panic!("unexpected failure: {other:?}");
+                        }
                     }
                 }
                 rejected
@@ -250,4 +255,88 @@ fn sequential_requests_on_one_connection_all_answer() {
             want.row(0).iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
     }
+}
+
+/// Registry mode: requests route by their model id, unknown ids stay typed,
+/// and a hot swap changes what an existing id serves — bitwise equal to the
+/// direct predictor call on whichever model is current.
+#[test]
+fn registry_server_routes_by_model_id_and_hot_swaps() {
+    use cbmf_serve::{BatchPredictor, ModelArtifact, ModelRegistry};
+
+    let base = common::toy_model();
+    let shifted = {
+        let m = common::toy_model();
+        let intercepts: Vec<f64> = m.intercepts().iter().map(|v| v + 10.0).collect();
+        cbmf::PerStateModel::new(
+            m.basis_spec(),
+            m.num_variables(),
+            m.support().to_vec(),
+            m.coefficients().clone(),
+            intercepts,
+        )
+        .unwrap()
+    };
+    let xs = Matrix::from_fn(1, VARIABLES, |_, j| sample(0)[j]);
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    let direct_base = BatchPredictor::new(base.clone())
+        .predict_batch(&xs)
+        .unwrap();
+    let direct_shifted = BatchPredictor::new(shifted.clone())
+        .predict_batch(&xs)
+        .unwrap();
+
+    let registry = Arc::new(ModelRegistry::new());
+    let id_base = registry
+        .insert("base", &ModelArtifact::from_model(base))
+        .unwrap();
+    let id_shifted = registry
+        .insert("shifted", &ModelArtifact::from_model(shifted.clone()))
+        .unwrap();
+    let server = PredictionServer::bind_registry(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        serve_config(BatchConfig::from_env()),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut on_base = PredictClient::connect(addr).unwrap().with_model_id(id_base);
+    let mut on_shifted = PredictClient::connect(addr)
+        .unwrap()
+        .with_model_id(id_shifted);
+    assert_eq!(
+        bits(&on_base.predict(&sample(0)).unwrap()),
+        bits(direct_base.row(0))
+    );
+    assert_eq!(
+        bits(&on_shifted.predict(&sample(0)).unwrap()),
+        bits(direct_shifted.row(0))
+    );
+
+    // An id outside the registry is a typed, non-retryable error.
+    let mut unknown = PredictClient::connect(addr).unwrap().with_model_id(99);
+    match unknown.predict(&sample(0)) {
+        Err(
+            e @ ClientError::Server {
+                code: ErrorCode::UnknownModel,
+                ..
+            },
+        ) => assert!(!e.is_retryable()),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+
+    // Hot swap "base" to the shifted model: the same id and the same
+    // connection now serve the new bits.
+    registry
+        .insert("base", &ModelArtifact::from_model(shifted))
+        .unwrap();
+    assert_eq!(
+        bits(&on_base.predict(&sample(0)).unwrap()),
+        bits(direct_shifted.row(0)),
+        "hot swap must be visible to the next request on an open connection"
+    );
+
+    // The mean-path registry stats cover both models' queues.
+    assert!(server.mean_queue_stats().submitted >= 3);
 }

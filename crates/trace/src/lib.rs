@@ -12,7 +12,8 @@
 //! - [`Counter`] — named monotone `u64` counters declared as statics at the
 //!   use site (`static HITS: Counter = Counter::new("cbmf.gram_cache.hit");`)
 //!   so the hot path is one relaxed atomic add, with lazy registration into
-//!   the global registry on first use.
+//!   the global registry on first use. [`counter`] interns counters whose
+//!   names are only known at runtime (per-model registry tallies).
 //! - [`Gauge`] — named `f64` values with `set`/`maximize` semantics, for
 //!   sizes and one-shot measurements.
 //! - [`snapshot`] / [`report`] — a consistent view of everything recorded,
@@ -195,6 +196,37 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+}
+
+/// Returns the process-wide [`Counter`] named `name`, creating it on first
+/// use — the dynamic-name companion to `static` counters, for taxonomies
+/// only known at runtime (per-model registry counters, per-endpoint tallies).
+///
+/// Interned instances are leaked intentionally: a counter must outlive every
+/// thread that might still increment it, and [`snapshot`] keys by
+/// `&'static str`. The leak is bounded by the number of *distinct* names the
+/// process ever uses; callers should derive names from a bounded set (model
+/// names, not request ids).
+///
+/// ```
+/// let c = cbmf_trace::counter("registry.model.lna.hits");
+/// c.inc();
+/// assert!(std::ptr::eq(c, cbmf_trace::counter("registry.model.lna.hits")));
+/// ```
+pub fn counter(name: &str) -> &'static Counter {
+    static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static Counter>>> = OnceLock::new();
+    let mut map = INTERNED
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let leaked: &'static Counter = Box::leak(Box::new(Counter::new(Box::leak(
+        String::from(name).into_boxed_str(),
+    ))));
+    map.insert(String::from(name), leaked);
+    leaked
 }
 
 // ---------------------------------------------------------------------------
@@ -715,6 +747,23 @@ mod tests {
             0,
             "disabled records nothing"
         );
+        clear_enabled_override();
+    }
+
+    #[test]
+    #[cfg(feature = "trace")]
+    fn interned_counters_are_shared_and_snapshot() {
+        let _l = test_lock();
+        set_enabled(true);
+        reset();
+        let a = counter("test.interned.counter");
+        let b = counter("test.interned.counter");
+        assert!(std::ptr::eq(a, b), "same name must intern to one counter");
+        a.add(2);
+        b.inc();
+        assert_eq!(snapshot().counters["test.interned.counter"], 3);
+        reset();
+        assert_eq!(snapshot().counters["test.interned.counter"], 0);
         clear_enabled_override();
     }
 
